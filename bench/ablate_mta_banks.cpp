@@ -1,0 +1,66 @@
+// Ablation: 64-way interleaved memory with and without address hashing
+// (§2: "64-way interleaved memory units"). A power-of-two stride hits one
+// bank repeatedly when banks are selected by low address bits; the MTA
+// hashed addresses so such access patterns spread evenly. The headline
+// reproduction uses the ideal-interleave default (banks = 0).
+#include <iostream>
+
+#include "core/table.hpp"
+#include "mta/machine.hpp"
+#include "platforms/platform.hpp"
+
+using namespace tc3i;
+
+namespace {
+
+std::uint64_t run_strided(int stride, bool banks, bool hashed) {
+  mta::MtaConfig cfg = platforms::make_mta_config(1);
+  cfg.network_ops_per_cycle = 8.0;  // make banks, not the network, bind
+  if (banks) {
+    cfg.memory_banks = 64;
+    cfg.bank_busy_cycles = 8;
+    cfg.hash_addresses = hashed;
+  }
+  mta::Machine machine(cfg);
+  mta::ProgramPool pool;
+  // 64 streams each sweeping one column of a 4096-word-pitch matrix —
+  // the classic pattern: stream s walks rows of column s*stride.
+  for (int s = 0; s < 64; ++s) {
+    mta::VectorProgram* p = pool.make_vector();
+    for (int i = 0; i < 200; ++i) {
+      p->compute(2);
+      p->load(static_cast<mta::Address>(
+          (static_cast<std::uint64_t>(i) * 4096 +
+           static_cast<std::uint64_t>(s) * static_cast<std::uint64_t>(stride)) %
+          (1u << 20)));
+    }
+    machine.add_stream(p);
+  }
+  return machine.run().cycles;
+}
+
+}  // namespace
+
+int main() {
+  TextTable table(
+      "64 streams sweeping memory: cycles vs access stride and bank model");
+  table.header({"Stride (words)", "Ideal interleave", "64 banks, hashed",
+                "64 banks, unhashed", "Unhashed penalty"});
+  for (const int stride : {1, 7, 64, 128, 4096}) {
+    const auto ideal = run_strided(stride, false, false);
+    const auto hashed = run_strided(stride, true, true);
+    const auto unhashed = run_strided(stride, true, false);
+    table.row({std::to_string(stride), std::to_string(ideal),
+               std::to_string(hashed), std::to_string(unhashed),
+               TextTable::num(static_cast<double>(unhashed) /
+                                  static_cast<double>(hashed),
+                              1) +
+                   "x"});
+  }
+  table.render(std::cout);
+  std::cout << "\nExpected: with unhashed banks, any stride that is a "
+               "multiple of 64 serializes on a\nsingle bank; hashing makes "
+               "every stride behave like stride 1 — why the real machine\n"
+               "hashed its memory.\n";
+  return 0;
+}

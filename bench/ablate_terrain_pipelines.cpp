@@ -1,0 +1,54 @@
+// Ablation: the fine-grained Terrain Masking reconstruction's one free
+// parameter — how many threat pipelines run concurrently (each with its
+// own temp array). This is the trade-off DESIGN.md documents: one
+// pipeline cannot keep enough streams live through small rings (slow on
+// one processor, no 2-proc scaling); many pipelines saturate one
+// processor (fast 1-proc, best 2-proc scaling) but drift further from the
+// paper's measured 48 s. The committed default (4) is the compromise.
+#include <iostream>
+
+#include "harness.hpp"
+
+using namespace tc3i;
+
+int main() {
+  const auto& tb = bench::testbed();
+
+  TextTable table(
+      "Fine-grained Terrain Masking on the Tera MTA vs pipeline count "
+      "(paper: 48 s / 34 s, speedup 1.4)");
+  table.header({"Pipelines", "1 proc (s)", "2 procs (s)", "2-proc speedup",
+                "temp arrays"});
+  for (const std::size_t pipelines : {1u, 2u, 4u, 6u, 10u, 16u}) {
+    c3i::terrain::MtaFineParams params;
+    params.pipelines = pipelines;
+    const double t1 = platforms::mta_terrain_fine_seconds(tb, 1, params);
+    const double t2 = platforms::mta_terrain_fine_seconds(tb, 2, params);
+    table.row({std::to_string(pipelines), TextTable::num(t1, 1),
+               TextTable::num(t2, 1), TextTable::num(t1 / t2, 2),
+               std::to_string(pipelines)});
+  }
+  table.render(std::cout);
+  std::cout << "\nMemory note: each pipeline owns a temp array (~5% of the "
+               "terrain). The paper rules\nout one-temp-per-thread at "
+               "hundreds of threads; a handful is fine — this is the\n"
+               "middle ground between Program 4's memory cost and a single "
+               "serialized pipeline.\n";
+
+  TextTable chunk_table(
+      "Ring worker granularity (cells/stream) at 4 pipelines");
+  chunk_table.header({"Cells per ring stream", "1 proc (s)", "2 procs (s)"});
+  for (const std::size_t cells : {4u, 8u, 12u, 24u, 48u, 96u}) {
+    c3i::terrain::MtaFineParams params;
+    params.ring_cells_per_stream = cells;
+    chunk_table.row(
+        {std::to_string(cells),
+         TextTable::num(platforms::mta_terrain_fine_seconds(tb, 1, params), 1),
+         TextTable::num(platforms::mta_terrain_fine_seconds(tb, 2, params), 1)});
+  }
+  chunk_table.render(std::cout);
+  std::cout << "\nExpected: too-small chunks drown in spawn/join sync; "
+               "too-large chunks starve the\nissue slots. The plateau in "
+               "the middle is wide — the schedule is robust.\n";
+  return 0;
+}

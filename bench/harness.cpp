@@ -1,0 +1,44 @@
+#include "harness.hpp"
+
+#include "core/contracts.hpp"
+
+namespace tc3i::bench {
+
+const platforms::Testbed& testbed() {
+  static const platforms::Testbed tb = platforms::build_testbed();
+  return tb;
+}
+
+void add_comparison_row(TextTable& table, const std::string& label,
+                        double paper_seconds, double measured_seconds) {
+  TC3I_EXPECTS(paper_seconds > 0.0);
+  table.row({label, TextTable::num(paper_seconds, 0),
+             TextTable::num(measured_seconds, 1),
+             TextTable::num(measured_seconds / paper_seconds, 2)});
+}
+
+void print_speedup_figure(
+    const std::string& title,
+    const std::vector<platforms::paper::ScalingRow>& paper_rows,
+    const std::vector<double>& measured_seconds, double paper_seq_seconds,
+    double measured_seq_seconds) {
+  TC3I_EXPECTS(paper_rows.size() == measured_seconds.size());
+  AsciiChart chart(title, "processors", "speedup");
+  ChartSeries paper_series{"paper", 'o', {}, {}};
+  ChartSeries measured_series{"measured", '#', {}, {}};
+  double max_procs = 1.0;
+  for (std::size_t i = 0; i < paper_rows.size(); ++i) {
+    const double procs = paper_rows[i].processors;
+    max_procs = std::max(max_procs, procs);
+    paper_series.x.push_back(procs);
+    paper_series.y.push_back(paper_seq_seconds / paper_rows[i].seconds);
+    measured_series.x.push_back(procs);
+    measured_series.y.push_back(measured_seq_seconds / measured_seconds[i]);
+  }
+  chart.add_identity_line(max_procs);
+  chart.add_series(std::move(paper_series));
+  chart.add_series(std::move(measured_series));
+  chart.render(std::cout);
+}
+
+}  // namespace tc3i::bench

@@ -1,0 +1,30 @@
+// Shared harness for the table/figure bench binaries: lazily-built
+// testbed, paper-vs-measured row formatting, and simple shape checks.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/chart.hpp"
+#include "core/table.hpp"
+#include "platforms/experiment.hpp"
+#include "platforms/paper.hpp"
+
+namespace tc3i::bench {
+
+/// The calibrated testbed, built once per process.
+[[nodiscard]] const platforms::Testbed& testbed();
+
+/// Adds a "paper vs measured" row: label, paper seconds, measured seconds,
+/// measured/paper ratio.
+void add_comparison_row(TextTable& table, const std::string& label,
+                        double paper_seconds, double measured_seconds);
+
+/// Renders a speedup figure (the paper's Figures 1-4) for a series of
+/// (processors, seconds) pairs, paper and measured side by side.
+void print_speedup_figure(const std::string& title,
+                          const std::vector<platforms::paper::ScalingRow>& paper_rows,
+                          const std::vector<double>& measured_seconds,
+                          double paper_seq_seconds, double measured_seq_seconds);
+
+}  // namespace tc3i::bench

@@ -1,0 +1,95 @@
+// Real wall-clock parallel speedups of the native (host-thread) benchmark
+// implementations — evidence that the parallelizations in src/c3i are
+// genuinely parallel code, not just simulator inputs. Numbers depend on
+// the host machine; the checks are self-relative.
+#include <chrono>
+#include <iostream>
+
+#include "c3i/terrain/coarse.hpp"
+#include "c3i/terrain/finegrained.hpp"
+#include "c3i/terrain/scenario_gen.hpp"
+#include "c3i/terrain/sequential.hpp"
+#include "c3i/threat/chunked.hpp"
+#include "c3i/threat/finegrained.hpp"
+#include "c3i/threat/scenario_gen.hpp"
+#include "c3i/threat/sequential.hpp"
+#include "core/table.hpp"
+#include "sthreads/thread.hpp"
+
+using namespace tc3i;
+
+namespace {
+
+template <typename F>
+double seconds(F&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const unsigned hw = sthreads::Thread::hardware_concurrency();
+  const int threads = static_cast<int>(std::min(hw, 8u));
+  std::cout << "Host has " << hw << " hardware threads; using " << threads
+            << ".\n\n";
+
+  {
+    c3i::threat::ScenarioParams params;
+    params.num_threats = 400;
+    params.num_weapons = 20;
+    params.dt = 0.5;
+    const auto scenario = c3i::threat::generate_scenario(77, params);
+    const double seq =
+        seconds([&] { (void)c3i::threat::run_sequential(scenario); });
+    const double chunked = seconds(
+        [&] { (void)c3i::threat::run_chunked(scenario, threads, threads); });
+    const double fine = seconds(
+        [&] { (void)c3i::threat::run_finegrained(scenario, threads); });
+    TextTable table("Threat Analysis, native host execution");
+    table.header({"Variant", "Wall time (s)", "Speedup"});
+    table.row({"sequential (Program 1)", TextTable::num(seq, 3), "1.0"});
+    table.row({"chunked (Program 2)", TextTable::num(chunked, 3),
+               TextTable::num(seq / chunked, 2)});
+    table.row({"fine-grained (fetch-add)", TextTable::num(fine, 3),
+               TextTable::num(seq / fine, 2)});
+    table.render(std::cout);
+  }
+
+  {
+    c3i::terrain::ScenarioParams params;
+    params.x_size = 600;
+    params.y_size = 600;
+    params.num_threats = 40;
+    const auto scenario = c3i::terrain::generate_scenario(77, params);
+    const double seq =
+        seconds([&] { (void)c3i::terrain::run_sequential(scenario); });
+    c3i::terrain::CoarseParams coarse_params;
+    coarse_params.num_threads = threads;
+    const double coarse = seconds(
+        [&] { (void)c3i::terrain::run_coarse(scenario, coarse_params); });
+    const double fine = seconds(
+        [&] { (void)c3i::terrain::run_finegrained(scenario, threads); });
+    TextTable table("\nTerrain Masking, native host execution");
+    table.header({"Variant", "Wall time (s)", "Speedup"});
+    table.row({"sequential (Program 3)", TextTable::num(seq, 3), "1.0"});
+    table.row({"coarse-grained (Program 4)", TextTable::num(coarse, 3),
+               TextTable::num(seq / coarse, 2)});
+    table.row({"fine-grained (ring-parallel)", TextTable::num(fine, 3),
+               TextTable::num(seq / fine, 2)});
+    table.render(std::cout);
+    if (threads > 1) {
+      std::cout << "\nNote the 1998 lesson replaying on modern hardware: "
+                   "coarse-grained threads speed up;\nper-ring fork/join "
+                   "(fine-grained) struggles under OS thread costs, exactly "
+                   "why it\nneeded the MTA.\n";
+    } else {
+      std::cout << "\nSingle hardware thread available: speedups degenerate "
+                   "to ~1.0 by construction;\nrun on a multicore host to see "
+                   "the coarse-vs-fine gap.\n";
+    }
+  }
+  return 0;
+}

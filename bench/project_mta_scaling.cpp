@@ -1,0 +1,71 @@
+// The paper's §8 open question, answered in the model: "A potential
+// strength of the Tera MTA that we were unable to investigate on a
+// dual-processor configuration is scalability to large numbers of
+// processors." We sweep 1-16 processors on the multithreaded Threat
+// Analysis under two network assumptions:
+//
+//   prototype: the network service rate stays at the 1998 prototype's
+//              0.39 ops/cycle regardless of processor count;
+//   scalable:  the production design the designers promised — service
+//              rate grows with the machine (0.39 ops/cycle *per
+//              processor*).
+//
+// The contrast quantifies the paper's own hedge that the poor 2-processor
+// speedups "may be a result of the development status of the network".
+#include <iostream>
+
+#include "core/table.hpp"
+#include "harness.hpp"
+
+using namespace tc3i;
+
+namespace {
+
+double run(const platforms::Testbed& tb, int procs, bool scalable_network,
+           int chunks) {
+  mta::MtaConfig cfg = platforms::make_mta_config(procs);
+  if (scalable_network) cfg.network_ops_per_cycle = 0.39 * procs;
+  mta::Machine machine(cfg);
+  mta::ProgramPool pool;
+  c3i::threat::build_mta_chunked(pool, machine, tb.threat_profile_scaled,
+                                 static_cast<std::size_t>(chunks),
+                                 tb.threat_costs_scaled);
+  return machine.run().seconds * tb.threat_mta_factor;
+}
+
+}  // namespace
+
+int main() {
+  const auto& tb = bench::testbed();
+  // Enough chunks for 16 processors x ~100 streams each would need
+  // thousands of threats; the scaled scenario has 256, so we sweep with
+  // 256 chunks and report where thread supply, not the network, becomes
+  // the limit — exactly the paper's "not all programs have the potential
+  // for hundreds of threads" caveat at machine scale.
+  constexpr int kChunks = 256;
+
+  TextTable table(
+      "Projected multithreaded Threat Analysis (256 chunks) on larger MTAs");
+  table.header({"Processors", "Prototype net (s)", "speedup",
+                "Scalable net (s)", "speedup"});
+  const double base_proto = run(tb, 1, false, kChunks);
+  const double base_scal = run(tb, 1, true, kChunks);
+  for (const int p : {1, 2, 4, 8, 16}) {
+    const double proto = run(tb, p, false, kChunks);
+    const double scal = run(tb, p, true, kChunks);
+    table.row({std::to_string(p), TextTable::num(proto, 1),
+               TextTable::num(base_proto / proto, 2) + "x",
+               TextTable::num(scal, 1),
+               TextTable::num(base_scal / scal, 2) + "x"});
+  }
+  table.render(std::cout);
+  std::cout
+      << "\nReading: with the prototype network the machine stops scaling "
+         "almost immediately\n(the paper's 1.8x at 2 processors was the "
+         "cliff edge); with a per-processor-scaled\nnetwork, scaling "
+         "continues until the 256 threads run out (~2-3 streams per\n"
+         "processor at 16 procs cannot mask latency — more threads, not "
+         "more processors,\nare needed). Both of the paper's §8 "
+         "hypotheses are visible in one table.\n";
+  return 0;
+}

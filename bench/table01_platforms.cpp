@@ -1,0 +1,38 @@
+// Table 1: platforms used in the performance comparison, with the
+// calibrated model parameters this reproduction attaches to each.
+#include <iostream>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace tc3i;
+  const auto& tb = bench::testbed();
+
+  TextTable table("Table 1: platforms used in the performance comparison");
+  table.header({"Machine", "Processors", "Memory", "Operating System"});
+  for (const auto& spec :
+       {platforms::alpha_spec(), platforms::ppro_spec(),
+        platforms::exemplar_spec(), platforms::tera_spec()})
+    table.row({spec.name, spec.cpu_description, spec.memory,
+               spec.operating_system});
+  table.render(std::cout);
+
+  TextTable cal("Calibrated model parameters (solved from Tables 2 and 8)");
+  cal.header({"Platform", "compute rate (Mips)", "memory rate (MB/s, 1 proc)",
+              "bus headroom"});
+  for (const auto* cfg : {&tb.alpha, &tb.ppro, &tb.exemplar}) {
+    cal.row({cfg->name, TextTable::num(cfg->compute_rate_ips / 1e6, 1),
+             TextTable::num(cfg->mem_bw_single / 1e6, 1),
+             TextTable::num(cfg->mem_bw_total / cfg->mem_bw_single, 2)});
+  }
+  cal.render(std::cout);
+
+  const auto mta = platforms::make_mta_config(2);
+  std::cout << "\nTera MTA model: " << mta.num_processors << " processors @ "
+            << mta.clock_hz / 1e6 << " MHz, " << mta.streams_per_processor
+            << " streams/processor, issue spacing "
+            << mta.issue_spacing_cycles << " cycles, memory latency "
+            << mta.memory_latency_cycles << " cycles, network service "
+            << mta.network_ops_per_cycle << " ops/cycle\n";
+  return 0;
+}

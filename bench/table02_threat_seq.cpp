@@ -1,0 +1,32 @@
+// Table 2: execution time of sequential Threat Analysis without
+// parallelization, on all four platforms (total over five scenarios).
+//
+// The three conventional rows are fitted by calibration (DESIGN.md §1);
+// the Tera row is *emergent* from the stream simulator's single-stream
+// behaviour (21-cycle issue spacing, ~70-cycle uncached memory).
+#include <iostream>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace tc3i;
+  const auto& tb = bench::testbed();
+
+  TextTable table("Table 2: sequential Threat Analysis (seconds, 5 scenarios)");
+  table.header({"Platform", "Paper", "Measured", "Ratio"});
+  bench::add_comparison_row(table, "Alpha", platforms::paper::kThreatSeqAlpha,
+                            platforms::threat_seq_seconds(tb, tb.alpha));
+  bench::add_comparison_row(table, "Pentium Pro",
+                            platforms::paper::kThreatSeqPPro,
+                            platforms::threat_seq_seconds(tb, tb.ppro));
+  bench::add_comparison_row(table, "Exemplar",
+                            platforms::paper::kThreatSeqExemplar,
+                            platforms::threat_seq_seconds(tb, tb.exemplar));
+  bench::add_comparison_row(table, "Tera", platforms::paper::kThreatSeqTera,
+                            platforms::mta_threat_seq_seconds(tb));
+  table.render(std::cout);
+  std::cout << "\nShape check: the Tera MTA is by far the slowest platform "
+               "for single-threaded execution\n(paper: ~14x slower than the "
+               "Alpha; a single stream issues once per 21 cycles).\n";
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Table 3 + Figure 1: multithreaded Threat Analysis on the quad-processor
+// Pentium Pro (one chunk/thread per processor). Near-linear speedup is the
+// expected shape: the threads are independent and cache-resident.
+#include <iostream>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace tc3i;
+  const auto& tb = bench::testbed();
+  const double seq = platforms::threat_seq_seconds(tb, tb.ppro);
+
+  TextTable table(
+      "Table 3: multithreaded Threat Analysis on quad-processor Pentium Pro");
+  table.header({"Processors", "Paper (s)", "Measured (s)", "Paper speedup",
+                "Measured speedup"});
+  std::vector<double> measured;
+  for (const auto& row : platforms::paper::threat_ppro_rows()) {
+    const double t = platforms::threat_chunked_seconds(
+        tb, tb.ppro, row.processors, row.processors);
+    measured.push_back(t);
+    table.row({std::to_string(row.processors), TextTable::num(row.seconds, 0),
+               TextTable::num(t, 1),
+               TextTable::num(platforms::paper::kThreatSeqPPro / row.seconds, 1),
+               TextTable::num(seq / t, 1)});
+  }
+  table.render(std::cout);
+  std::cout << '\n';
+  bench::print_speedup_figure(
+      "Figure 1: speedup of multithreaded Threat Analysis on Pentium Pro",
+      platforms::paper::threat_ppro_rows(), measured,
+      platforms::paper::kThreatSeqPPro, seq);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Table 4 + Figure 2: multithreaded Threat Analysis on the 16-processor
+// HP Exemplar (one chunk/thread per processor). The paper reports
+// near-linear scaling to 15.4x at 16 processors.
+#include <iostream>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace tc3i;
+  const auto& tb = bench::testbed();
+  const double seq = platforms::threat_seq_seconds(tb, tb.exemplar);
+
+  TextTable table(
+      "Table 4: multithreaded Threat Analysis on 16-processor Exemplar");
+  table.header({"Processors", "Paper (s)", "Measured (s)", "Paper speedup",
+                "Measured speedup"});
+  std::vector<double> measured;
+  for (const auto& row : platforms::paper::threat_exemplar_rows()) {
+    const double t = platforms::threat_chunked_seconds(
+        tb, tb.exemplar, row.processors, row.processors);
+    measured.push_back(t);
+    table.row({std::to_string(row.processors), TextTable::num(row.seconds, 0),
+               TextTable::num(t, 1),
+               TextTable::num(platforms::paper::kThreatSeqExemplar / row.seconds,
+                              1),
+               TextTable::num(seq / t, 1)});
+  }
+  table.render(std::cout);
+  std::cout << '\n';
+  bench::print_speedup_figure(
+      "Figure 2: speedup of multithreaded Threat Analysis on Exemplar",
+      platforms::paper::threat_exemplar_rows(), measured,
+      platforms::paper::kThreatSeqExemplar, seq);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Table 5: multithreaded Threat Analysis on the dual-processor Tera MTA
+// (256 chunks). The paper: 82 s on one processor (32x over its own
+// sequential run), 46 s on two (1.8x — limited by the prototype network).
+#include <iostream>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace tc3i;
+  const auto& tb = bench::testbed();
+
+  const double t1 = platforms::mta_threat_chunked_seconds(tb, 256, 1);
+  const double t2 = platforms::mta_threat_chunked_seconds(tb, 256, 2);
+
+  TextTable table(
+      "Table 5: multithreaded Threat Analysis on dual-processor Tera MTA "
+      "(256 chunks)");
+  table.header({"Processors", "Paper (s)", "Measured (s)", "Paper speedup",
+                "Measured speedup"});
+  table.row({"1", TextTable::num(platforms::paper::kThreatTera1Proc, 0),
+             TextTable::num(t1, 1), "1.0", "1.0"});
+  table.row({"2", TextTable::num(platforms::paper::kThreatTera2Proc, 0),
+             TextTable::num(t2, 1),
+             TextTable::num(platforms::paper::kThreatTera1Proc /
+                                platforms::paper::kThreatTera2Proc,
+                            1),
+             TextTable::num(t1 / t2, 1)});
+  table.render(std::cout);
+
+  const double seq = platforms::mta_threat_seq_seconds(tb);
+  std::cout << "\nMultithreaded vs sequential on one MTA processor: paper "
+            << TextTable::num(2584.0 / 82.0, 1) << "x, measured "
+            << TextTable::num(seq / t1, 1) << "x\n";
+  return 0;
+}

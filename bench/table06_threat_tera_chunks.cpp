@@ -1,0 +1,29 @@
+// Table 6: multithreaded Threat Analysis on the Tera MTA with a varying
+// number of chunks. The shape the paper stresses: the MTA needs *hundreds*
+// of threads — time halves with the chunk count until saturation at
+// 128-256 chunks.
+#include <iostream>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace tc3i;
+  const auto& tb = bench::testbed();
+
+  TextTable table(
+      "Table 6: Threat Analysis on Tera MTA vs number of chunks (2 procs)");
+  table.header({"Chunks", "Paper (s)", "Measured (s)", "Ratio"});
+  double prev = 0.0;
+  bool monotone = true;
+  for (const auto& row : platforms::paper::threat_tera_chunk_rows()) {
+    const double t = platforms::mta_threat_chunked_seconds(tb, row.chunks, 2);
+    bench::add_comparison_row(table, std::to_string(row.chunks), row.seconds, t);
+    if (prev != 0.0 && t > prev * 1.02) monotone = false;
+    prev = t;
+  }
+  table.render(std::cout);
+  std::cout << "\nShape check: time decreases with chunk count and saturates "
+               "by 128-256 chunks: "
+            << (monotone ? "PASS" : "FAIL") << '\n';
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Table 7: performance comparison for execution times of Threat Analysis —
+// the summary matrix (parallelization x platform), including the automatic
+// parallelization rows (identical to sequential: the compilers found no
+// usable parallelism, reproduced by the autopar analyzer).
+#include <iostream>
+
+#include "autopar/parallelizer.hpp"
+#include "autopar/programs.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace tc3i;
+  const auto& tb = bench::testbed();
+
+  // The analyzer's verdict justifies the "Automatic == None" rows.
+  const autopar::Parallelizer parallelizer;
+  const autopar::LoopVerdict verdict =
+      parallelizer.analyze(autopar::threat_program1());
+  std::cout << "Automatic parallelization of the sequential program: "
+            << (verdict.parallelizable ? "PARALLELIZED (unexpected!)"
+                                       : "no usable parallelism found")
+            << "\n\n";
+
+  TextTable table("Table 7: performance comparison, Threat Analysis");
+  table.header({"Parallelization", "Platform", "Paper (s)", "Measured (s)",
+                "Ratio"});
+  auto row = [&](const std::string& par, const std::string& plat, double paper,
+                 double measured) {
+    table.row({par, plat, TextTable::num(paper, 0), TextTable::num(measured, 1),
+               TextTable::num(measured / paper, 2)});
+  };
+
+  const double alpha = platforms::threat_seq_seconds(tb, tb.alpha);
+  const double ppro = platforms::threat_seq_seconds(tb, tb.ppro);
+  const double exemplar = platforms::threat_seq_seconds(tb, tb.exemplar);
+  const double tera = platforms::mta_threat_seq_seconds(tb);
+
+  row("None", "Alpha", platforms::paper::kThreatSeqAlpha, alpha);
+  row("None", "Pentium Pro", platforms::paper::kThreatSeqPPro, ppro);
+  row("None", "Exemplar", platforms::paper::kThreatSeqExemplar, exemplar);
+  row("None", "Tera", platforms::paper::kThreatSeqTera, tera);
+  // Automatic parallelization found nothing on either platform.
+  row("Automatic", "Exemplar", platforms::paper::kThreatSeqExemplar, exemplar);
+  row("Automatic", "Tera", platforms::paper::kThreatSeqTera, tera);
+  row("Manual", "Pentium Pro (4 procs)", 117.0,
+      platforms::threat_chunked_seconds(tb, tb.ppro, 4, 4));
+  row("Manual", "Exemplar (4 procs)", 87.0,
+      platforms::threat_chunked_seconds(tb, tb.exemplar, 4, 4));
+  row("Manual", "Exemplar (8 procs)", 43.0,
+      platforms::threat_chunked_seconds(tb, tb.exemplar, 8, 8));
+  row("Manual", "Exemplar (16 procs)", 22.0,
+      platforms::threat_chunked_seconds(tb, tb.exemplar, 16, 16));
+  row("Manual", "Tera MTA (1 proc)", 82.0,
+      platforms::mta_threat_chunked_seconds(tb, 256, 1));
+  row("Manual", "Tera MTA (2 procs)", 46.0,
+      platforms::mta_threat_chunked_seconds(tb, 256, 2));
+  table.render(std::cout);
+
+  std::cout << "\nKey shape (paper §5): one Tera processor ~ four Exemplar "
+               "processors on this program.\n";
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Table 8: execution time of sequential Terrain Masking without
+// parallelization. Memory-bound, so the Tera penalty is smaller than for
+// Threat Analysis (~6x vs ~14x slower than the Alpha).
+#include <iostream>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace tc3i;
+  const auto& tb = bench::testbed();
+
+  TextTable table(
+      "Table 8: sequential Terrain Masking (seconds, 5 scenarios)");
+  table.header({"Platform", "Paper", "Measured", "Ratio"});
+  bench::add_comparison_row(table, "Alpha", platforms::paper::kTerrainSeqAlpha,
+                            platforms::terrain_seq_seconds(tb, tb.alpha));
+  bench::add_comparison_row(table, "Pentium Pro",
+                            platforms::paper::kTerrainSeqPPro,
+                            platforms::terrain_seq_seconds(tb, tb.ppro));
+  bench::add_comparison_row(table, "Exemplar",
+                            platforms::paper::kTerrainSeqExemplar,
+                            platforms::terrain_seq_seconds(tb, tb.exemplar));
+  bench::add_comparison_row(table, "Tera", platforms::paper::kTerrainSeqTera,
+                            platforms::mta_terrain_seq_seconds(tb));
+  table.render(std::cout);
+  std::cout << "\nShape check: Tera/Alpha ratio should be ~6 (vs ~14 for the "
+               "compute-bound Threat Analysis).\n";
+  return 0;
+}

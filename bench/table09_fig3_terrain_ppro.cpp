@@ -1,0 +1,36 @@
+// Table 9 + Figure 3: coarse-grained multithreaded Terrain Masking on the
+// Pentium Pro (10x10 blocking, one thread per processor). Expected shape:
+// incidental >1x speedup on one processor (the temp/masking role swap does
+// one fewer region pass), then saturation near 3x at 4 processors — the
+// program is memory-bound and the shared bus is the bottleneck.
+#include <iostream>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace tc3i;
+  const auto& tb = bench::testbed();
+  const double seq = platforms::terrain_seq_seconds(tb, tb.ppro);
+
+  TextTable table(
+      "Table 9: multithreaded Terrain Masking on quad-processor Pentium Pro");
+  table.header({"Processors", "Paper (s)", "Measured (s)", "Paper speedup",
+                "Measured speedup"});
+  std::vector<double> measured;
+  for (const auto& row : platforms::paper::terrain_ppro_rows()) {
+    const double t = platforms::terrain_coarse_seconds(
+        tb, tb.ppro, row.processors, row.processors);
+    measured.push_back(t);
+    table.row({std::to_string(row.processors), TextTable::num(row.seconds, 0),
+               TextTable::num(t, 1),
+               TextTable::num(platforms::paper::kTerrainSeqPPro / row.seconds, 1),
+               TextTable::num(seq / t, 1)});
+  }
+  table.render(std::cout);
+  std::cout << '\n';
+  bench::print_speedup_figure(
+      "Figure 3: speedup of coarse-grained Terrain Masking on Pentium Pro",
+      platforms::paper::terrain_ppro_rows(), measured,
+      platforms::paper::kTerrainSeqPPro, seq);
+  return 0;
+}

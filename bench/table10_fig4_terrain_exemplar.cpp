@@ -1,0 +1,40 @@
+// Table 10 + Figure 4: coarse-grained multithreaded Terrain Masking on the
+// 16-processor Exemplar. The paper's curve is noisy and saturates around
+// 6-7x — memory contention plus 60-task imbalance.
+#include <iostream>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace tc3i;
+  const auto& tb = bench::testbed();
+  const double seq = platforms::terrain_seq_seconds(tb, tb.exemplar);
+
+  TextTable table(
+      "Table 10: multithreaded Terrain Masking on 16-processor Exemplar");
+  table.header({"Processors", "Paper (s)", "Measured (s)", "Paper speedup",
+                "Measured speedup"});
+  std::vector<double> measured;
+  double best_speedup = 0.0;
+  for (const auto& row : platforms::paper::terrain_exemplar_rows()) {
+    const double t = platforms::terrain_coarse_seconds(
+        tb, tb.exemplar, row.processors, row.processors);
+    measured.push_back(t);
+    best_speedup = std::max(best_speedup, seq / t);
+    table.row({std::to_string(row.processors), TextTable::num(row.seconds, 0),
+               TextTable::num(t, 1),
+               TextTable::num(platforms::paper::kTerrainSeqExemplar / row.seconds,
+                              1),
+               TextTable::num(seq / t, 1)});
+  }
+  table.render(std::cout);
+  std::cout << '\n';
+  bench::print_speedup_figure(
+      "Figure 4: speedup of coarse-grained Terrain Masking on Exemplar",
+      platforms::paper::terrain_exemplar_rows(), measured,
+      platforms::paper::kTerrainSeqExemplar, seq);
+  std::cout << "Shape check: speedup saturates well below linear (paper max "
+               "~7.1x at 13 procs); measured max "
+            << TextTable::num(best_speedup, 1) << "x\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Table 11: fine-grained multithreaded Terrain Masking on the Tera MTA.
+// The paper: 48 s on one processor (20x over its own sequential run),
+// 34 s on two (1.4x — the memory-heavy mix saturates the network sooner
+// than Threat Analysis's 1.8x).
+#include <iostream>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace tc3i;
+  const auto& tb = bench::testbed();
+
+  const double t1 = platforms::mta_terrain_fine_seconds(tb, 1);
+  const double t2 = platforms::mta_terrain_fine_seconds(tb, 2);
+
+  TextTable table(
+      "Table 11: fine-grained multithreaded Terrain Masking on Tera MTA");
+  table.header({"Processors", "Paper (s)", "Measured (s)", "Paper speedup",
+                "Measured speedup"});
+  table.row({"1", TextTable::num(platforms::paper::kTerrainTera1Proc, 0),
+             TextTable::num(t1, 1), "1.0", "1.0"});
+  table.row({"2", TextTable::num(platforms::paper::kTerrainTera2Proc, 0),
+             TextTable::num(t2, 1),
+             TextTable::num(platforms::paper::kTerrainTera1Proc /
+                                platforms::paper::kTerrainTera2Proc,
+                            1),
+             TextTable::num(t1 / t2, 1)});
+  table.render(std::cout);
+
+  const double seq = platforms::mta_terrain_seq_seconds(tb);
+  std::cout << "\nMultithreaded vs sequential on one MTA processor: paper "
+            << TextTable::num(978.0 / 48.0, 1) << "x, measured "
+            << TextTable::num(seq / t1, 1) << "x\n";
+  return 0;
+}

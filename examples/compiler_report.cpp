@@ -1,0 +1,87 @@
+// The auto-parallelization story, interactively: feed the paper's four
+// programs (and your own loops, by editing this file) to the dependence
+// analyzer and read the compiler-style feedback.
+//
+// Run:   ./build/examples/compiler_report
+#include <cstdio>
+
+#include "autopar/programs.hpp"
+#include "autopar/remedies.hpp"
+#include "autopar/report.hpp"
+#include "autopar/transform.hpp"
+
+using namespace tc3i::autopar;
+
+namespace {
+
+/// A user-authored loop, to show how to build IR by hand: a histogram
+/// update hist[bucket[i]]++ — the classic "indirection defeats the
+/// compiler" case.
+Loop histogram_loop() {
+  Loop loop;
+  loop.name = "user loop: hist[bucket[i]] += 1";
+  loop.var = "i";
+  loop.lower = AffineExpr::constant(0);
+  loop.upper = AffineExpr::var("n") - AffineExpr::constant(1);
+  Statement& s = loop.add_statement("hist[bucket[i]] = hist[bucket[i]] + 1");
+  s.arrays = {
+      ArrayAccess{"hist", {AffineExpr::non_affine("bucket[i] (indirection)")},
+                  AccessKind::Write},
+      ArrayAccess{"hist", {AffineExpr::non_affine("bucket[i] (indirection)")},
+                  AccessKind::Read},
+      ArrayAccess{"bucket", {AffineExpr::var("i")}, AccessKind::Read}};
+  return loop;
+}
+
+/// A loop with a provable strided write: a[4i+2] = b[i], c[2i] read.
+Loop strided_loop() {
+  Loop loop;
+  loop.name = "user loop: a[4i+2] = a[2i] * k (GCD-separable?)";
+  loop.var = "i";
+  loop.lower = AffineExpr::constant(0);
+  loop.upper = AffineExpr::var("n") - AffineExpr::constant(1);
+  Statement& s = loop.add_statement("a[4i+2] = a[2i] * k");
+  s.arrays = {
+      ArrayAccess{"a", {AffineExpr::var("i", 4) + AffineExpr::constant(2)},
+                  AccessKind::Write},
+      ArrayAccess{"a", {AffineExpr::var("i", 2)}, AccessKind::Read}};
+  s.scalars = {ScalarAccess{"k", ScalarAccess::Kind::Read, ""}};
+  return loop;
+}
+
+}  // namespace
+
+int main() {
+  const Parallelizer compiler;
+
+  std::printf("==== The paper's programs, as the compilers saw them (with remedies) ====\n\n");
+  for (const Loop& program :
+       {threat_program1(), terrain_program3(), threat_program2(false),
+        terrain_program4(false)})
+    std::printf("%s\n", format_with_remedies(compiler.analyze(program)).c_str());
+
+  std::printf("==== Whole-nest analysis of Program 3 (inner loops too) ====\n\n");
+  std::printf("%s\n",
+              format_verdicts(compiler.analyze_nest(terrain_program3())).c_str());
+
+  std::printf("==== Mechanical chunking: Program 1 rewritten automatically ====\n\n");
+  if (auto chunked = apply_chunking(threat_program1())) {
+    for (const auto& note : chunked->notes)
+      std::printf("  transform: %s\n", note.c_str());
+    std::printf("\nBefore pragma:\n%s",
+                format_verdict(compiler.analyze(chunked->transformed)).c_str());
+    chunked->transformed.pragma_parallel = true;
+    std::printf("After pragma:\n%s\n",
+                format_verdict(compiler.analyze(chunked->transformed)).c_str());
+    std::printf("The data restructuring is automatable; certifying the opaque "
+                "calls is what still\nneeds the programmer — the paper's "
+                "division of labor, made precise.\n\n");
+  }
+
+  std::printf("==== Your own loops ====\n\n");
+  for (const Loop& loop : {histogram_loop(), strided_loop(), toy_vector_add(),
+                           toy_reduction(), toy_stencil()})
+    std::printf("%s\n", format_with_remedies(compiler.analyze(loop)).c_str());
+
+  return 0;
+}

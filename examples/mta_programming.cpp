@@ -1,0 +1,116 @@
+// Programming the (simulated) Tera MTA: the constructs the paper's manual
+// parallelizations used, shown on small self-contained kernels.
+//
+//   - parallel loops (`#pragma multithreaded` equivalent),
+//   - futures with software thread creation,
+//   - full/empty-bit synchronization: producer/consumer and fetch-add,
+//   - the utilization cliff: 1 stream vs 21 vs 128.
+//
+// Run:   ./build/examples/mta_programming
+#include <cstdio>
+
+#include "mta/machine.hpp"
+#include "mta/runtime.hpp"
+#include "platforms/platform.hpp"
+
+using namespace tc3i;
+
+namespace {
+
+mta::MtaRunResult run_streams(int streams, std::uint64_t work_per_stream) {
+  mta::Machine machine(platforms::make_mta_config(1));
+  mta::ProgramPool pool;
+  mta::build_parallel_loop(
+      pool, machine, /*num_items=*/static_cast<std::size_t>(streams),
+      /*num_chunks=*/static_cast<std::size_t>(streams),
+      [&](mta::VectorProgram& p, std::size_t) { p.compute(work_per_stream); });
+  return machine.run();
+}
+
+}  // namespace
+
+int main() {
+  // --- The utilization cliff ------------------------------------------------
+  std::printf("1. Why a single thread is hopeless (issue spacing = 21):\n");
+  for (const int streams : {1, 4, 21, 128}) {
+    const auto r = run_streams(streams, 2000);
+    std::printf("   %3d streams x 2000 instructions: %8llu cycles "
+                "(%5.1f%% of issue slots used)\n",
+                streams, static_cast<unsigned long long>(r.cycles),
+                100.0 * r.processor_utilization);
+  }
+
+  // --- Futures ---------------------------------------------------------------
+  std::printf("\n2. Futures (software threads, ~60-cycle creation):\n");
+  {
+    mta::Machine machine(platforms::make_mta_config(1));
+    mta::ProgramPool pool;
+    mta::VectorProgram* parent = pool.make_vector();
+    // Fork four futures, each computing a partial result into its own
+    // sync cell; the parent touches all four to join.
+    for (mta::Address cell = 10; cell < 14; ++cell)
+      mta::emit_future(pool, *parent, cell,
+                       [](mta::VectorProgram& child) { child.compute(500); });
+    for (mta::Address cell = 10; cell < 14; ++cell)
+      mta::await_future(*parent, cell);
+    machine.add_stream(parent);
+    const auto r = machine.run();
+    std::printf("   4 futures x 500 instructions + join: %llu cycles "
+                "(sequential would be ~%llu)\n",
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(4ull * 500 * 21));
+  }
+
+  // --- Full/empty producer-consumer ------------------------------------------
+  std::printf("\n3. Full/empty bits: word-level producer/consumer, no locks:\n");
+  {
+    mta::Machine machine(platforms::make_mta_config(1));
+    mta::ProgramPool pool;
+    constexpr mta::Address kChannel = 50;
+    constexpr int kMessages = 32;
+    mta::VectorProgram* producer = pool.make_vector();
+    mta::VectorProgram* consumer = pool.make_vector();
+    for (int i = 0; i < kMessages; ++i) {
+      producer->compute(40);            // produce
+      producer->sync_store(kChannel, i);  // blocks while the word is FULL
+      consumer->sync_load(kChannel);      // blocks while the word is EMPTY
+      consumer->compute(40);            // consume
+    }
+    machine.add_stream(producer);
+    machine.add_stream(consumer);
+    const auto r = machine.run();
+    std::printf("   %d messages through one synchronized word: %llu cycles, "
+                "%llu memory ops\n",
+                kMessages, static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.memory_ops));
+  }
+
+  // --- Fetch-add on a shared counter ------------------------------------------
+  std::printf("\n4. Fetch-add on one counter word (the fine-grained Threat "
+              "Analysis idiom):\n");
+  {
+    mta::Machine machine(platforms::make_mta_config(1));
+    mta::ProgramPool pool;
+    constexpr mta::Address kCounter = 0;
+    mta::init_counter_cells(machine, kCounter, 1);
+    constexpr int kStreams = 64;
+    for (int s = 0; s < kStreams; ++s) {
+      mta::VectorProgram* p = pool.make_vector();
+      p->compute(100);
+      mta::append_atomic_fetch_add(*p, kCounter);
+      p->compute(20);
+      machine.add_stream(p);
+    }
+    const auto r = machine.run();
+    std::printf("   %d streams, one shared counter: %llu cycles at %.1f%% "
+                "utilization — the counter is not a bottleneck\n",
+                kStreams, static_cast<unsigned long long>(r.cycles),
+                100.0 * r.processor_utilization);
+  }
+
+  std::printf("\nCompare: on the conventional platforms of the paper a single "
+              "lock round-trip costs\nhundreds of cycles and a thread "
+              "creation tens of thousands — none of the patterns\nabove are "
+              "practical there at this granularity.\n");
+  return 0;
+}

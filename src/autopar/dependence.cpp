@@ -1,0 +1,162 @@
+#include "autopar/dependence.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace tc3i::autopar {
+
+long gcd(long a, long b) {
+  a = a < 0 ? -a : a;
+  b = b < 0 ? -b : b;
+  while (b != 0) {
+    const long t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+namespace {
+
+/// Per-dimension verdicts, combined below.
+enum class DimResult {
+  ProvenIndependent,  ///< this dimension separates all iteration pairs
+  SameIterationOnly,  ///< equal only when the loop iterations are equal
+  Unproven,           ///< dimension gives no information
+  CarriedDistance,    ///< proven cross-iteration reuse at some distance
+};
+
+struct DimOutcome {
+  DimResult result;
+  std::string reason;
+};
+
+DimOutcome test_dimension(const AffineExpr& sa, const AffineExpr& sb,
+                          const DepContext& ctx) {
+  if (!sa.is_affine())
+    return {DimResult::Unproven, "subscript not analyzable: " + sa.note()};
+  if (!sb.is_affine())
+    return {DimResult::Unproven, "subscript not analyzable: " + sb.note()};
+
+  // Any variable that is neither the candidate loop variable, a nested
+  // loop variable, nor loop-invariant is a loop-variant scalar: the
+  // compiler cannot bound what values it takes.
+  for (const auto* expr : {&sa, &sb}) {
+    for (const auto& [name, coeff] : expr->coeffs()) {
+      if (coeff == 0) continue;
+      if (name == ctx.loop_var) continue;
+      if (ctx.invariants.contains(name)) continue;
+      if (ctx.inner_loop_vars.contains(name)) continue;
+      return {DimResult::Unproven,
+              "subscript depends on loop-variant scalar '" + name + "'"};
+    }
+  }
+
+  const long ca = sa.coeff_of(ctx.loop_var);
+  const long cb = sb.coeff_of(ctx.loop_var);
+
+  // Inner-loop variables make element sets per iteration; without range
+  // information the dimension can still prove independence only through
+  // the loop variable itself.
+  bool uses_inner = false;
+  for (const auto& v : ctx.inner_loop_vars)
+    if (sa.uses(v) || sb.uses(v)) uses_inner = true;
+
+  if (ca == 0 && cb == 0) {
+    if (uses_inner)
+      return {DimResult::Unproven,
+              "dimension indexed only by inner loop variables; different "
+              "iterations of the candidate loop may touch the same elements"};
+    // ZIV: both loop-invariant in the candidate loop.
+    const AffineExpr diff = sa - sb;
+    if (diff.coeffs().empty() || [&] {
+          for (const auto& [n, c] : diff.coeffs())
+            if (c != 0) return false;
+          return true;
+        }()) {
+      if (diff.constant_term() != 0)
+        return {DimResult::ProvenIndependent, "ZIV: constant subscripts differ"};
+      return {DimResult::Unproven, "ZIV: identical loop-invariant subscripts"};
+    }
+    return {DimResult::Unproven, "loop-invariant symbolic subscripts"};
+  }
+
+  if (ca == cb && !uses_inner) {
+    // Strong SIV: c*i + k1 vs c*i + k2. Check the symbolic remainders
+    // match; if so the dependence distance is (k2 - k1) / c.
+    const AffineExpr diff = sa - sb;
+    bool symbolic_remainder = false;
+    for (const auto& [name, coeff] : diff.coeffs())
+      if (name != ctx.loop_var && coeff != 0) symbolic_remainder = true;
+    if (!symbolic_remainder) {
+      const long delta = diff.constant_term();
+      if (delta % ca != 0)
+        return {DimResult::ProvenIndependent,
+                "strong SIV: non-integer dependence distance"};
+      const long distance = -delta / ca;
+      if (distance == 0)
+        return {DimResult::SameIterationOnly,
+                "strong SIV: distance 0 (same iteration only)"};
+      std::ostringstream os;
+      os << "strong SIV: loop-carried at distance " << distance;
+      return {DimResult::CarriedDistance, os.str()};
+    }
+    return {DimResult::Unproven, "SIV with symbolic additive terms"};
+  }
+
+  if (ca != 0 || cb != 0) {
+    // GCD test on the linear Diophantine equation ca*i - cb*i' = k.
+    const long g = gcd(ca, cb);
+    const AffineExpr diff = sb - sa;
+    bool symbolic = false;
+    for (const auto& [name, coeff] : diff.coeffs())
+      if (name != ctx.loop_var && coeff != 0) symbolic = true;
+    if (!symbolic && g != 0 && diff.constant_term() % g != 0)
+      return {DimResult::ProvenIndependent, "GCD test: no integer solution"};
+    return {DimResult::Unproven, "MIV/weak SIV subscripts: test inconclusive"};
+  }
+
+  return {DimResult::Unproven, "subscript pair not classifiable"};
+}
+
+}  // namespace
+
+DepTestOutcome test_pair(const ArrayAccess& a, const ArrayAccess& b,
+                         const DepContext& ctx) {
+  if (a.array != b.array) return {DepResult::Independent, "different arrays"};
+  if (a.subscripts.size() != b.subscripts.size())
+    return {DepResult::Carried,
+            "array '" + a.array + "' accessed with differing dimensionality"};
+
+  // A single dimension that provably separates distinct iterations
+  // (distance 0 under strong SIV) already rules out cross-iteration
+  // dependence, whatever the other dimensions do.
+  bool any_same_iteration = false;
+  std::string first_problem;
+  for (std::size_t d = 0; d < a.subscripts.size(); ++d) {
+    const DimOutcome dim = test_dimension(a.subscripts[d], b.subscripts[d], ctx);
+    switch (dim.result) {
+      case DimResult::ProvenIndependent:
+        return {DepResult::Independent,
+                "dimension " + std::to_string(d) + ": " + dim.reason};
+      case DimResult::SameIterationOnly:
+        any_same_iteration = true;
+        break;
+      case DimResult::Unproven:
+      case DimResult::CarriedDistance:
+        if (first_problem.empty())
+          first_problem =
+              "array '" + a.array + "' dimension " + std::to_string(d) + ": " +
+              dim.reason;
+        break;
+    }
+  }
+  if (any_same_iteration)
+    return {DepResult::LoopIndependent,
+            "a dimension pins both accesses to the same iteration"};
+  if (first_problem.empty())
+    first_problem = "array '" + a.array + "': dependence could not be disproven";
+  return {DepResult::Carried, first_problem};
+}
+
+}  // namespace tc3i::autopar

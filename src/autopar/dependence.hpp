@@ -1,0 +1,46 @@
+// Array dependence testing for a candidate parallel loop.
+//
+// Classic subscript tests (ZIV, strong SIV, GCD) over affine subscripts;
+// everything non-affine, loop-variant-scalar-subscripted, pointer-based or
+// behind an opaque call is conservatively dependent — which is precisely
+// the paper's point about general-purpose C programs.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "autopar/ir.hpp"
+
+namespace tc3i::autopar {
+
+/// Classification of a (write, read/write) access pair for the loop being
+/// analyzed.
+enum class DepResult {
+  Independent,      ///< proven: no two iterations touch the same element
+  LoopIndependent,  ///< same iteration only; safe to run iterations in parallel
+  Carried,          ///< proven or assumed cross-iteration dependence
+};
+
+struct DepTestOutcome {
+  DepResult result = DepResult::Carried;
+  std::string reason;
+};
+
+/// Context for subscript analysis of one candidate loop.
+struct DepContext {
+  std::string loop_var;                 ///< the loop being parallelized
+  std::set<std::string> invariants;     ///< names constant across iterations
+  std::set<std::string> inner_loop_vars;  ///< induction vars of nested loops
+};
+
+/// Tests one pair of accesses to the same array.
+[[nodiscard]] DepTestOutcome test_pair(const ArrayAccess& a,
+                                       const ArrayAccess& b,
+                                       const DepContext& ctx);
+
+/// Greatest common divisor (exposed for the GCD-test unit tests).
+[[nodiscard]] long gcd(long a, long b);
+
+}  // namespace tc3i::autopar

@@ -1,0 +1,77 @@
+#include "autopar/expr.hpp"
+
+#include <sstream>
+
+namespace tc3i::autopar {
+
+AffineExpr AffineExpr::constant(long value) {
+  AffineExpr e;
+  e.constant_ = value;
+  return e;
+}
+
+AffineExpr AffineExpr::var(const std::string& name, long coeff) {
+  AffineExpr e;
+  e.coeffs_[name] = coeff;
+  return e;
+}
+
+AffineExpr AffineExpr::non_affine(std::string why) {
+  AffineExpr e;
+  e.affine_ = false;
+  e.note_ = std::move(why);
+  return e;
+}
+
+long AffineExpr::coeff_of(const std::string& name) const {
+  const auto it = coeffs_.find(name);
+  return it == coeffs_.end() ? 0 : it->second;
+}
+
+bool AffineExpr::uses(const std::string& name) const {
+  return coeff_of(name) != 0;
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr& other) const {
+  if (!affine_ || !other.affine_)
+    return non_affine(affine_ ? other.note_ : note_);
+  AffineExpr e = *this;
+  e.constant_ += other.constant_;
+  for (const auto& [name, coeff] : other.coeffs_) e.coeffs_[name] += coeff;
+  return e;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr& other) const {
+  return *this + other.scaled(-1);
+}
+
+AffineExpr AffineExpr::scaled(long factor) const {
+  if (!affine_) return *this;
+  AffineExpr e = *this;
+  e.constant_ *= factor;
+  for (auto& [name, coeff] : e.coeffs_) coeff *= factor;
+  return e;
+}
+
+std::string AffineExpr::str() const {
+  if (!affine_) return "<non-affine: " + note_ + ">";
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, coeff] : coeffs_) {
+    if (coeff == 0) continue;
+    if (!first) os << (coeff > 0 ? " + " : " - ");
+    else if (coeff < 0) os << "-";
+    const long mag = coeff < 0 ? -coeff : coeff;
+    if (mag != 1) os << mag << "*";
+    os << name;
+    first = false;
+  }
+  if (constant_ != 0 || first) {
+    if (!first) os << (constant_ >= 0 ? " + " : " - ");
+    os << (constant_ < 0 && first ? constant_
+                                  : (constant_ < 0 ? -constant_ : constant_));
+  }
+  return os.str();
+}
+
+}  // namespace tc3i::autopar

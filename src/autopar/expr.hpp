@@ -1,0 +1,55 @@
+// Affine expressions over loop induction variables and symbolic names —
+// the subscript language of the dependence analyzer.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace tc3i::autopar {
+
+/// c0 + sum_i (coeff_i * var_i). Variables are named; whether a name is a
+/// loop induction variable, a loop-invariant parameter, or a loop-variant
+/// scalar is decided by the analysis context, not the expression.
+class AffineExpr {
+ public:
+  AffineExpr() = default;
+
+  static AffineExpr constant(long value);
+  static AffineExpr var(const std::string& name, long coeff = 1);
+  /// A subscript the compiler cannot analyze (pointer arithmetic,
+  /// division, function-call result, ...). `why` is reported verbatim.
+  static AffineExpr non_affine(std::string why);
+
+  [[nodiscard]] bool is_affine() const { return affine_; }
+  [[nodiscard]] const std::string& note() const { return note_; }
+  [[nodiscard]] long constant_term() const { return constant_; }
+  [[nodiscard]] long coeff_of(const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, long>& coeffs() const {
+    return coeffs_;
+  }
+
+  /// True when the expression references `name` with nonzero coefficient.
+  [[nodiscard]] bool uses(const std::string& name) const;
+
+  /// True when the only variables used are in `allowed`.
+  template <typename Set>
+  [[nodiscard]] bool only_uses(const Set& allowed) const {
+    for (const auto& [name, coeff] : coeffs_)
+      if (coeff != 0 && !allowed.contains(name)) return false;
+    return true;
+  }
+
+  AffineExpr operator+(const AffineExpr& other) const;
+  AffineExpr operator-(const AffineExpr& other) const;
+  AffineExpr scaled(long factor) const;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  bool affine_ = true;
+  long constant_ = 0;
+  std::map<std::string, long> coeffs_;
+  std::string note_;
+};
+
+}  // namespace tc3i::autopar

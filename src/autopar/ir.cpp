@@ -1,0 +1,23 @@
+#include "autopar/ir.hpp"
+
+namespace tc3i::autopar {
+
+Statement& Loop::add_statement(std::string text) {
+  Statement s;
+  s.text = std::move(text);
+  statements.push_back(std::move(s));
+  Item item;
+  item.statement_index = static_cast<int>(statements.size()) - 1;
+  order.push_back(item);
+  return statements.back();
+}
+
+Loop& Loop::add_nested(Loop loop) {
+  nested.push_back(std::move(loop));
+  Item item;
+  item.loop_index = static_cast<int>(nested.size()) - 1;
+  order.push_back(item);
+  return nested.back();
+}
+
+}  // namespace tc3i::autopar

@@ -1,0 +1,72 @@
+// A small loop-nest IR: just enough structure to model the paper's
+// Programs 1-4 and let a dependence analyzer reach the same verdicts the
+// Tera and Exemplar parallelizing compilers reached (and for the same
+// stated reasons).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autopar/expr.hpp"
+
+namespace tc3i::autopar {
+
+enum class AccessKind { Read, Write };
+
+/// A subscripted array access, e.g. intervals[num_intervals].
+struct ArrayAccess {
+  std::string array;
+  std::vector<AffineExpr> subscripts;
+  AccessKind kind = AccessKind::Read;
+};
+
+/// A scalar access. `Update` means read-modify-write in one statement
+/// (x = x op e); the analyzer decides whether it is a reduction.
+struct ScalarAccess {
+  enum class Kind { Read, Write, Update };
+  std::string name;
+  Kind kind = Kind::Read;
+  /// For Update: the combining operator ("+", "min", ...). Reductions are
+  /// recognizable only for known-associative operators.
+  std::string op;
+};
+
+/// One statement of a loop body.
+struct Statement {
+  std::string text;  ///< source-level rendering, used in reports
+  std::vector<ArrayAccess> arrays;
+  std::vector<ScalarAccess> scalars;
+  bool opaque_call = false;    ///< calls a function the compiler cannot see
+  bool pointer_deref = false;  ///< accesses memory through a pointer
+};
+
+/// A counted or while loop with nested loops and body statements.
+/// Statements and nested loops execute in `order` (interleaved as built).
+struct Loop {
+  std::string name;  ///< e.g. "Program 1 outer loop over threats"
+  std::string var;   ///< induction variable ("" for while loops)
+  AffineExpr lower;
+  AffineExpr upper;  ///< inclusive; may be non-affine (e.g. chunk bounds)
+  bool is_while = false;  ///< time-stepped while loop: trip count unknown
+  bool pragma_parallel = false;  ///< programmer-asserted `#pragma multithreaded`
+
+  /// Scalars declared inside the loop body (automatically private).
+  std::vector<std::string> local_scalars;
+  /// Arrays declared inside the loop body (private per iteration).
+  std::vector<std::string> local_arrays;
+
+  struct Item {
+    // exactly one of the two is used
+    int statement_index = -1;
+    int loop_index = -1;
+  };
+  std::vector<Statement> statements;
+  std::vector<Loop> nested;
+  std::vector<Item> order;
+
+  // --- builder helpers ---
+  Statement& add_statement(std::string text);
+  Loop& add_nested(Loop loop);
+};
+
+}  // namespace tc3i::autopar

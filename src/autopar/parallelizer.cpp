@@ -1,0 +1,137 @@
+#include "autopar/parallelizer.hpp"
+
+#include <functional>
+
+namespace tc3i::autopar {
+
+namespace {
+
+/// Flattens a loop body (recursively through nested loops) into statement
+/// pointers, and collects nested loop variables and declared locals.
+void collect(const Loop& loop, std::vector<const Statement*>& statements,
+             std::set<std::string>& inner_vars,
+             std::set<std::string>& locals, bool is_root) {
+  if (!is_root && !loop.var.empty()) inner_vars.insert(loop.var);
+  for (const auto& name : loop.local_scalars) locals.insert(name);
+  for (const auto& name : loop.local_arrays) locals.insert(name);
+  for (const auto& item : loop.order) {
+    if (item.statement_index >= 0)
+      statements.push_back(
+          &loop.statements[static_cast<std::size_t>(item.statement_index)]);
+    else
+      collect(loop.nested[static_cast<std::size_t>(item.loop_index)],
+              statements, inner_vars, locals, /*is_root=*/false);
+  }
+}
+
+}  // namespace
+
+LoopVerdict Parallelizer::analyze(const Loop& loop,
+                                  const std::set<std::string>& invariants) const {
+  LoopVerdict verdict;
+  verdict.loop_name = loop.name;
+
+  std::vector<const Statement*> statements;
+  std::set<std::string> inner_vars;
+  std::set<std::string> locals;
+  collect(loop, statements, inner_vars, locals, /*is_root=*/true);
+
+  if (loop.is_while)
+    verdict.obstacles.push_back(
+        "while loop with data-dependent trip count: iterations are ordered "
+        "by construction (time-stepped simulation)");
+
+  // Opaque structure: the paper's recurring theme for general-purpose C.
+  bool reported_call = false;
+  bool reported_pointer = false;
+  for (const Statement* s : statements) {
+    if (s->opaque_call && !reported_call) {
+      reported_call = true;
+      verdict.obstacles.push_back(
+          "body calls separately compiled functions ('" + s->text +
+          "'): interprocedural side effects unknown");
+    }
+    if (s->pointer_deref && !reported_pointer) {
+      reported_pointer = true;
+      verdict.obstacles.push_back(
+          "body dereferences pointers ('" + s->text +
+          "'): may alias any array");
+    }
+  }
+
+  // Scalar dataflow.
+  const auto scalar_verdicts = classify_scalars(statements, locals);
+  for (const auto& sv : scalar_verdicts) {
+    switch (sv.cls) {
+      case ScalarClass::Invariant:
+        break;
+      case ScalarClass::Privatizable:
+        verdict.transformations.push_back("privatize scalar '" + sv.name +
+                                          "' (" + sv.reason + ")");
+        break;
+      case ScalarClass::Reduction:
+        verdict.transformations.push_back("reduction on '" + sv.name + "' (" +
+                                          sv.reason + ")");
+        break;
+      case ScalarClass::Carried:
+        verdict.obstacles.push_back("scalar '" + sv.name + "': " + sv.reason);
+        break;
+    }
+  }
+
+  // Array dependences: every pair of accesses to a shared array with at
+  // least one write.
+  DepContext ctx;
+  ctx.loop_var = loop.var;
+  ctx.invariants = invariants;
+  // Privatizable/invariant scalars and declared locals behave as
+  // iteration-private symbols in subscripts.
+  for (const auto& sv : scalar_verdicts)
+    if (sv.cls == ScalarClass::Invariant) ctx.invariants.insert(sv.name);
+  ctx.inner_loop_vars = inner_vars;
+
+  std::set<std::string> reported_arrays;
+  for (std::size_t i = 0; i < statements.size(); ++i) {
+    for (const ArrayAccess& a : statements[i]->arrays) {
+      if (locals.contains(a.array)) continue;
+      for (std::size_t j = i; j < statements.size(); ++j) {
+        for (const ArrayAccess& b : statements[j]->arrays) {
+          if (locals.contains(b.array)) continue;
+          if (a.array != b.array) continue;
+          if (a.kind != AccessKind::Write && b.kind != AccessKind::Write)
+            continue;
+          const DepTestOutcome outcome = test_pair(a, b, ctx);
+          if (outcome.result == DepResult::Carried &&
+              !reported_arrays.contains(a.array)) {
+            reported_arrays.insert(a.array);
+            verdict.obstacles.push_back(outcome.reason);
+          }
+        }
+      }
+    }
+  }
+
+  if (loop.pragma_parallel) {
+    verdict.parallelizable = true;
+    verdict.by_pragma_only = !verdict.obstacles.empty();
+  } else {
+    verdict.parallelizable = verdict.obstacles.empty();
+  }
+  return verdict;
+}
+
+std::vector<LoopVerdict> Parallelizer::analyze_nest(
+    const Loop& loop, const std::set<std::string>& invariants) const {
+  std::vector<LoopVerdict> verdicts;
+  verdicts.push_back(analyze(loop, invariants));
+  std::set<std::string> inner_invariants = invariants;
+  if (!loop.var.empty()) inner_invariants.insert(loop.var);
+  for (const auto& name : loop.local_scalars) inner_invariants.insert(name);
+  for (const Loop& nested : loop.nested) {
+    auto sub = analyze_nest(nested, inner_invariants);
+    verdicts.insert(verdicts.end(), sub.begin(), sub.end());
+  }
+  return verdicts;
+}
+
+}  // namespace tc3i::autopar

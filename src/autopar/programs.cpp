@@ -1,0 +1,295 @@
+#include "autopar/programs.hpp"
+
+namespace tc3i::autopar {
+
+namespace {
+
+ArrayAccess read(const std::string& array, std::vector<AffineExpr> subs) {
+  return ArrayAccess{array, std::move(subs), AccessKind::Read};
+}
+ArrayAccess write(const std::string& array, std::vector<AffineExpr> subs) {
+  return ArrayAccess{array, std::move(subs), AccessKind::Write};
+}
+ScalarAccess sread(const std::string& name) {
+  return ScalarAccess{name, ScalarAccess::Kind::Read, ""};
+}
+ScalarAccess swrite(const std::string& name) {
+  return ScalarAccess{name, ScalarAccess::Kind::Write, ""};
+}
+ScalarAccess supdate(const std::string& name, const std::string& op) {
+  return ScalarAccess{name, ScalarAccess::Kind::Update, op};
+}
+
+}  // namespace
+
+Loop threat_program1() {
+  Loop outer;
+  outer.name = "Program 1: Threat Analysis, loop over threats";
+  outer.var = "threat";
+  outer.lower = AffineExpr::constant(0);
+  outer.upper = AffineExpr::var("num_threats") - AffineExpr::constant(1);
+
+  Loop weapons;
+  weapons.name = "Program 1: inner loop over weapons";
+  weapons.var = "weapon";
+  weapons.lower = AffineExpr::constant(0);
+  weapons.upper = AffineExpr::var("num_weapons") - AffineExpr::constant(1);
+
+  {
+    Statement& s = weapons.add_statement("t0 = initial detection time of threat");
+    s.scalars = {swrite("t0")};
+    s.arrays = {read("threats", {AffineExpr::var("threat")})};
+    s.opaque_call = true;  // detection_time(&threats[threat])
+    s.pointer_deref = true;
+  }
+
+  Loop scan;
+  scan.name = "Program 1: time-stepped interception scan";
+  scan.is_while = true;
+  {
+    Statement& s = scan.add_statement(
+        "t1 = first time after t0 that weapon can intercept threat");
+    s.scalars = {swrite("t1"), sread("t0")};
+    s.opaque_call = true;  // time-stepped simulation routine
+    s.pointer_deref = true;
+  }
+  {
+    Statement& s = scan.add_statement(
+        "t2 = last time after t1 that weapon can intercept threat");
+    s.scalars = {swrite("t2"), sread("t1")};
+    s.opaque_call = true;
+  }
+  {
+    Statement& s = scan.add_statement(
+        "intervals[num_intervals] = (threat, weapon, [t1 .. t2])");
+    s.arrays = {write("intervals", {AffineExpr::var("num_intervals")})};
+    s.scalars = {sread("num_intervals"), sread("t1"), sread("t2")};
+  }
+  {
+    Statement& s = scan.add_statement("num_intervals = num_intervals + 1");
+    s.scalars = {supdate("num_intervals", "+")};
+  }
+  {
+    Statement& s = scan.add_statement("t0 = t2 + 1");
+    s.scalars = {swrite("t0"), sread("t2")};
+  }
+  weapons.add_nested(std::move(scan));
+  outer.add_nested(std::move(weapons));
+  return outer;
+}
+
+Loop threat_program2(bool with_pragma) {
+  Loop outer;
+  outer.name = "Program 2: Threat Analysis, multithreaded loop over chunks";
+  outer.var = "chunk";
+  outer.lower = AffineExpr::constant(0);
+  outer.upper = AffineExpr::var("num_chunks") - AffineExpr::constant(1);
+  outer.pragma_parallel = with_pragma;
+  outer.local_scalars = {"first_threat", "last_threat", "t0", "t1", "t2"};
+
+  {
+    Statement& s = outer.add_statement(
+        "first_threat = (chunk*num_threats)/num_chunks");
+    s.scalars = {swrite("first_threat")};
+  }
+  {
+    Statement& s = outer.add_statement(
+        "last_threat = ((chunk+1)*num_threats)/num_chunks - 1");
+    s.scalars = {swrite("last_threat")};
+  }
+  {
+    Statement& s = outer.add_statement("num_intervals[chunk] = 0");
+    s.arrays = {write("num_intervals", {AffineExpr::var("chunk")})};
+  }
+
+  Loop threats;
+  threats.name = "Program 2: loop over the chunk's threats";
+  threats.var = "threat";
+  // Non-affine bounds (integer division) — the compiler cannot relate
+  // chunks to disjoint threat ranges.
+  threats.lower = AffineExpr::non_affine("(chunk*num_threats)/num_chunks");
+  threats.upper = AffineExpr::non_affine("((chunk+1)*num_threats)/num_chunks - 1");
+
+  Loop weapons;
+  weapons.name = "Program 2: inner loop over weapons";
+  weapons.var = "weapon";
+  weapons.lower = AffineExpr::constant(0);
+  weapons.upper = AffineExpr::var("num_weapons") - AffineExpr::constant(1);
+
+  Loop scan;
+  scan.name = "Program 2: time-stepped interception scan";
+  scan.is_while = true;
+  {
+    Statement& s = scan.add_statement(
+        "t1, t2 = interception window via time-stepped simulation");
+    s.scalars = {swrite("t1"), swrite("t2"), sread("t0")};
+    s.opaque_call = true;
+    s.pointer_deref = true;
+  }
+  {
+    Statement& s = scan.add_statement(
+        "intervals[chunk][num_intervals[chunk]] = (threat, weapon, [t1 .. t2])");
+    s.arrays = {
+        write("intervals",
+              {AffineExpr::var("chunk"), AffineExpr::var("num_intervals[chunk]")}),
+        read("num_intervals", {AffineExpr::var("chunk")})};
+    s.scalars = {sread("t1"), sread("t2")};
+  }
+  {
+    Statement& s = scan.add_statement(
+        "num_intervals[chunk] = num_intervals[chunk] + 1");
+    s.arrays = {write("num_intervals", {AffineExpr::var("chunk")}),
+                read("num_intervals", {AffineExpr::var("chunk")})};
+  }
+  weapons.add_nested(std::move(scan));
+  threats.add_nested(std::move(weapons));
+  outer.add_nested(std::move(threats));
+  return outer;
+}
+
+Loop terrain_program3() {
+  Loop outer;
+  outer.name = "Program 3: Terrain Masking, loop over threats";
+  outer.var = "threat";
+  outer.lower = AffineExpr::constant(0);
+  outer.upper = AffineExpr::var("num_threats") - AffineExpr::constant(1);
+
+  auto region_pass = [](const std::string& name, const std::string& text,
+                        std::vector<ArrayAccess> accesses, bool opaque) {
+    Loop pass_x;
+    pass_x.name = name;
+    pass_x.var = "x";
+    pass_x.lower = AffineExpr::non_affine("region of influence of threat");
+    pass_x.upper = AffineExpr::non_affine("region of influence of threat");
+    Loop pass_y;
+    pass_y.name = name + " (inner y loop)";
+    pass_y.var = "y";
+    pass_y.lower = AffineExpr::non_affine("region of influence of threat");
+    pass_y.upper = AffineExpr::non_affine("region of influence of threat");
+    Statement& s = pass_y.add_statement(text);
+    s.arrays = std::move(accesses);
+    s.opaque_call = opaque;
+    pass_x.add_nested(std::move(pass_y));
+    return pass_x;
+  };
+
+  const AffineExpr x = AffineExpr::var("x");
+  const AffineExpr y = AffineExpr::var("y");
+  outer.add_nested(region_pass(
+      "Program 3: save pass", "temp[x][y] = masking[x][y]",
+      {write("temp", {x, y}), read("masking", {x, y})}, false));
+  outer.add_nested(region_pass("Program 3: reset pass",
+                               "masking[x][y] = INFINITY",
+                               {write("masking", {x, y})}, false));
+  outer.add_nested(region_pass(
+      "Program 3: kernel pass",
+      "masking[x][y] = maximum safe altitude over x,y due to threat",
+      {write("masking", {x, y}),
+       read("masking", {AffineExpr::non_affine("neighbor toward threat"),
+                        AffineExpr::non_affine("neighbor toward threat")})},
+      true));
+  outer.add_nested(region_pass(
+      "Program 3: min-combine pass",
+      "masking[x][y] = Min(masking[x][y], temp[x][y])",
+      {write("masking", {x, y}), read("masking", {x, y}),
+       read("temp", {x, y})},
+      false));
+  return outer;
+}
+
+Loop terrain_program4(bool with_pragma) {
+  Loop outer;
+  outer.name = "Program 4: Terrain Masking, multithreaded loop over threads";
+  outer.var = "thread";
+  outer.lower = AffineExpr::constant(0);
+  outer.upper = AffineExpr::var("num_threads") - AffineExpr::constant(1);
+  outer.pragma_parallel = with_pragma;
+  outer.local_scalars = {"threat"};
+  outer.local_arrays = {"temp"};
+
+  Loop queue;
+  queue.name = "Program 4: dynamic threat queue";
+  queue.is_while = true;
+  {
+    Statement& s = queue.add_statement("threat = next unprocessed threat");
+    s.scalars = {swrite("threat")};
+    s.opaque_call = true;  // shared queue pop
+  }
+  {
+    Statement& s = queue.add_statement(
+        "temp[x][y] = maximum safe altitude due to threat (region passes)");
+    s.arrays = {write("temp", {AffineExpr::var("x"), AffineExpr::var("y")})};
+    s.opaque_call = true;
+  }
+  {
+    Statement& s = queue.add_statement(
+        "lock(locks[i][j]); masking = Min(masking, temp) over block; unlock");
+    s.arrays = {
+        write("masking", {AffineExpr::var("x"), AffineExpr::var("y")}),
+        read("masking", {AffineExpr::var("x"), AffineExpr::var("y")}),
+        read("temp", {AffineExpr::var("x"), AffineExpr::var("y")})};
+    s.opaque_call = true;  // lock library calls
+  }
+  outer.add_nested(std::move(queue));
+  return outer;
+}
+
+Loop terrain_ring_loop(bool with_pragma) {
+  Loop ring;
+  ring.name = "Fine-grained kernel: loop over one ring's cells";
+  ring.var = "k";
+  ring.lower = AffineExpr::constant(0);
+  ring.upper = AffineExpr::var("ring_size") - AffineExpr::constant(1);
+  ring.pragma_parallel = with_pragma;
+  {
+    Statement& s = ring.add_statement(
+        "temp[cell_x[k]][cell_y[k]] = evaluate(parent slope, terrain)");
+    // Indirection through the ring's cell table: non-affine subscripts.
+    s.arrays = {
+        write("temp", {AffineExpr::non_affine("cell_x[k] (indirection)"),
+                       AffineExpr::non_affine("cell_y[k] (indirection)")}),
+        read("temp", {AffineExpr::non_affine("parent_x[k] (indirection)"),
+                      AffineExpr::non_affine("parent_y[k] (indirection)")})};
+    s.opaque_call = true;  // evaluate_cell()
+  }
+  return ring;
+}
+
+Loop toy_vector_add() {
+  Loop loop;
+  loop.name = "toy: c[i] = a[i] + b[i]";
+  loop.var = "i";
+  loop.lower = AffineExpr::constant(0);
+  loop.upper = AffineExpr::var("n") - AffineExpr::constant(1);
+  Statement& s = loop.add_statement("c[i] = a[i] + b[i]");
+  const AffineExpr i = AffineExpr::var("i");
+  s.arrays = {write("c", {i}), read("a", {i}), read("b", {i})};
+  return loop;
+}
+
+Loop toy_reduction() {
+  Loop loop;
+  loop.name = "toy: s += a[i]";
+  loop.var = "i";
+  loop.lower = AffineExpr::constant(0);
+  loop.upper = AffineExpr::var("n") - AffineExpr::constant(1);
+  Statement& s = loop.add_statement("s = s + a[i]");
+  s.arrays = {read("a", {AffineExpr::var("i")})};
+  s.scalars = {supdate("s", "+")};
+  return loop;
+}
+
+Loop toy_stencil() {
+  Loop loop;
+  loop.name = "toy: a[i] = a[i-1] * k";
+  loop.var = "i";
+  loop.lower = AffineExpr::constant(1);
+  loop.upper = AffineExpr::var("n") - AffineExpr::constant(1);
+  Statement& s = loop.add_statement("a[i] = a[i-1] * k");
+  s.arrays = {write("a", {AffineExpr::var("i")}),
+              read("a", {AffineExpr::var("i") - AffineExpr::constant(1)})};
+  s.scalars = {sread("k")};
+  return loop;
+}
+
+}  // namespace tc3i::autopar

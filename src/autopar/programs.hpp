@@ -1,0 +1,42 @@
+// IR models of the paper's four programs (and a few calibration loops for
+// which automatic parallelization *should* succeed, demonstrating the
+// analyzer is not a rubber stamp).
+//
+// The models encode exactly the features the paper blames for compiler
+// failure: the shared num_intervals counter used as an array index
+// (Program 1), overlapping writes to the masking array through inner-loop
+// subscripts (Program 3), separately compiled interception/masking
+// routines, pointer-based access, non-affine region bounds, and the
+// `#pragma multithreaded` assertions of the manual versions (Programs 2
+// and 4).
+#pragma once
+
+#include "autopar/ir.hpp"
+
+namespace tc3i::autopar {
+
+/// Program 1: sequential Threat Analysis (outer loop over threats).
+[[nodiscard]] Loop threat_program1();
+
+/// Program 2: chunked multithreaded Threat Analysis.
+[[nodiscard]] Loop threat_program2(bool with_pragma);
+
+/// Program 3: sequential Terrain Masking (outer loop over threats).
+[[nodiscard]] Loop terrain_program3();
+
+/// Program 4: coarse-grained multithreaded Terrain Masking.
+[[nodiscard]] Loop terrain_program4(bool with_pragma);
+
+/// The fine-grained inner kernel loop over one ring's cells (the loop the
+/// MTA version parallelizes).
+[[nodiscard]] Loop terrain_ring_loop(bool with_pragma);
+
+// --- calibration loops: the analyzer must succeed on these ---------------
+/// c[i] = a[i] + b[i] — trivially parallel.
+[[nodiscard]] Loop toy_vector_add();
+/// s += a[i] — parallel with a sum reduction.
+[[nodiscard]] Loop toy_reduction();
+/// a[i] = a[i-1] * k — genuinely sequential (carried distance 1).
+[[nodiscard]] Loop toy_stencil();
+
+}  // namespace tc3i::autopar

@@ -1,0 +1,109 @@
+#include "autopar/remedies.hpp"
+
+#include <sstream>
+
+#include "autopar/report.hpp"
+
+namespace tc3i::autopar {
+
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+Remedy remedy_for(const std::string& obstacle) {
+  Remedy r;
+  r.obstacle = obstacle;
+  if (contains(obstacle, "used as an array index")) {
+    r.suggestion =
+        "split the loop into chunks and privatize both the counter and the "
+        "output array section per chunk (oversize each section), OR keep "
+        "one shared counter updated with an atomic fetch-add if the target "
+        "supports cheap word-level synchronization — output order then "
+        "becomes nondeterministic";
+    r.precedent = "Program 2 (chunking); the paper's fine-grained Threat "
+                  "Analysis alternative (fetch-add)";
+  } else if (contains(obstacle, "inner loop variables")) {
+    r.suggestion =
+        "iterations write overlapping index sets: either block the shared "
+        "array and guard each block with a lock, compute into a private "
+        "temp and combine under the locks, or parallelize the *inner* "
+        "loops instead of this one";
+    r.precedent = "Program 4 (blocking + locks); the paper's fine-grained "
+                  "Terrain Masking (inner loops)";
+  } else if (contains(obstacle, "separately compiled")) {
+    r.suggestion =
+        "the call's side effects are invisible to analysis: assert "
+        "independence with `#pragma multithreaded` (after manual review), "
+        "inline the callee, or annotate it as pure";
+    r.precedent = "Programs 2 and 4 (pragma assertions)";
+  } else if (contains(obstacle, "dereferences pointers")) {
+    r.suggestion =
+        "pointer accesses may alias the arrays: replace with direct "
+        "subscripts where possible or assert no-alias via the pragma";
+    r.precedent = "Programs 2 and 4 (pragma assertions)";
+  } else if (contains(obstacle, "data-dependent trip count")) {
+    r.suggestion =
+        "the time-stepped inner loop is inherently ordered: leave it "
+        "sequential and find parallelism in an enclosing loop over "
+        "independent work items";
+    r.precedent = "both benchmarks: parallelism came from the outer loops";
+  } else if (contains(obstacle, "indirection")) {
+    r.suggestion =
+        "subscripts go through an index table the compiler cannot bound: "
+        "if the table entries are known distinct (a permutation), assert "
+        "independence with the pragma";
+    r.precedent = "the fine-grained ring loop (cells of one ring are "
+                  "distinct by construction)";
+  } else if (contains(obstacle, "loop-variant scalar")) {
+    r.suggestion =
+        "the subscript's value depends on execution history: make the "
+        "indexing scalar iteration-local (privatize it together with the "
+        "array section it indexes) so each iteration writes a "
+        "statically-known region";
+    r.precedent = "Program 2 (per-chunk num_intervals[chunk] index)";
+  } else if (contains(obstacle, "strong SIV: loop-carried")) {
+    r.suggestion =
+        "a genuine recurrence: no loop-level remedy; restructure the "
+        "algorithm (e.g. process wavefronts/rings so elements within a "
+        "front are independent)";
+    r.precedent = "the masking kernel's ring schedule";
+  } else if (contains(obstacle, "cross-iteration flow") ||
+             contains(obstacle, "read-then-write")) {
+    r.suggestion =
+        "a scalar carries a value between iterations: if the recurrence "
+        "is associative rewrite it as a reduction; otherwise restructure";
+    r.precedent = "";
+  } else {
+    r.suggestion = "no mechanical remedy known; manual restructuring needed";
+    r.precedent = "";
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<Remedy> suggest_remedies(const LoopVerdict& verdict) {
+  std::vector<Remedy> remedies;
+  remedies.reserve(verdict.obstacles.size());
+  for (const auto& obstacle : verdict.obstacles)
+    remedies.push_back(remedy_for(obstacle));
+  return remedies;
+}
+
+std::string format_with_remedies(const LoopVerdict& verdict) {
+  std::ostringstream os;
+  os << format_verdict(verdict);
+  const auto remedies = suggest_remedies(verdict);
+  if (!remedies.empty()) {
+    os << "  suggested remedies:\n";
+    for (const auto& r : remedies) {
+      os << "    -> " << r.suggestion << '\n';
+      if (!r.precedent.empty()) os << "       (precedent: " << r.precedent << ")\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace tc3i::autopar

@@ -1,0 +1,34 @@
+// Remedy suggestions: what a programmer-assisting tool *should* have said.
+//
+// The paper reports that the 1998 compilers "were unable to make any
+// suggestions regarding changes to the program ... that might expose
+// parallelism". Each obstacle class our analyzer reports corresponds to a
+// manual transformation the paper's authors in fact applied; this module
+// maps verdicts to those remedies, closing the loop the period tools left
+// open.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autopar/parallelizer.hpp"
+
+namespace tc3i::autopar {
+
+struct Remedy {
+  /// The obstacle text this remedy responds to.
+  std::string obstacle;
+  /// The suggested manual transformation.
+  std::string suggestion;
+  /// Which of the paper's programs demonstrates it ("" if generic).
+  std::string precedent;
+};
+
+/// Suggests remedies for every obstacle in `verdict`. Obstacles with no
+/// known transformation get an honest "no mechanical remedy" entry.
+[[nodiscard]] std::vector<Remedy> suggest_remedies(const LoopVerdict& verdict);
+
+/// Renders verdict + remedies as compiler-feedback text.
+[[nodiscard]] std::string format_with_remedies(const LoopVerdict& verdict);
+
+}  // namespace tc3i::autopar

@@ -1,0 +1,32 @@
+#include "autopar/report.hpp"
+
+#include <sstream>
+
+namespace tc3i::autopar {
+
+std::string format_verdict(const LoopVerdict& v) {
+  std::ostringstream os;
+  os << v.loop_name << "\n";
+  if (v.parallelizable && !v.by_pragma_only) {
+    os << "  PARALLELIZABLE (proven by analysis)\n";
+  } else if (v.parallelizable && v.by_pragma_only) {
+    os << "  PARALLEL BY ASSERTION (#pragma multithreaded) — analysis alone "
+          "could not prove it:\n";
+  } else {
+    os << "  NOT PARALLELIZED — obstacles:\n";
+  }
+  for (const auto& o : v.obstacles) os << "    - " << o << "\n";
+  if (!v.transformations.empty()) {
+    os << "  applicable transformations:\n";
+    for (const auto& t : v.transformations) os << "    * " << t << "\n";
+  }
+  return os.str();
+}
+
+std::string format_verdicts(const std::vector<LoopVerdict>& verdicts) {
+  std::ostringstream os;
+  for (const auto& v : verdicts) os << format_verdict(v) << "\n";
+  return os.str();
+}
+
+}  // namespace tc3i::autopar

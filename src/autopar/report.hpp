@@ -1,0 +1,16 @@
+// Human-readable rendering of parallelization verdicts (what the paper's
+// compiler feedback listings would look like for these programs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autopar/parallelizer.hpp"
+
+namespace tc3i::autopar {
+
+[[nodiscard]] std::string format_verdict(const LoopVerdict& verdict);
+[[nodiscard]] std::string format_verdicts(
+    const std::vector<LoopVerdict>& verdicts);
+
+}  // namespace tc3i::autopar

@@ -1,0 +1,103 @@
+#include "autopar/scalar_analysis.hpp"
+
+#include <map>
+
+namespace tc3i::autopar {
+
+bool is_associative(const std::string& op) {
+  return op == "+" || op == "*" || op == "min" || op == "max" || op == "|" ||
+         op == "&" || op == "^";
+}
+
+std::set<std::string> subscript_scalars(
+    const std::vector<const Statement*>& statements) {
+  std::set<std::string> used;
+  for (const Statement* s : statements)
+    for (const ArrayAccess& a : s->arrays)
+      for (const AffineExpr& sub : a.subscripts)
+        for (const auto& [name, coeff] : sub.coeffs())
+          if (coeff != 0) used.insert(name);
+  return used;
+}
+
+std::vector<ScalarVerdict> classify_scalars(
+    const std::vector<const Statement*>& statements,
+    const std::set<std::string>& local_names) {
+  // Gather, in program order, the accesses to each non-local scalar.
+  struct Info {
+    bool first_access_is_write = false;
+    bool seen = false;
+    bool any_plain_write = false;
+    bool any_read = false;
+    bool any_update = false;
+    std::string update_op;
+    bool mixed_update_ops = false;
+  };
+  std::map<std::string, Info> infos;
+  for (const Statement* s : statements) {
+    for (const ScalarAccess& a : s->scalars) {
+      if (local_names.contains(a.name)) continue;
+      Info& info = infos[a.name];
+      if (!info.seen) {
+        info.seen = true;
+        info.first_access_is_write = (a.kind == ScalarAccess::Kind::Write);
+      }
+      switch (a.kind) {
+        case ScalarAccess::Kind::Read:
+          info.any_read = true;
+          break;
+        case ScalarAccess::Kind::Write:
+          info.any_plain_write = true;
+          break;
+        case ScalarAccess::Kind::Update:
+          info.any_update = true;
+          if (info.update_op.empty())
+            info.update_op = a.op;
+          else if (info.update_op != a.op)
+            info.mixed_update_ops = true;
+          break;
+      }
+    }
+  }
+
+  const std::set<std::string> in_subscripts = subscript_scalars(statements);
+
+  std::vector<ScalarVerdict> verdicts;
+  for (const auto& [name, info] : infos) {
+    ScalarVerdict v;
+    v.name = name;
+    if (!info.any_plain_write && !info.any_update) {
+      v.cls = ScalarClass::Invariant;
+      v.reason = "only read inside the loop";
+    } else if (info.any_update && !info.any_plain_write) {
+      if (in_subscripts.contains(name)) {
+        v.cls = ScalarClass::Carried;
+        v.reason =
+            "updated every iteration *and used as an array index*: the "
+            "element an iteration writes depends on all prior iterations";
+      } else if (info.mixed_update_ops) {
+        v.cls = ScalarClass::Carried;
+        v.reason = "updated with mixed operators; not a recognizable reduction";
+      } else if (is_associative(info.update_op) && !info.any_read) {
+        v.cls = ScalarClass::Reduction;
+        v.reason = "associative '" + info.update_op + "' reduction";
+      } else {
+        v.cls = ScalarClass::Carried;
+        v.reason = info.any_read
+                       ? "updated and separately read: cross-iteration flow"
+                       : "update operator '" + info.update_op +
+                             "' is not associative";
+      }
+    } else if (info.first_access_is_write && !info.any_update) {
+      v.cls = ScalarClass::Privatizable;
+      v.reason = "written before any use in each iteration";
+    } else {
+      v.cls = ScalarClass::Carried;
+      v.reason = "read-then-write pattern carries a value between iterations";
+    }
+    verdicts.push_back(std::move(v));
+  }
+  return verdicts;
+}
+
+}  // namespace tc3i::autopar

@@ -1,0 +1,44 @@
+// Scalar dataflow classification for a candidate parallel loop: which
+// scalars are loop-invariant, privatizable, reductions — and which carry
+// genuine cross-iteration dependences (the shared num_intervals counter of
+// Program 1 being the canonical example: updated like a reduction but
+// *used as an array index*, which no reduction transformation can fix).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "autopar/ir.hpp"
+
+namespace tc3i::autopar {
+
+enum class ScalarClass {
+  Invariant,     ///< only read: safe to share
+  Privatizable,  ///< written before use each iteration: give each thread a copy
+  Reduction,     ///< associative update only: parallelize with a combiner
+  Carried,       ///< genuine cross-iteration flow
+};
+
+struct ScalarVerdict {
+  std::string name;
+  ScalarClass cls = ScalarClass::Carried;
+  std::string reason;
+};
+
+/// Classifies every non-local scalar referenced in the loop body
+/// (recursively, including nested loops). `subscript_users` must contain
+/// the names appearing inside array subscripts (computed by the caller
+/// from the same statement set).
+[[nodiscard]] std::vector<ScalarVerdict> classify_scalars(
+    const std::vector<const Statement*>& statements,
+    const std::set<std::string>& local_names);
+
+/// Collects scalar names used inside any array subscript of `statements`.
+[[nodiscard]] std::set<std::string> subscript_scalars(
+    const std::vector<const Statement*>& statements);
+
+/// True for operators the compiler may reassociate.
+[[nodiscard]] bool is_associative(const std::string& op);
+
+}  // namespace tc3i::autopar

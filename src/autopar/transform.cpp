@@ -1,0 +1,159 @@
+#include "autopar/transform.hpp"
+
+#include <set>
+
+#include "autopar/parallelizer.hpp"
+#include "autopar/scalar_analysis.hpp"
+
+namespace tc3i::autopar {
+
+namespace {
+
+void collect_statements(const Loop& loop,
+                        std::vector<const Statement*>& statements,
+                        std::set<std::string>& locals) {
+  for (const auto& name : loop.local_scalars) locals.insert(name);
+  for (const auto& name : loop.local_arrays) locals.insert(name);
+  for (const auto& item : loop.order) {
+    if (item.statement_index >= 0)
+      statements.push_back(
+          &loop.statements[static_cast<std::size_t>(item.statement_index)]);
+    else
+      collect_statements(loop.nested[static_cast<std::size_t>(item.loop_index)],
+                         statements, locals);
+  }
+}
+
+/// Rewrites one statement in place: counter scalars become counter[chunk]
+/// array accesses; array subscripts through a counter gain a leading
+/// [chunk] dimension and index through the privatized counter.
+void rewrite_statement(Statement& s, const std::set<std::string>& counters) {
+  // Array subscripts first.
+  for (ArrayAccess& access : s.arrays) {
+    bool uses_counter = false;
+    for (AffineExpr& sub : access.subscripts) {
+      for (const auto& counter : counters) {
+        if (sub.is_affine() && sub.uses(counter)) {
+          uses_counter = true;
+          sub = AffineExpr::var(counter + "[chunk]");
+        }
+      }
+    }
+    if (uses_counter)
+      access.subscripts.insert(access.subscripts.begin(),
+                               AffineExpr::var("chunk"));
+  }
+  // Scalar accesses to the counters become per-chunk array accesses.
+  std::vector<ScalarAccess> kept;
+  for (const ScalarAccess& access : s.scalars) {
+    if (!counters.contains(access.name)) {
+      kept.push_back(access);
+      continue;
+    }
+    switch (access.kind) {
+      case ScalarAccess::Kind::Read:
+        s.arrays.push_back(ArrayAccess{
+            access.name, {AffineExpr::var("chunk")}, AccessKind::Read});
+        break;
+      case ScalarAccess::Kind::Write:
+        s.arrays.push_back(ArrayAccess{
+            access.name, {AffineExpr::var("chunk")}, AccessKind::Write});
+        break;
+      case ScalarAccess::Kind::Update:
+        s.arrays.push_back(ArrayAccess{
+            access.name, {AffineExpr::var("chunk")}, AccessKind::Write});
+        s.arrays.push_back(ArrayAccess{
+            access.name, {AffineExpr::var("chunk")}, AccessKind::Read});
+        break;
+    }
+  }
+  s.scalars = std::move(kept);
+}
+
+void rewrite_loop(Loop& loop, const std::set<std::string>& counters) {
+  for (Statement& s : loop.statements) rewrite_statement(s, counters);
+  for (Loop& nested : loop.nested) rewrite_loop(nested, counters);
+}
+
+bool obstacle_mentions_any(const std::string& obstacle,
+                           const std::set<std::string>& counters) {
+  for (const auto& c : counters)
+    if (obstacle.find("'" + c + "'") != std::string::npos) return true;
+  return false;
+}
+
+bool is_opacity_obstacle(const std::string& obstacle) {
+  return obstacle.find("separately compiled") != std::string::npos ||
+         obstacle.find("dereferences pointers") != std::string::npos;
+}
+
+}  // namespace
+
+std::optional<ChunkingResult> apply_chunking(const Loop& loop) {
+  if (loop.var.empty() || loop.is_while) return std::nullopt;
+
+  // Identify the fixable counters: scalars updated with "+" only and used
+  // inside array subscripts.
+  std::vector<const Statement*> statements;
+  std::set<std::string> locals;
+  collect_statements(loop, statements, locals);
+  const auto verdicts = classify_scalars(statements, locals);
+  const std::set<std::string> in_subscripts = subscript_scalars(statements);
+
+  std::set<std::string> counters;
+  for (const auto& v : verdicts) {
+    if (v.cls != ScalarClass::Carried) continue;
+    if (v.reason.find("array index") != std::string::npos &&
+        in_subscripts.contains(v.name))
+      counters.insert(v.name);
+    else
+      return std::nullopt;  // some other scalar recurrence: not chunkable
+  }
+  if (counters.empty()) return std::nullopt;  // nothing this rewrite fixes
+
+  // Every non-opacity obstacle must trace back to one of the counters.
+  const Parallelizer analyzer;
+  for (const auto& obstacle : analyzer.analyze(loop).obstacles) {
+    if (is_opacity_obstacle(obstacle)) continue;
+    if (!obstacle_mentions_any(obstacle, counters)) return std::nullopt;
+  }
+
+  ChunkingResult result;
+  Loop& outer = result.transformed;
+  outer.name = loop.name + " (mechanically chunked)";
+  outer.var = "chunk";
+  outer.lower = AffineExpr::constant(0);
+  outer.upper = AffineExpr::var("num_chunks") - AffineExpr::constant(1);
+  outer.local_scalars = {"first_" + loop.var, "last_" + loop.var};
+
+  {
+    Statement& s = outer.add_statement("first_" + loop.var + " = (chunk*n)/num_chunks");
+    s.scalars = {ScalarAccess{"first_" + loop.var, ScalarAccess::Kind::Write, ""}};
+  }
+  {
+    Statement& s =
+        outer.add_statement("last_" + loop.var + " = ((chunk+1)*n)/num_chunks - 1");
+    s.scalars = {ScalarAccess{"last_" + loop.var, ScalarAccess::Kind::Write, ""}};
+  }
+  for (const auto& counter : counters) {
+    Statement& s = outer.add_statement(counter + "[chunk] = 0");
+    s.arrays = {ArrayAccess{counter, {AffineExpr::var("chunk")},
+                            AccessKind::Write}};
+    result.notes.push_back("privatized counter '" + counter + "' as " +
+                           counter + "[chunk]");
+  }
+
+  Loop inner = loop;  // deep copy
+  inner.name = loop.name + " (chunk body)";
+  inner.lower = AffineExpr::non_affine("(chunk*n)/num_chunks");
+  inner.upper = AffineExpr::non_affine("((chunk+1)*n)/num_chunks - 1");
+  rewrite_loop(inner, counters);
+  outer.add_nested(std::move(inner));
+
+  result.notes.push_back(
+      "arrays indexed through the counter(s) now write per-chunk sections "
+      "(each must be oversized — counts are unknown in advance)");
+  return result;
+}
+
+}  // namespace tc3i::autopar

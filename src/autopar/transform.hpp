@@ -1,0 +1,35 @@
+// Mechanical chunking transformation: Program 1 -> Program 2, automated.
+//
+// The paper argues compilers cannot parallelize these programs because
+// the fix "involves significant modification of the underlying
+// algorithm". For the Threat Analysis pattern, though, the modification
+// is *mechanical*: split the loop into chunks, privatize the shared
+// counter as counter[chunk], and redirect the counter-indexed array into
+// a per-chunk section. This module implements exactly that rewrite on the
+// IR. What remains non-mechanical is what the paper said it was: proving
+// the loop body's opaque calls safe — the transformed loop still needs
+// the programmer's pragma.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "autopar/ir.hpp"
+
+namespace tc3i::autopar {
+
+struct ChunkingResult {
+  Loop transformed;
+  /// What was privatized / rewritten.
+  std::vector<std::string> notes;
+};
+
+/// Attempts the chunking rewrite on `loop`. Succeeds when the loop's only
+/// cross-iteration *data* obstacles are shared counters updated with "+"
+/// and used as array indices (the num_intervals pattern). Returns nullopt
+/// when there is nothing to fix or when other data dependences remain
+/// (genuine recurrences cannot be chunked away).
+[[nodiscard]] std::optional<ChunkingResult> apply_chunking(const Loop& loop);
+
+}  // namespace tc3i::autopar

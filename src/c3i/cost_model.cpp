@@ -1,0 +1,3 @@
+// Cost model is header-only constants; translation unit kept for symmetry
+// and future non-inline additions.
+#include "c3i/cost_model.hpp"

@@ -1,0 +1,46 @@
+// Benchmark input data as files.
+//
+// The original C3IPBS shipped each problem's input data; this module
+// provides the equivalent: a stable, versioned text format for both
+// problems' scenarios so datasets can be pinned, shared, and diffed.
+// Doubles round-trip exactly (max_digits10).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "c3i/terrain/scenario_gen.hpp"
+#include "c3i/threat/scenario_gen.hpp"
+
+namespace tc3i::c3i::io {
+
+// --- Threat Analysis ---------------------------------------------------
+void write_scenario(std::ostream& os, const threat::Scenario& scenario);
+
+/// Parses a scenario; returns false and sets `error` on malformed input.
+[[nodiscard]] bool read_scenario(std::istream& is, threat::Scenario& out,
+                                 std::string& error);
+
+// --- Terrain Masking ----------------------------------------------------
+/// `include_heights` controls whether the (large) height grid is written;
+/// without it the file is geometry-only and reading yields a scenario
+/// whose terrain grid is empty (1x1) — enough for the work profiles.
+void write_scenario(std::ostream& os, const terrain::Scenario& scenario,
+                    bool include_heights = true);
+
+[[nodiscard]] bool read_scenario(std::istream& is, terrain::Scenario& out,
+                                 std::string& error);
+
+// --- file helpers ---------------------------------------------------------
+[[nodiscard]] bool save_to_file(const std::string& path,
+                                const threat::Scenario& scenario,
+                                std::string& error);
+[[nodiscard]] bool load_from_file(const std::string& path,
+                                  threat::Scenario& out, std::string& error);
+[[nodiscard]] bool save_to_file(const std::string& path,
+                                const terrain::Scenario& scenario,
+                                std::string& error, bool include_heights = true);
+[[nodiscard]] bool load_from_file(const std::string& path,
+                                  terrain::Scenario& out, std::string& error);
+
+}  // namespace tc3i::c3i::io

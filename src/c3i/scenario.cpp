@@ -1,0 +1,24 @@
+#include "c3i/scenario.hpp"
+
+#include <functional>
+
+namespace tc3i::c3i {
+
+std::array<ScenarioInfo, 5> standard_scenarios(const std::string& benchmark) {
+  std::array<ScenarioInfo, 5> scenarios;
+  // Stable, content-derived seeds: hash of benchmark name mixed with the
+  // scenario ordinal (std::hash is implementation-defined, so mix with a
+  // fixed FNV-1a instead for cross-platform stability).
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : benchmark) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    scenarios[i].name = benchmark + "/scenario-" + std::to_string(i + 1);
+    scenarios[i].seed = h ^ (0x9e3779b97f4a7c15ull * (i + 1));
+  }
+  return scenarios;
+}
+
+}  // namespace tc3i::c3i

@@ -1,0 +1,27 @@
+// Common C3I Parallel Benchmark Suite framework pieces.
+//
+// The C3IPBS input data is not distributable; per DESIGN.md each benchmark
+// ships a deterministic synthetic scenario generator matching the paper's
+// published workload parameters (five input scenarios per benchmark; 1000
+// threats per Threat Analysis scenario; 60 threats per Terrain Masking
+// scenario with regions of influence ~5% of the terrain).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace tc3i::c3i {
+
+/// Identity of one benchmark input scenario.
+struct ScenarioInfo {
+  std::string name;
+  std::uint64_t seed = 0;
+};
+
+/// The five standard scenario seeds used by every benchmark run in this
+/// repository (fixed so that all reported numbers are reproducible).
+[[nodiscard]] std::array<ScenarioInfo, 5> standard_scenarios(
+    const std::string& benchmark);
+
+}  // namespace tc3i::c3i

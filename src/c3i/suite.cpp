@@ -1,0 +1,165 @@
+#include "c3i/suite.hpp"
+
+#include <chrono>
+
+#include "c3i/scenario.hpp"
+#include "c3i/terrain/checker.hpp"
+#include "c3i/terrain/coarse.hpp"
+#include "c3i/terrain/finegrained.hpp"
+#include "c3i/terrain/scenario_gen.hpp"
+#include "c3i/terrain/sequential.hpp"
+#include "c3i/threat/checker.hpp"
+#include "c3i/threat/chunked.hpp"
+#include "c3i/threat/finegrained.hpp"
+#include "c3i/threat/scenario_gen.hpp"
+#include "c3i/threat/sequential.hpp"
+#include "core/contracts.hpp"
+
+namespace tc3i::c3i {
+
+namespace {
+
+double wall_seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+class ThreatProblem final : public Problem {
+ public:
+  explicit ThreatProblem(Scale scale) : scale_(scale) {}
+
+  std::string name() const override { return "threat-analysis"; }
+
+  std::string description() const override {
+    return "Time-stepped simulation of incoming ballistic threats with "
+           "computation of the time intervals over which each weapon can "
+           "intercept each threat.";
+  }
+
+  std::vector<std::string> variants() const override {
+    return {"sequential", "chunked", "finegrained"};
+  }
+
+  VariantOutcome run(const std::string& variant, int scenario_index,
+                     int threads) override {
+    TC3I_EXPECTS(scenario_index >= 0 && scenario_index < num_scenarios());
+    const threat::Scenario scenario = make_scenario(scenario_index);
+    const threat::AnalysisResult reference = threat::run_sequential(scenario);
+
+    VariantOutcome outcome;
+    const auto start = std::chrono::steady_clock::now();
+    threat::AnalysisResult result;
+    bool order_sensitive = true;
+    if (variant == "sequential") {
+      result = threat::run_sequential(scenario);
+    } else if (variant == "chunked") {
+      result = threat::run_chunked(scenario, 4 * threads, threads);
+    } else if (variant == "finegrained") {
+      result = threat::run_finegrained(scenario, threads);
+      order_sensitive = false;
+    } else {
+      contract_failure("Suite", ("unknown variant " + variant).c_str(),
+                       __FILE__, __LINE__);
+    }
+    outcome.host_seconds = wall_seconds_since(start);
+    outcome.work_units = result.steps;
+
+    const threat::CheckResult vs_ref = threat::check_against_reference(
+        reference.intervals, result.intervals, order_sensitive);
+    const threat::CheckResult semantic =
+        threat::validate_intervals(scenario, result.intervals);
+    outcome.correct = vs_ref.ok && semantic.ok;
+    outcome.detail = vs_ref.ok ? semantic.message : vs_ref.message;
+    return outcome;
+  }
+
+ private:
+  threat::Scenario make_scenario(int index) const {
+    threat::ScenarioParams params;
+    params.num_threats = scale_ == Scale::Small ? 40 : 200;
+    params.num_weapons = scale_ == Scale::Small ? 5 : 15;
+    params.dt = scale_ == Scale::Small ? 2.0 : 1.0;
+    const auto seeds = standard_scenarios(name());
+    threat::Scenario s = threat::generate_scenario(
+        seeds[static_cast<std::size_t>(index)].seed, params);
+    s.name = seeds[static_cast<std::size_t>(index)].name;
+    return s;
+  }
+
+  Scale scale_;
+};
+
+class TerrainProblem final : public Problem {
+ public:
+  explicit TerrainProblem(Scale scale) : scale_(scale) {}
+
+  std::string name() const override { return "terrain-masking"; }
+
+  std::string description() const override {
+    return "Computation of the maximum safe flight altitude over all "
+           "points of an uneven terrain containing ground-based threats.";
+  }
+
+  std::vector<std::string> variants() const override {
+    return {"sequential", "coarse", "finegrained"};
+  }
+
+  VariantOutcome run(const std::string& variant, int scenario_index,
+                     int threads) override {
+    TC3I_EXPECTS(scenario_index >= 0 && scenario_index < num_scenarios());
+    const terrain::Scenario scenario = make_scenario(scenario_index);
+    const terrain::Grid reference = terrain::run_sequential(scenario);
+
+    VariantOutcome outcome;
+    const auto start = std::chrono::steady_clock::now();
+    terrain::Grid result;
+    if (variant == "sequential") {
+      result = terrain::run_sequential(scenario);
+    } else if (variant == "coarse") {
+      terrain::CoarseParams params;
+      params.num_threads = threads;
+      result = terrain::run_coarse(scenario, params);
+    } else if (variant == "finegrained") {
+      result = terrain::run_finegrained(scenario, threads);
+    } else {
+      contract_failure("Suite", ("unknown variant " + variant).c_str(),
+                       __FILE__, __LINE__);
+    }
+    outcome.host_seconds = wall_seconds_since(start);
+    outcome.work_units = static_cast<std::uint64_t>(result.cells());
+
+    const terrain::CheckResult vs_ref = terrain::check_equal(reference, result);
+    const terrain::CheckResult semantic =
+        terrain::validate_masking(scenario, result);
+    outcome.correct = vs_ref.ok && semantic.ok;
+    outcome.detail = vs_ref.ok ? semantic.message : vs_ref.message;
+    return outcome;
+  }
+
+ private:
+  terrain::Scenario make_scenario(int index) const {
+    terrain::ScenarioParams params;
+    params.x_size = params.y_size = scale_ == Scale::Small ? 80 : 256;
+    params.num_threats = scale_ == Scale::Small ? 8 : 30;
+    const auto seeds = standard_scenarios(name());
+    terrain::Scenario s = terrain::generate_scenario(
+        seeds[static_cast<std::size_t>(index)].seed, params);
+    s.name = seeds[static_cast<std::size_t>(index)].name;
+    return s;
+  }
+
+  Scale scale_;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Problem>> make_suite(Scale scale) {
+  std::vector<std::unique_ptr<Problem>> suite;
+  suite.push_back(std::make_unique<ThreatProblem>(scale));
+  suite.push_back(std::make_unique<TerrainProblem>(scale));
+  return suite;
+}
+
+}  // namespace tc3i::c3i

@@ -1,0 +1,54 @@
+// The C3I Parallel Benchmark Suite framework.
+//
+// The original suite packaged each problem as: a problem description, an
+// efficient sequential C program, benchmark input data, and a correctness
+// test for the output. This interface mirrors that structure: a Problem
+// knows its description, its program variants (sequential + the paper's
+// parallelizations), generates its standard input scenarios, and checks
+// every variant's output against the sequential reference.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tc3i::c3i {
+
+/// Result of running one variant on one scenario.
+struct VariantOutcome {
+  bool correct = false;
+  std::string detail;          ///< checker message when incorrect
+  std::uint64_t work_units = 0;  ///< problem-specific work count
+  double host_seconds = 0.0;     ///< wall-clock of the run (host threads)
+};
+
+/// Problem scale: tests use Small; examples use Medium; the full paper
+/// scale is reserved for the experiment layer (it needs no host compute).
+enum class Scale { Small, Medium };
+
+class Problem {
+ public:
+  virtual ~Problem() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::string description() const = 0;
+
+  /// Variant names, sequential reference first.
+  [[nodiscard]] virtual std::vector<std::string> variants() const = 0;
+
+  /// Number of standard input scenarios (five, as in the suite).
+  [[nodiscard]] int num_scenarios() const { return 5; }
+
+  /// Runs `variant` on scenario `scenario_index` with `threads` host
+  /// threads and verifies the output. Aborts on unknown variant names
+  /// (programming error, not data error).
+  [[nodiscard]] virtual VariantOutcome run(const std::string& variant,
+                                           int scenario_index,
+                                           int threads) = 0;
+};
+
+/// Builds the suite: both problems the paper evaluates.
+[[nodiscard]] std::vector<std::unique_ptr<Problem>> make_suite(Scale scale);
+
+}  // namespace tc3i::c3i

@@ -1,0 +1,78 @@
+#include "c3i/terrain/checker.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace tc3i::c3i::terrain {
+
+CheckResult check_equal(const Grid& reference, const Grid& got) {
+  if (reference.x_size() != got.x_size() ||
+      reference.y_size() != got.y_size()) {
+    std::ostringstream os;
+    os << "grid size mismatch: reference " << reference.x_size() << "x"
+       << reference.y_size() << ", got " << got.x_size() << "x"
+       << got.y_size();
+    return {false, os.str()};
+  }
+  for (int y = 0; y < reference.y_size(); ++y) {
+    for (int x = 0; x < reference.x_size(); ++x) {
+      const double a = reference.at(x, y);
+      const double b = got.at(x, y);
+      if (a != b && !(std::isinf(a) && std::isinf(b))) {
+        std::ostringstream os;
+        os << "masking differs at (" << x << ", " << y << "): reference " << a
+           << ", got " << b;
+        return {false, os.str()};
+      }
+    }
+  }
+  return {};
+}
+
+CheckResult validate_masking(const Scenario& scenario, const Grid& masking) {
+  const Grid& terrain = scenario.terrain;
+  // Coverage map: is each cell inside at least one region of influence?
+  Grid covered(terrain.x_size(), terrain.y_size(), 0.0);
+  for (const auto& threat : scenario.threats) {
+    const Region r = threat_region(terrain, threat);
+    for (int y = r.y0; y <= r.y1; ++y)
+      for (int x = r.x0; x <= r.x1; ++x) covered.at(x, y) = 1.0;
+  }
+
+  for (int y = 0; y < terrain.y_size(); ++y) {
+    for (int x = 0; x < terrain.x_size(); ++x) {
+      const double m = masking.at(x, y);
+      std::ostringstream os;
+      if (covered.at(x, y) == 0.0) {
+        if (!std::isinf(m)) {
+          os << "cell (" << x << ", " << y
+             << ") outside all regions should be INFINITY, got " << m;
+          return {false, os.str()};
+        }
+        continue;
+      }
+      if (std::isnan(m)) {
+        os << "NaN masking at (" << x << ", " << y << ")";
+        return {false, os.str()};
+      }
+      if (!std::isinf(m) && m < terrain.at(x, y)) {
+        os << "masking below terrain at (" << x << ", " << y << "): " << m
+           << " < " << terrain.at(x, y);
+        return {false, os.str()};
+      }
+    }
+  }
+
+  for (const auto& threat : scenario.threats) {
+    const double m = masking.at(threat.x, threat.y);
+    if (m > terrain.at(threat.x, threat.y)) {
+      std::ostringstream os;
+      os << "threat cell (" << threat.x << ", " << threat.y
+         << ") must be fully visible (masking == terrain), got " << m;
+      return {false, os.str()};
+    }
+  }
+  return {};
+}
+
+}  // namespace tc3i::c3i::terrain

@@ -1,0 +1,28 @@
+// Correctness checks for Terrain Masking outputs.
+#pragma once
+
+#include <string>
+
+#include "c3i/terrain/scenario_gen.hpp"
+
+namespace tc3i::c3i::terrain {
+
+struct CheckResult {
+  bool ok = true;
+  std::string message;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// All variants perform identical per-cell arithmetic and combine with
+/// min (exact for IEEE doubles), so outputs must match bit-for-bit.
+[[nodiscard]] CheckResult check_equal(const Grid& reference, const Grid& got);
+
+/// Reference-free semantic validation:
+///  - cells outside every region of influence are INFINITY,
+///  - cells inside some region are finite and >= the terrain elevation,
+///  - the threat's own cell is clamped to the terrain elevation.
+[[nodiscard]] CheckResult validate_masking(const Scenario& scenario,
+                                           const Grid& masking);
+
+}  // namespace tc3i::c3i::terrain

@@ -1,0 +1,80 @@
+#include "c3i/terrain/coarse.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/contracts.hpp"
+#include "sthreads/parallel_for.hpp"
+#include "sthreads/thread.hpp"
+
+namespace tc3i::c3i::terrain {
+
+Region block_region(int x_size, int y_size, int blocks_per_side, int i,
+                    int j) {
+  TC3I_EXPECTS(blocks_per_side > 0);
+  TC3I_EXPECTS(i >= 0 && i < blocks_per_side && j >= 0 && j < blocks_per_side);
+  Region r;
+  r.x0 = i * x_size / blocks_per_side;
+  r.x1 = (i + 1) * x_size / blocks_per_side - 1;
+  r.y0 = j * y_size / blocks_per_side;
+  r.y1 = (j + 1) * y_size / blocks_per_side - 1;
+  return r;
+}
+
+Grid run_coarse(const Scenario& scenario, const CoarseParams& params) {
+  TC3I_EXPECTS(params.num_threads > 0);
+  TC3I_EXPECTS(params.blocks_per_side > 0);
+  const Grid& terrain = scenario.terrain;
+  const int bs = params.blocks_per_side;
+
+  Grid masking(terrain.x_size(), terrain.y_size(), kInfinity);
+  std::vector<sthreads::SpinLock> locks(
+      static_cast<std::size_t>(bs) * static_cast<std::size_t>(bs));
+
+  // Per-thread temp arrays ("each thread requires its own temp array" —
+  // the storage cost the paper flags as the reason this approach does not
+  // scale to the MTA's hundreds of threads).
+  std::vector<std::unique_ptr<Grid>> temps(
+      static_cast<std::size_t>(params.num_threads));
+  std::vector<KernelScratch> scratches(
+      static_cast<std::size_t>(params.num_threads));
+  for (auto& t : temps)
+    t = std::make_unique<Grid>(terrain.x_size(), terrain.y_size(), 0.0);
+
+  sthreads::parallel_for_dynamic(
+      scenario.threats.size(), params.num_threads,
+      [&](std::size_t ti, int worker) {
+        const GroundThreat& threat = scenario.threats[ti];
+        Grid& temp = *temps[static_cast<std::size_t>(worker)];
+        KernelScratch& scratch = scratches[static_cast<std::size_t>(worker)];
+        const Region region = threat_region(terrain, threat);
+
+        // Pass 1: reset this worker's temp over the region.
+        for (int y = region.y0; y <= region.y1; ++y)
+          for (int x = region.x0; x <= region.x1; ++x)
+            temp.at(x, y) = kInfinity;
+        // Pass 2 (kernel): masking due to this threat, into temp.
+        compute_threat_masking(terrain, threat, temp, scratch);
+        // Pass 3: minimize into the shared array, block by block.
+        for (int i = 0; i < bs; ++i) {
+          for (int j = 0; j < bs; ++j) {
+            const Region block =
+                block_region(terrain.x_size(), terrain.y_size(), bs, i, j);
+            if (!block.overlaps(region)) continue;
+            const Region overlap = block.intersect(region);
+            auto& lock = locks[static_cast<std::size_t>(i) *
+                                   static_cast<std::size_t>(bs) +
+                               static_cast<std::size_t>(j)];
+            lock.lock();
+            for (int y = overlap.y0; y <= overlap.y1; ++y)
+              for (int x = overlap.x0; x <= overlap.x1; ++x)
+                masking.at(x, y) = std::min(masking.at(x, y), temp.at(x, y));
+            lock.unlock();
+          }
+        }
+      });
+
+  return masking;
+}
+
+}  // namespace tc3i::c3i::terrain

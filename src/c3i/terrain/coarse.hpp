@@ -1,0 +1,25 @@
+// Coarse-grained multithreaded Terrain Masking (the paper's Program 4):
+// dynamic distribution of threats to threads; each thread computes a
+// threat's masking into its own temp array (swapped roles relative to
+// Program 3 — only 3 region passes instead of 4, the source of the
+// paper's incidental 1-processor speedup); results are minimized into the
+// shared masking array block by block under per-block locks.
+#pragma once
+
+#include "c3i/terrain/sequential.hpp"
+
+namespace tc3i::c3i::terrain {
+
+struct CoarseParams {
+  int num_threads = 4;
+  int blocks_per_side = 10;  ///< the paper's "ten-by-ten blocking"
+};
+
+[[nodiscard]] Grid run_coarse(const Scenario& scenario,
+                              const CoarseParams& params);
+
+/// The terrain block (i, j) in a blocks_per_side x blocks_per_side split.
+[[nodiscard]] Region block_region(int x_size, int y_size, int blocks_per_side,
+                                  int i, int j);
+
+}  // namespace tc3i::c3i::terrain

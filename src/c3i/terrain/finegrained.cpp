@@ -1,0 +1,95 @@
+#include "c3i/terrain/finegrained.hpp"
+
+#include <algorithm>
+
+#include "core/contracts.hpp"
+#include "sthreads/parallel_for.hpp"
+
+namespace tc3i::c3i::terrain {
+
+namespace {
+
+/// Below this many cells a pass runs serially: spawning host threads for a
+/// handful of cells costs more than it saves (on the real MTA the
+/// threshold would be far lower — thread creation is ~2 cycles there).
+constexpr std::size_t kParallelThreshold = 256;
+
+template <typename Body>
+void maybe_parallel(std::size_t n, int num_threads, const Body& body) {
+  if (n < kParallelThreshold || num_threads == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  sthreads::parallel_for_chunked(
+      n, num_threads, num_threads,
+      [&](std::size_t begin, std::size_t end, int /*chunk*/) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      });
+}
+
+}  // namespace
+
+Grid run_finegrained(const Scenario& scenario, int num_threads) {
+  TC3I_EXPECTS(num_threads > 0);
+  const Grid& terrain = scenario.terrain;
+  Grid masking(terrain.x_size(), terrain.y_size(), kInfinity);
+  Grid temp(terrain.x_size(), terrain.y_size(), 0.0);
+  std::vector<double> slope;
+  std::vector<std::pair<int, int>> ring;
+
+  for (const auto& threat : scenario.threats) {
+    const Region region = threat_region(terrain, threat);
+    const int side = 2 * threat.radius + 1;
+    slope.assign(static_cast<std::size_t>(side) *
+                     static_cast<std::size_t>(side),
+                 -1e30);
+    auto slope_at = [&](int x, int y) -> double& {
+      const int lx = x - (threat.x - threat.radius);
+      const int ly = y - (threat.y - threat.radius);
+      return slope[static_cast<std::size_t>(ly) *
+                       static_cast<std::size_t>(side) +
+                   static_cast<std::size_t>(lx)];
+    };
+    const double sensor_z =
+        terrain.at(threat.x, threat.y) + threat.sensor_height;
+    const int width = region.width();
+    const auto region_cells = static_cast<std::size_t>(region.cell_count());
+
+    // Pass 1 (parallel over all region cells): reset temp.
+    maybe_parallel(region_cells, num_threads, [&](std::size_t idx) {
+      const int x = region.x0 + static_cast<int>(idx) % width;
+      const int y = region.y0 + static_cast<int>(idx) / width;
+      temp.at(x, y) = kInfinity;
+    });
+
+    // Ring 0 is the threat's own cell.
+    temp.at(threat.x, threat.y) = terrain.at(threat.x, threat.y);
+
+    // Pass 2 (kernel): rings are sequential; cells within a ring are
+    // independent and run in parallel.
+    const int rings = max_ring(region, threat.x, threat.y);
+    for (int r = 1; r <= rings; ++r) {
+      ring_cells(region, threat.x, threat.y, r, ring);
+      maybe_parallel(ring.size(), num_threads, [&](std::size_t idx) {
+        const auto [x, y] = ring[idx];
+        const auto [px, py] = parent_cell(threat.x, threat.y, x, y);
+        const CellResult res =
+            evaluate_cell(terrain, threat, sensor_z, x, y, slope_at(px, py));
+        temp.at(x, y) = res.masking;
+        slope_at(x, y) = res.slope;
+      });
+    }
+
+    // Pass 3 (parallel): minimize into the shared masking array. Only one
+    // threat is in flight, so no locks are needed — full/empty bits would
+    // make even overlapped threats safe on a real MTA.
+    maybe_parallel(region_cells, num_threads, [&](std::size_t idx) {
+      const int x = region.x0 + static_cast<int>(idx) % width;
+      const int y = region.y0 + static_cast<int>(idx) / width;
+      masking.at(x, y) = std::min(masking.at(x, y), temp.at(x, y));
+    });
+  }
+  return masking;
+}
+
+}  // namespace tc3i::c3i::terrain

@@ -1,0 +1,20 @@
+// Fine-grained multithreaded Terrain Masking (the MTA approach, developed
+// for the paper by John Feo at Tera): threats are processed one at a time
+// with a single shared temp array, and the *inner* per-cell loops are
+// parallelized — the reset and min-combine passes across all region cells,
+// and the kernel pass across the cells of each Chebyshev ring (cells within
+// a ring are mutually independent; rings are sequential).
+//
+// This host version realizes the same schedule with threads + barriers so
+// its output can be checked bit-for-bit against the sequential program;
+// the simulated-MTA version of the same schedule is built by
+// trace_builder.cpp.
+#pragma once
+
+#include "c3i/terrain/sequential.hpp"
+
+namespace tc3i::c3i::terrain {
+
+[[nodiscard]] Grid run_finegrained(const Scenario& scenario, int num_threads);
+
+}  // namespace tc3i::c3i::terrain

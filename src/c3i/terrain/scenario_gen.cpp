@@ -1,0 +1,80 @@
+#include "c3i/terrain/scenario_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "c3i/scenario.hpp"
+#include "core/contracts.hpp"
+#include "core/rng.hpp"
+
+namespace tc3i::c3i::terrain {
+
+GeometryScenario generate_geometry(std::uint64_t seed,
+                                   const ScenarioParams& params) {
+  TC3I_EXPECTS(params.x_size > 4 && params.y_size > 4);
+  TC3I_EXPECTS(params.num_threats > 0);
+  TC3I_EXPECTS(params.region_fraction > 0.0 && params.region_fraction <= 1.0);
+
+  Rng rng(seed);
+  GeometryScenario s;
+  s.x_size = params.x_size;
+  s.y_size = params.y_size;
+  // (2R+1)^2 = fraction * area  =>  R = (sqrt(fraction*area) - 1) / 2.
+  const double area = static_cast<double>(params.x_size) *
+                      static_cast<double>(params.y_size);
+  const int base_radius = std::max(
+      2,
+      static_cast<int>((std::sqrt(params.region_fraction * area) - 1.0) / 2.0));
+
+  s.threats.reserve(params.num_threats);
+  for (std::size_t i = 0; i < params.num_threats; ++i) {
+    GroundThreat t;
+    t.x = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(params.x_size)));
+    t.y = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(params.y_size)));
+    t.sensor_height = rng.uniform(10.0, 35.0);
+    // "up to 5%": radii vary, capped at the 5% target.
+    t.radius = std::max(
+        2, static_cast<int>(std::lround(base_radius * rng.uniform(0.6, 1.0))));
+    s.threats.push_back(t);
+  }
+  return s;
+}
+
+Scenario generate_scenario(std::uint64_t seed, const ScenarioParams& params) {
+  GeometryScenario g = generate_geometry(seed, params);
+  Scenario s;
+  s.name = std::move(g.name);
+  s.threats = std::move(g.threats);
+  s.terrain = generate_terrain(seed ^ 0x7e55a117'c3b1'5017ULL, params.x_size,
+                               params.y_size);
+  return s;
+}
+
+std::vector<GeometryScenario> benchmark_geometries() {
+  std::vector<GeometryScenario> out;
+  for (const auto& info : standard_scenarios("terrain-masking")) {
+    GeometryScenario g = generate_geometry(info.seed);
+    g.name = info.name;
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+std::vector<Scenario> scaled_scenarios(int x_size, int y_size,
+                                       std::size_t num_threats) {
+  ScenarioParams params;
+  params.x_size = x_size;
+  params.y_size = y_size;
+  params.num_threats = num_threats;
+  std::vector<Scenario> out;
+  for (const auto& info : standard_scenarios("terrain-masking")) {
+    Scenario s = generate_scenario(info.seed, params);
+    s.name = info.name + "-scaled";
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace tc3i::c3i::terrain

@@ -1,0 +1,58 @@
+// Synthetic Terrain Masking scenarios matching the paper's workload shape:
+// five scenarios, 60 threats each, region of influence up to ~5% of the
+// terrain ("the benchmark data sets contain only 60 threats per input
+// scenario" — the fact that limits outer-loop parallelism on the MTA).
+//
+// Geometry (threat placement and radii) is separable from the terrain
+// height field: the machine-model timing depends only on geometry, so the
+// full-scale benchmark profiles never materialize the height grids.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "c3i/terrain/terrain.hpp"
+
+namespace tc3i::c3i::terrain {
+
+struct ScenarioParams {
+  int x_size = 2200;
+  int y_size = 2200;
+  std::size_t num_threats = 60;
+  /// Region of influence target as a fraction of the terrain area
+  /// (the paper: "up to 5% of the total terrain").
+  double region_fraction = 0.05;
+};
+
+/// Threat placement only — all the information the work profiles need.
+struct GeometryScenario {
+  std::string name;
+  int x_size = 0;
+  int y_size = 0;
+  std::vector<GroundThreat> threats;
+};
+
+/// A full scenario: geometry plus the terrain height field.
+struct Scenario {
+  std::string name;
+  Grid terrain;
+  std::vector<GroundThreat> threats;
+};
+
+[[nodiscard]] GeometryScenario generate_geometry(std::uint64_t seed,
+                                                 const ScenarioParams& params = {});
+
+/// Geometry plus terrain heights (used by the real computations).
+[[nodiscard]] Scenario generate_scenario(std::uint64_t seed,
+                                         const ScenarioParams& params = {});
+
+/// The five standard benchmark geometries at full paper scale.
+[[nodiscard]] std::vector<GeometryScenario> benchmark_geometries();
+
+/// Down-scaled full scenarios (with terrain) for correctness runs and the
+/// cycle-level MTA simulation.
+[[nodiscard]] std::vector<Scenario> scaled_scenarios(int x_size, int y_size,
+                                                     std::size_t num_threats);
+
+}  // namespace tc3i::c3i::terrain

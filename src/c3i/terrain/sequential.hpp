@@ -1,0 +1,43 @@
+// Sequential Terrain Masking (the paper's Program 3) and the per-threat
+// work profile used by the trace builders.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "c3i/terrain/masking_kernel.hpp"
+#include "c3i/terrain/scenario_gen.hpp"
+
+namespace tc3i::c3i::terrain {
+
+/// Program 3: initialize masking to INFINITY; for each threat in turn,
+/// save the region (temp), compute the threat's masking into the shared
+/// array, and minimize the saved values back in. Four passes over the
+/// region per threat, exactly as the paper describes.
+[[nodiscard]] Grid run_sequential(const Scenario& scenario);
+
+/// Work profile of one threat.
+struct ThreatWork {
+  Region region;
+  std::uint64_t kernel_cells = 0;  ///< masking-kernel evaluations
+  std::uint64_t simple_cells = 0;  ///< copy/fill/min cell visits
+  std::vector<std::uint32_t> ring_sizes;  ///< clipped cells per ring (1..R)
+};
+
+struct TerrainProfile {
+  int x_size = 0;
+  int y_size = 0;
+  std::vector<ThreatWork> threats;
+
+  [[nodiscard]] std::uint64_t total_kernel_cells() const;
+  [[nodiscard]] std::uint64_t total_simple_cells() const;
+};
+
+/// Profiles the sequential program's work (Program 3 pass structure:
+/// 3 simple passes + 1 kernel pass per threat, plus the whole-terrain
+/// initialization counted by the caller via x_size * y_size). Timing
+/// depends only on geometry, so the full-scale profile needs no heights.
+[[nodiscard]] TerrainProfile profile(const GeometryScenario& scenario);
+[[nodiscard]] TerrainProfile profile(const Scenario& scenario);
+
+}  // namespace tc3i::c3i::terrain

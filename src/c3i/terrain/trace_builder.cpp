@@ -1,0 +1,208 @@
+#include "c3i/terrain/trace_builder.hpp"
+
+#include <algorithm>
+
+#include "c3i/terrain/coarse.hpp"
+#include "core/contracts.hpp"
+
+namespace tc3i::c3i::terrain {
+
+namespace {
+
+/// Emission batch for MTA streams: groups this many cells per
+/// compute+load entry pair to keep programs compact while preserving a
+/// realistic ALU/memory interleave.
+constexpr std::uint64_t kCellBatch = 16;
+
+void emit_cells_mta(mta::VectorProgram& prog, std::uint64_t cells,
+                    std::uint64_t alu_per_cell, std::uint64_t mem_per_cell) {
+  std::uint64_t remaining = cells;
+  while (remaining > 0) {
+    const std::uint64_t batch = std::min(remaining, kCellBatch);
+    prog.compute(batch * alu_per_cell);
+    prog.load(1, batch * mem_per_cell);
+    remaining -= batch;
+  }
+}
+
+}  // namespace
+
+sim::ThreadTrace build_init_trace(const TerrainProfile& profile,
+                                  const TerrainCosts& costs) {
+  sim::ThreadTrace trace;
+  const auto cells = static_cast<std::uint64_t>(profile.x_size) *
+                     static_cast<std::uint64_t>(profile.y_size);
+  trace.compute(cells * costs.ops_per_simple_cell(),
+                cells * costs.bus_bytes_per_simple_cell);
+  return trace;
+}
+
+sim::ThreadTrace build_sequential_trace(const TerrainProfile& profile,
+                                        const TerrainCosts& costs) {
+  sim::ThreadTrace trace;
+  for (const auto& t : profile.threats) {
+    trace.compute(t.simple_cells * costs.ops_per_simple_cell(),
+                  t.simple_cells * costs.bus_bytes_per_simple_cell);
+    trace.compute(t.kernel_cells * costs.ops_per_kernel_cell(),
+                  t.kernel_cells * costs.bus_bytes_per_kernel_cell);
+  }
+  return trace;
+}
+
+namespace {
+
+/// Appends one threat's Program-4 work (reset, kernel, block-locked
+/// min-combine) to `trace`.
+void emit_coarse_task(sim::ThreadTrace& trace, const TerrainProfile& profile,
+                      const ThreatWork& t, int blocks_per_side,
+                      const TerrainCosts& costs) {
+  const auto region_cells = static_cast<std::uint64_t>(t.region.cell_count());
+  // Reset pass (into this worker's private temp).
+  trace.compute(region_cells * costs.ops_per_simple_cell(),
+                region_cells * costs.bus_bytes_per_simple_cell);
+  // Kernel pass (into temp).
+  trace.compute(t.kernel_cells * costs.ops_per_kernel_cell(),
+                t.kernel_cells * costs.bus_bytes_per_kernel_cell);
+  // Min-combine into the shared array, block by block, under locks.
+  for (int i = 0; i < blocks_per_side; ++i) {
+    for (int j = 0; j < blocks_per_side; ++j) {
+      const Region block =
+          block_region(profile.x_size, profile.y_size, blocks_per_side, i, j);
+      if (!block.overlaps(t.region)) continue;
+      const Region overlap = block.intersect(t.region);
+      const auto overlap_cells =
+          static_cast<std::uint64_t>(overlap.cell_count());
+      const int lock_id = i * blocks_per_side + j;
+      trace.compute(costs.alu_per_block_visit, 0);
+      trace.acquire(lock_id);
+      trace.compute(overlap_cells * costs.ops_per_simple_cell(),
+                    overlap_cells * costs.bus_bytes_per_simple_cell);
+      trace.release(lock_id);
+    }
+  }
+}
+
+}  // namespace
+
+smp::PoolWorkload build_coarse_pool(const TerrainProfile& profile,
+                                    int num_workers, int blocks_per_side,
+                                    const TerrainCosts& costs) {
+  TC3I_EXPECTS(num_workers > 0);
+  TC3I_EXPECTS(blocks_per_side > 0);
+  smp::PoolWorkload pool;
+  pool.num_workers = num_workers;
+  pool.num_locks = blocks_per_side * blocks_per_side;
+  for (const auto& t : profile.threats) {
+    sim::ThreadTrace task;
+    emit_coarse_task(task, profile, t, blocks_per_side, costs);
+    pool.tasks.push_back(std::move(task));
+  }
+  return pool;
+}
+
+sim::WorkloadTrace build_coarse_static(const TerrainProfile& profile,
+                                       int num_workers, int blocks_per_side,
+                                       const TerrainCosts& costs) {
+  TC3I_EXPECTS(num_workers > 0);
+  TC3I_EXPECTS(blocks_per_side > 0);
+  sim::WorkloadTrace workload;
+  workload.num_locks = blocks_per_side * blocks_per_side;
+  workload.threads.resize(static_cast<std::size_t>(num_workers));
+  for (std::size_t ti = 0; ti < profile.threats.size(); ++ti)
+    emit_coarse_task(workload.threads[ti % static_cast<std::size_t>(num_workers)],
+                     profile, profile.threats[ti], blocks_per_side, costs);
+  return workload;
+}
+
+void build_mta_sequential(mta::ProgramPool& pool, mta::Machine& machine,
+                          const TerrainProfile& profile,
+                          const TerrainCosts& costs) {
+  mta::VectorProgram* prog = pool.make_vector();
+  const auto terrain_cells = static_cast<std::uint64_t>(profile.x_size) *
+                             static_cast<std::uint64_t>(profile.y_size);
+  emit_cells_mta(*prog, terrain_cells, costs.alu_per_simple_cell,
+                 costs.mem_per_simple_cell);
+  for (const auto& t : profile.threats) {
+    emit_cells_mta(*prog, t.simple_cells, costs.alu_per_simple_cell,
+                   costs.mem_per_simple_cell);
+    emit_cells_mta(*prog, t.kernel_cells, costs.alu_per_kernel_cell,
+                   costs.mem_per_kernel_cell);
+  }
+  machine.add_stream(prog);
+}
+
+void build_mta_finegrained(mta::ProgramPool& pool, mta::Machine& machine,
+                           const TerrainProfile& profile,
+                           const TerrainCosts& costs,
+                           const MtaFineParams& params) {
+  TC3I_EXPECTS(params.simple_cells_per_stream > 0);
+  TC3I_EXPECTS(params.ring_cells_per_stream > 0);
+  TC3I_EXPECTS(params.pipelines > 0);
+
+  mta::Address next_done_cell = 16;  // bump allocator for done cells
+
+  // Spawns ceil(cells / per_stream) workers covering `cells` cell
+  // evaluations, then joins them on freshly allocated done cells.
+  auto parallel_pass = [&](mta::VectorProgram& master, std::uint64_t cells,
+                           std::size_t per_stream, std::uint64_t alu,
+                           std::uint64_t mem) {
+    if (cells == 0) return;
+    const std::uint64_t k = (cells + per_stream - 1) / per_stream;
+    const mta::Address done_base = next_done_cell;
+    next_done_cell += k;
+    TC3I_ASSERT(next_done_cell < machine.memory().size());
+    for (std::uint64_t w = 0; w < k; ++w) {
+      const std::uint64_t begin = w * cells / k;
+      const std::uint64_t end = (w + 1) * cells / k;
+      mta::VectorProgram* worker = pool.make_vector();
+      worker->compute(6);  // bounds setup
+      emit_cells_mta(*worker, end - begin, alu, mem);
+      mta::signal_done(*worker, done_base, w);
+      master.spawn(worker, /*software=*/false);
+    }
+    mta::await_all(master, done_base, k);
+  };
+
+  // Whole-terrain initialization, in parallel under the first master.
+  const std::size_t n_masters =
+      std::min(params.pipelines, std::max<std::size_t>(1, profile.threats.size()));
+  std::vector<mta::VectorProgram*> masters;
+  for (std::size_t m = 0; m < n_masters; ++m)
+    masters.push_back(pool.make_vector());
+
+  const auto terrain_cells = static_cast<std::uint64_t>(profile.x_size) *
+                             static_cast<std::uint64_t>(profile.y_size);
+  parallel_pass(*masters[0], terrain_cells, params.simple_cells_per_stream,
+                costs.alu_per_simple_cell, costs.mem_per_simple_cell);
+
+  // Threats are dealt round-robin to the pipelines; each pipeline owns a
+  // private temp array and processes its threats in order.
+  for (std::size_t ti = 0; ti < profile.threats.size(); ++ti) {
+    const ThreatWork& t = profile.threats[ti];
+    mta::VectorProgram& master = *masters[ti % n_masters];
+    const auto region_cells = static_cast<std::uint64_t>(t.region.cell_count());
+    master.compute(30);  // per-threat setup (region bounds, sensor height)
+
+    // Reset pass over this pipeline's temp array.
+    parallel_pass(master, region_cells, params.simple_cells_per_stream,
+                  costs.alu_per_simple_cell, costs.mem_per_simple_cell);
+
+    // Ring 0: the master evaluates the center cell itself.
+    master.compute(costs.alu_per_kernel_cell);
+    master.load(1, costs.mem_per_kernel_cell);
+
+    // Kernel: rings are barriers (ring r reads ring r-1's slopes).
+    for (const std::uint32_t ring_size : t.ring_sizes)
+      parallel_pass(master, ring_size, params.ring_cells_per_stream,
+                    costs.alu_per_kernel_cell, costs.mem_per_kernel_cell);
+
+    // Min-combine pass into the shared masking array. Full/empty bits on
+    // the masking words make concurrent pipelines safe element-wise.
+    parallel_pass(master, region_cells, params.simple_cells_per_stream,
+                  costs.alu_per_simple_cell, costs.mem_per_simple_cell);
+  }
+
+  for (mta::VectorProgram* master : masters) machine.add_stream(master);
+}
+
+}  // namespace tc3i::c3i::terrain

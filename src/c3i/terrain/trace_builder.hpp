@@ -1,0 +1,71 @@
+// Converts Terrain Masking work profiles into machine-model inputs:
+// SMP traces/pools and MTA stream programs.
+#pragma once
+
+#include <cstddef>
+
+#include "c3i/cost_model.hpp"
+#include "c3i/terrain/sequential.hpp"
+#include "mta/machine.hpp"
+#include "mta/runtime.hpp"
+#include "sim/trace.hpp"
+#include "smp/workload.hpp"
+
+namespace tc3i::c3i::terrain {
+
+// --- conventional (SMP) traces ---------------------------------------------
+
+/// Whole-terrain masking initialization (masking[*][*] = INFINITY).
+[[nodiscard]] sim::ThreadTrace build_init_trace(const TerrainProfile& profile,
+                                                const TerrainCosts& costs);
+
+/// Program 3 replay: per threat, 3 simple region passes + 1 kernel pass.
+[[nodiscard]] sim::ThreadTrace build_sequential_trace(
+    const TerrainProfile& profile, const TerrainCosts& costs);
+
+/// Program 4 replay: a dynamic pool of per-threat tasks. Each task does a
+/// region reset pass, the kernel pass, and then the min-combine pass
+/// block-by-block under per-block locks (blocks_per_side^2 locks).
+[[nodiscard]] smp::PoolWorkload build_coarse_pool(const TerrainProfile& profile,
+                                                  int num_workers,
+                                                  int blocks_per_side,
+                                                  const TerrainCosts& costs);
+
+/// Ablation variant of Program 4: threats statically dealt round-robin to
+/// threads instead of pulled from the dynamic queue. With only 60 uneven
+/// tasks, static assignment loses to dynamic on load imbalance.
+[[nodiscard]] sim::WorkloadTrace build_coarse_static(
+    const TerrainProfile& profile, int num_workers, int blocks_per_side,
+    const TerrainCosts& costs);
+
+// --- Tera MTA stream programs -----------------------------------------------
+
+/// Single stream executing the whole sequential program (initialization
+/// included).
+void build_mta_sequential(mta::ProgramPool& pool, mta::Machine& machine,
+                          const TerrainProfile& profile,
+                          const TerrainCosts& costs);
+
+struct MtaFineParams {
+  /// Cells per worker stream for the embarrassingly parallel passes.
+  std::size_t simple_cells_per_stream = 48;
+  /// Cells per worker stream within one kernel ring.
+  std::size_t ring_cells_per_stream = 12;
+  /// Concurrent threat pipelines. One alone cannot keep ~100 streams live
+  /// through the small near-threat rings, so a handful of threats are
+  /// processed concurrently, each with its own temp array — still far from
+  /// the coarse version's temp-per-thread-for-hundreds-of-threads cost the
+  /// paper rules out, but enough concurrency to mask latency.
+  std::size_t pipelines = 4;
+};
+
+/// The fine-grained schedule (Table 11): a few master streams each process
+/// a share of the threats; for each pass a master hardware-spawns worker
+/// streams and joins them through full/empty done-cells; kernel rings are
+/// separated by barriers because ring r reads ring r-1's propagated slopes.
+void build_mta_finegrained(mta::ProgramPool& pool, mta::Machine& machine,
+                           const TerrainProfile& profile,
+                           const TerrainCosts& costs,
+                           const MtaFineParams& params = {});
+
+}  // namespace tc3i::c3i::terrain

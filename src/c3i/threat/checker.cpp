@@ -1,0 +1,90 @@
+#include "c3i/threat/checker.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tc3i::c3i::threat {
+
+namespace {
+
+std::string describe(const Interval& iv) {
+  std::ostringstream os;
+  os << "(threat=" << iv.threat << ", weapon=" << iv.weapon << ", ["
+     << iv.t_begin << " .. " << iv.t_end << "])";
+  return os.str();
+}
+
+}  // namespace
+
+CheckResult check_against_reference(const std::vector<Interval>& reference,
+                                    const std::vector<Interval>& got,
+                                    bool order_sensitive) {
+  if (reference.size() != got.size()) {
+    std::ostringstream os;
+    os << "interval count mismatch: reference " << reference.size() << ", got "
+       << got.size();
+    return {false, os.str()};
+  }
+  std::vector<Interval> a = reference;
+  std::vector<Interval> b = got;
+  if (!order_sensitive) {
+    std::sort(a.begin(), a.end(), interval_less);
+    std::sort(b.begin(), b.end(), interval_less);
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) {
+      std::ostringstream os;
+      os << "interval " << i << " differs: reference " << describe(a[i])
+         << ", got " << describe(b[i]);
+      return {false, os.str()};
+    }
+  }
+  return {};
+}
+
+CheckResult validate_intervals(const Scenario& scenario,
+                               const std::vector<Interval>& intervals) {
+  const auto num_threats = static_cast<std::int32_t>(scenario.threats.size());
+  const auto num_weapons = static_cast<std::int32_t>(scenario.weapons.size());
+  for (const auto& iv : intervals) {
+    std::ostringstream os;
+    if (iv.threat < 0 || iv.threat >= num_threats) {
+      os << "threat id out of range in " << describe(iv);
+      return {false, os.str()};
+    }
+    if (iv.weapon < 0 || iv.weapon >= num_weapons) {
+      os << "weapon id out of range in " << describe(iv);
+      return {false, os.str()};
+    }
+    if (iv.t_begin > iv.t_end) {
+      os << "inverted interval " << describe(iv);
+      return {false, os.str()};
+    }
+    const Threat& th = scenario.threats[static_cast<std::size_t>(iv.threat)];
+    const Weapon& wp = scenario.weapons[static_cast<std::size_t>(iv.weapon)];
+    if (iv.t_begin < th.detect_time || iv.t_end > th.impact_time()) {
+      os << "interval outside [detect, impact] in " << describe(iv);
+      return {false, os.str()};
+    }
+    if (!can_intercept(wp, th, iv.t_begin) ||
+        !can_intercept(wp, th, iv.t_end)) {
+      os << "endpoint not feasible in " << describe(iv);
+      return {false, os.str()};
+    }
+    // Maximality: one step outside each end must be infeasible (or outside
+    // the scanned range).
+    const double before = iv.t_begin - scenario.dt;
+    if (before >= th.detect_time && can_intercept(wp, th, before)) {
+      os << "interval not maximal at start: " << describe(iv);
+      return {false, os.str()};
+    }
+    const double after = iv.t_end + scenario.dt;
+    if (after <= th.impact_time() && can_intercept(wp, th, after)) {
+      os << "interval not maximal at end: " << describe(iv);
+      return {false, os.str()};
+    }
+  }
+  return {};
+}
+
+}  // namespace tc3i::c3i::threat

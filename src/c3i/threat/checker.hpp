@@ -1,0 +1,33 @@
+// Correctness checks for Threat Analysis outputs (the C3IPBS ships a
+// correctness test with each problem; this is ours).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "c3i/threat/physics.hpp"
+#include "c3i/threat/scenario_gen.hpp"
+
+namespace tc3i::c3i::threat {
+
+struct CheckResult {
+  bool ok = true;
+  std::string message;  ///< empty when ok
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Compares a variant's output against the sequential reference. Chunked
+/// output is order-preserving (compare directly); fine-grained output races
+/// on order (compare as multisets via canonical sort).
+[[nodiscard]] CheckResult check_against_reference(
+    const std::vector<Interval>& reference, const std::vector<Interval>& got,
+    bool order_sensitive);
+
+/// Semantic validation independent of any reference: every reported
+/// interval must satisfy the interception predicate at its endpoints, must
+/// be maximal (infeasible one step outside both ends), and ids in range.
+[[nodiscard]] CheckResult validate_intervals(
+    const Scenario& scenario, const std::vector<Interval>& intervals);
+
+}  // namespace tc3i::c3i::threat

@@ -1,0 +1,19 @@
+// Chunked multithreaded Threat Analysis (the paper's Program 2).
+//
+// The outer loop over threats is split into `num_chunks` independent
+// chunks; each chunk appends to its own private interval buffer (shared
+// counter and array privatized — the manual algorithmic modification that
+// made the loop parallel). Buffers are concatenated in chunk order, so the
+// output is identical to the sequential program's, deterministically.
+#pragma once
+
+#include "c3i/threat/sequential.hpp"
+
+namespace tc3i::c3i::threat {
+
+/// Runs Program 2 on real host threads. `num_threads == 1` executes the
+/// chunked algorithm serially (the paper's "1 processor" row).
+[[nodiscard]] AnalysisResult run_chunked(const Scenario& scenario,
+                                         int num_chunks, int num_threads);
+
+}  // namespace tc3i::c3i::threat

@@ -1,0 +1,56 @@
+#include "c3i/threat/finegrained.hpp"
+
+#include <atomic>
+
+#include "core/contracts.hpp"
+#include "sthreads/parallel_for.hpp"
+#include "sthreads/sync_var.hpp"
+
+namespace tc3i::c3i::threat {
+
+AnalysisResult run_finegrained(const Scenario& scenario, int num_threads) {
+  TC3I_EXPECTS(num_threads > 0);
+  const auto num_weapons = static_cast<std::int32_t>(scenario.weapons.size());
+
+  // The shared intervals array must be generously sized up front (there is
+  // no way to know the count in advance — the same storage issue the paper
+  // discusses). We size from a conservative per-pair bound and verify.
+  const std::size_t capacity =
+      scenario.threats.size() * scenario.weapons.size() * 4 + 1024;
+  std::vector<Interval> intervals(capacity);
+  sthreads::SyncCounter num_intervals(0);
+  std::atomic<std::uint64_t> steps{0};
+
+  sthreads::parallel_for_dynamic(
+      scenario.threats.size(), num_threads,
+      [&](std::size_t t, int /*worker*/) {
+        std::uint64_t local_steps = 0;
+        for (std::int32_t w = 0; w < num_weapons; ++w) {
+          PairScan scan = scan_pair(
+              scenario.threats[t], static_cast<std::int32_t>(t),
+              scenario.weapons[static_cast<std::size_t>(w)], w, scenario.dt);
+          local_steps += scan.steps;
+          if (!scan.intervals.empty()) {
+            // One fetch-add claims a run of slots for this pair's
+            // intervals (the MTA would use one full/empty round-trip).
+            const long base = num_intervals.fetch_add(
+                static_cast<long>(scan.intervals.size()));
+            TC3I_ASSERT(static_cast<std::size_t>(base) +
+                            scan.intervals.size() <=
+                        intervals.size());
+            for (std::size_t i = 0; i < scan.intervals.size(); ++i)
+              intervals[static_cast<std::size_t>(base) + i] =
+                  scan.intervals[i];
+          }
+        }
+        steps.fetch_add(local_steps, std::memory_order_relaxed);
+      });
+
+  AnalysisResult result;
+  intervals.resize(static_cast<std::size_t>(num_intervals.value()));
+  result.intervals = std::move(intervals);
+  result.steps = steps.load();
+  return result;
+}
+
+}  // namespace tc3i::c3i::threat

@@ -1,0 +1,19 @@
+// Fine-grained Threat Analysis (the paper's §5 "alternative approach"):
+// the outer loop over threats is parallelized *without* chunking; the
+// shared num_intervals counter and intervals array are protected by a
+// fetch-and-add on a synchronization variable — the idiom the Tera MTA
+// supports in hardware through full/empty bits.
+//
+// As the paper notes, the consequence is a nondeterministic ordering of
+// the intervals array (the values themselves are identical; only the order
+// races). The checker compares order-insensitively for this variant.
+#pragma once
+
+#include "c3i/threat/sequential.hpp"
+
+namespace tc3i::c3i::threat {
+
+[[nodiscard]] AnalysisResult run_finegrained(const Scenario& scenario,
+                                             int num_threads);
+
+}  // namespace tc3i::c3i::threat

@@ -1,0 +1,84 @@
+#include "c3i/threat/physics.hpp"
+
+#include <cmath>
+
+#include "core/contracts.hpp"
+
+namespace tc3i::c3i::threat {
+
+double distance(const Vec3& a, const Vec3& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  const double dz = a.z - b.z;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+Vec3 threat_position(const Threat& threat, double t) {
+  TC3I_EXPECTS(threat.flight_time > 0.0);
+  const double u = (t - threat.launch_time) / threat.flight_time;
+  Vec3 p;
+  p.x = threat.launch_pos.x + u * (threat.impact_pos.x - threat.launch_pos.x);
+  p.y = threat.launch_pos.y + u * (threat.impact_pos.y - threat.launch_pos.y);
+  // Parabolic arc: 0 at endpoints, apex_altitude at u = 1/2.
+  p.z = 4.0 * threat.apex_altitude * u * (1.0 - u);
+  return p;
+}
+
+bool can_intercept(const Weapon& weapon, const Threat& threat, double t) {
+  if (t < threat.launch_time || t > threat.impact_time()) return false;
+  const Vec3 p = threat_position(threat, t);
+
+  // (ii) altitude window.
+  if (p.z < weapon.min_intercept_alt || p.z > weapon.max_intercept_alt)
+    return false;
+
+  // (i) range envelope.
+  const double d = distance(weapon.pos, p);
+  if (d > weapon.max_range) return false;
+
+  // (iii) interceptor fly-out feasibility: an interceptor launched at
+  // detect_time + reaction_time must be able to reach the threat by t.
+  const double launch_at = threat.detect_time + weapon.reaction_time;
+  if (t < launch_at) return false;
+  const double fly_out = d / weapon.interceptor_speed;
+  return launch_at + fly_out <= t;
+}
+
+bool interval_less(const Interval& a, const Interval& b) {
+  if (a.threat != b.threat) return a.threat < b.threat;
+  if (a.weapon != b.weapon) return a.weapon < b.weapon;
+  if (a.t_begin != b.t_begin) return a.t_begin < b.t_begin;
+  return a.t_end < b.t_end;
+}
+
+PairScan scan_pair(const Threat& threat, std::int32_t threat_id,
+                   const Weapon& weapon, std::int32_t weapon_id, double dt) {
+  TC3I_EXPECTS(dt > 0.0);
+  PairScan result;
+  const double t_end = threat.impact_time();
+
+  // Program 1's inner loop: advance from detection, finding each maximal
+  // feasible run [t1 .. t2].
+  double t = threat.detect_time;
+  bool in_interval = false;
+  double t1 = 0.0;
+  double last_feasible = 0.0;
+  for (; t <= t_end; t += dt) {
+    ++result.steps;
+    const bool ok = can_intercept(weapon, threat, t);
+    if (ok && !in_interval) {
+      in_interval = true;
+      t1 = t;
+    }
+    if (ok) last_feasible = t;
+    if (!ok && in_interval) {
+      in_interval = false;
+      result.intervals.push_back(Interval{threat_id, weapon_id, t1, last_feasible});
+    }
+  }
+  if (in_interval)
+    result.intervals.push_back(Interval{threat_id, weapon_id, t1, last_feasible});
+  return result;
+}
+
+}  // namespace tc3i::c3i::threat

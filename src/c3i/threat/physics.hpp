@@ -1,0 +1,88 @@
+// Threat Analysis problem model (C3IPBS problem 1 in this reproduction).
+//
+// A time-stepped simulation of incoming ballistic threats and the intervals
+// during which each defensive weapon can intercept each threat. The model
+// follows the paper's description: threats fly ballistic arcs from launch
+// to impact; for each (threat, weapon) pair the interception predicate is
+// evaluated at fixed time steps; maximal runs of feasible steps form the
+// output intervals. There can be zero, one, or more intervals per pair
+// (e.g. an altitude window crossed on ascent and again on descent).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace tc3i::c3i::threat {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+};
+
+[[nodiscard]] double distance(const Vec3& a, const Vec3& b);
+
+/// An incoming ballistic threat.
+struct Threat {
+  Vec3 launch_pos;   ///< z = 0
+  Vec3 impact_pos;   ///< z = 0
+  double launch_time = 0.0;
+  double flight_time = 0.0;  ///< impact at launch_time + flight_time
+  double apex_altitude = 0.0;
+  double detect_time = 0.0;  ///< first sensor detection (>= launch_time)
+
+  [[nodiscard]] double impact_time() const {
+    return launch_time + flight_time;
+  }
+};
+
+/// Position of a threat at absolute time t (parabolic arc over linear
+/// ground track). Valid for launch_time <= t <= impact_time().
+[[nodiscard]] Vec3 threat_position(const Threat& threat, double t);
+
+/// A defensive interceptor battery.
+struct Weapon {
+  Vec3 pos;  ///< z = ground emplacement height
+  double interceptor_speed = 0.0;  ///< distance units per second
+  double max_range = 0.0;          ///< engagement envelope radius
+  double min_intercept_alt = 0.0;  ///< cannot engage below (ground clutter)
+  double max_intercept_alt = 0.0;  ///< cannot engage above (ceiling)
+  double reaction_time = 0.0;      ///< launch-decision latency after detect
+};
+
+/// The interception predicate: can `weapon` intercept `threat` at absolute
+/// time t? Requires (i) the threat inside the weapon's range envelope,
+/// (ii) the threat inside the weapon's altitude window, and (iii) enough
+/// time since detection for an interceptor to fly out to the threat.
+[[nodiscard]] bool can_intercept(const Weapon& weapon, const Threat& threat,
+                                 double t);
+
+/// One interception opportunity: `weapon` can intercept `threat`
+/// throughout [t_begin, t_end] (inclusive, in simulation steps).
+struct Interval {
+  std::int32_t threat = 0;
+  std::int32_t weapon = 0;
+  double t_begin = 0.0;
+  double t_end = 0.0;
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Canonical ordering used by the correctness checkers.
+[[nodiscard]] bool interval_less(const Interval& a, const Interval& b);
+
+/// Work accounting for one (threat, weapon) pair scan.
+struct PairScan {
+  std::vector<Interval> intervals;
+  std::uint64_t steps = 0;  ///< predicate evaluations (the unit of work)
+};
+
+/// Runs the inner-loop time-stepped scan of Program 1 for one pair:
+/// starting at the threat's detection time, finds every maximal feasible
+/// interval with time step `dt`. This is *the* sequential kernel: all
+/// program variants call it so their outputs are bit-identical.
+[[nodiscard]] PairScan scan_pair(const Threat& threat, std::int32_t threat_id,
+                                 const Weapon& weapon, std::int32_t weapon_id,
+                                 double dt);
+
+}  // namespace tc3i::c3i::threat

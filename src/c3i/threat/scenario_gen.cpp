@@ -1,0 +1,80 @@
+#include "c3i/threat/scenario_gen.hpp"
+
+#include "c3i/scenario.hpp"
+#include "core/contracts.hpp"
+#include "core/rng.hpp"
+
+namespace tc3i::c3i::threat {
+
+Scenario generate_scenario(std::uint64_t seed, const ScenarioParams& params) {
+  TC3I_EXPECTS(params.num_threats > 0);
+  TC3I_EXPECTS(params.num_weapons > 0);
+  Rng rng(seed);
+  Scenario s;
+  s.dt = params.dt;
+  const double extent = params.battlefield_extent;
+
+  // Weapons defend a central area.
+  s.weapons.reserve(params.num_weapons);
+  for (std::size_t w = 0; w < params.num_weapons; ++w) {
+    Weapon wp;
+    wp.pos.x = rng.uniform(0.25 * extent, 0.75 * extent);
+    wp.pos.y = rng.uniform(0.25 * extent, 0.75 * extent);
+    wp.pos.z = rng.uniform(0.0, 500.0);
+    wp.interceptor_speed = rng.uniform(2000.0, 4000.0);
+    wp.max_range = rng.uniform(40'000.0, 90'000.0);
+    wp.min_intercept_alt = rng.uniform(1000.0, 4000.0);
+    wp.max_intercept_alt = wp.min_intercept_alt + rng.uniform(20'000.0, 45'000.0);
+    wp.reaction_time = rng.uniform(10.0, 30.0);
+    s.weapons.push_back(wp);
+  }
+
+  // Threats arrive from the perimeter, aimed at the defended area. Flight
+  // times vary ~2.5x, which is what creates load imbalance between chunks.
+  s.threats.reserve(params.num_threats);
+  for (std::size_t t = 0; t < params.num_threats; ++t) {
+    Threat th;
+    const int side = static_cast<int>(rng.next_below(4));
+    const double along = rng.uniform(0.0, extent);
+    switch (side) {
+      case 0: th.launch_pos = {along, 0.0, 0.0}; break;
+      case 1: th.launch_pos = {along, extent, 0.0}; break;
+      case 2: th.launch_pos = {0.0, along, 0.0}; break;
+      default: th.launch_pos = {extent, along, 0.0}; break;
+    }
+    th.impact_pos.x = rng.uniform(0.3 * extent, 0.7 * extent);
+    th.impact_pos.y = rng.uniform(0.3 * extent, 0.7 * extent);
+    th.launch_time = rng.uniform(0.0, 300.0);
+    th.flight_time = rng.uniform(200.0, 520.0);
+    th.apex_altitude = rng.uniform(15'000.0, 60'000.0);
+    th.detect_time = th.launch_time + rng.uniform(0.05, 0.2) * th.flight_time;
+    s.threats.push_back(th);
+  }
+  return s;
+}
+
+std::vector<Scenario> benchmark_scenarios() {
+  std::vector<Scenario> out;
+  for (const auto& info : standard_scenarios("threat-analysis")) {
+    Scenario s = generate_scenario(info.seed);
+    s.name = info.name;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<Scenario> scaled_scenarios(std::size_t num_threats,
+                                       std::size_t num_weapons) {
+  ScenarioParams params;
+  params.num_threats = num_threats;
+  params.num_weapons = num_weapons;
+  std::vector<Scenario> out;
+  for (const auto& info : standard_scenarios("threat-analysis")) {
+    Scenario s = generate_scenario(info.seed, params);
+    s.name = info.name + "-scaled";
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace tc3i::c3i::threat

@@ -1,0 +1,43 @@
+// Synthetic Threat Analysis scenarios.
+//
+// The real C3IPBS input data is not distributable; these generators match
+// the published workload shape the paper's results depend on: 1000 threats
+// per scenario, five scenarios, with per-pair scan costs that vary enough
+// to create realistic load imbalance for small chunk counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "c3i/threat/physics.hpp"
+
+namespace tc3i::c3i::threat {
+
+struct Scenario {
+  std::string name;
+  std::vector<Threat> threats;
+  std::vector<Weapon> weapons;
+  double dt = 0.5;  ///< simulation time step (seconds)
+};
+
+struct ScenarioParams {
+  std::size_t num_threats = 1000;  ///< the paper: "1000 threats" per scenario
+  std::size_t num_weapons = 25;
+  double dt = 0.5;
+  double battlefield_extent = 400'000.0;  ///< metres across the defended area
+};
+
+/// Generates one deterministic scenario from a seed.
+[[nodiscard]] Scenario generate_scenario(std::uint64_t seed,
+                                         const ScenarioParams& params = {});
+
+/// The five standard benchmark scenarios at full paper scale.
+[[nodiscard]] std::vector<Scenario> benchmark_scenarios();
+
+/// Down-scaled scenarios for the cycle-level MTA simulations (the
+/// simulated time is extrapolated by measured work ratio; see DESIGN.md).
+[[nodiscard]] std::vector<Scenario> scaled_scenarios(std::size_t num_threats,
+                                                     std::size_t num_weapons);
+
+}  // namespace tc3i::c3i::threat

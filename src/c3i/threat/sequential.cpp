@@ -1,0 +1,53 @@
+#include "c3i/threat/sequential.hpp"
+
+namespace tc3i::c3i::threat {
+
+AnalysisResult run_sequential(const Scenario& scenario) {
+  AnalysisResult result;
+  const auto num_threats = static_cast<std::int32_t>(scenario.threats.size());
+  const auto num_weapons = static_cast<std::int32_t>(scenario.weapons.size());
+  for (std::int32_t t = 0; t < num_threats; ++t) {
+    for (std::int32_t w = 0; w < num_weapons; ++w) {
+      PairScan scan = scan_pair(scenario.threats[static_cast<std::size_t>(t)],
+                                t, scenario.weapons[static_cast<std::size_t>(w)],
+                                w, scenario.dt);
+      result.steps += scan.steps;
+      for (const auto& iv : scan.intervals) result.intervals.push_back(iv);
+    }
+  }
+  return result;
+}
+
+std::uint64_t PairProfile::total_steps() const {
+  std::uint64_t total = 0;
+  for (auto s : steps) total += s;
+  return total;
+}
+
+std::uint64_t PairProfile::total_intervals() const {
+  std::uint64_t total = 0;
+  for (auto i : intervals_found) total += i;
+  return total;
+}
+
+PairProfile profile(const Scenario& scenario) {
+  PairProfile p;
+  p.num_threats = scenario.threats.size();
+  p.num_weapons = scenario.weapons.size();
+  p.steps.resize(p.num_threats * p.num_weapons);
+  p.intervals_found.resize(p.num_threats * p.num_weapons);
+  for (std::size_t t = 0; t < p.num_threats; ++t) {
+    for (std::size_t w = 0; w < p.num_weapons; ++w) {
+      PairScan scan =
+          scan_pair(scenario.threats[t], static_cast<std::int32_t>(t),
+                    scenario.weapons[w], static_cast<std::int32_t>(w),
+                    scenario.dt);
+      p.steps[t * p.num_weapons + w] = static_cast<std::uint32_t>(scan.steps);
+      p.intervals_found[t * p.num_weapons + w] =
+          static_cast<std::uint32_t>(scan.intervals.size());
+    }
+  }
+  return p;
+}
+
+}  // namespace tc3i::c3i::threat

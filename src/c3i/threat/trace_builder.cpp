@@ -1,0 +1,126 @@
+#include "c3i/threat/trace_builder.hpp"
+
+#include "core/contracts.hpp"
+
+namespace tc3i::c3i::threat {
+
+namespace {
+
+/// Abstract instructions and bus bytes for one pair scan.
+struct PairWork {
+  std::uint64_t ops;
+  std::uint64_t bytes;
+};
+
+PairWork pair_work(const PairProfile& p, std::size_t t, std::size_t w,
+                   const ThreatCosts& c) {
+  const std::uint64_t steps = p.steps_at(t, w);
+  const std::uint64_t ivs = p.intervals_at(t, w);
+  return PairWork{
+      steps * c.ops_per_step() + ivs * (c.alu_per_interval + c.mem_per_interval),
+      steps * c.bus_bytes_per_step + ivs * c.bus_bytes_per_interval};
+}
+
+/// Emits the MTA instruction stream for one pair scan into `prog`.
+void emit_pair_mta(mta::VectorProgram& prog, const PairProfile& p,
+                   std::size_t t, std::size_t w, const ThreatCosts& c) {
+  const std::uint32_t steps = p.steps_at(t, w);
+  for (std::uint32_t s = 0; s < steps; ++s) {
+    prog.compute(c.alu_per_step);
+    prog.load(1, c.mem_per_step);
+  }
+  const std::uint32_t ivs = p.intervals_at(t, w);
+  for (std::uint32_t i = 0; i < ivs; ++i) {
+    prog.compute(c.alu_per_interval);
+    prog.store(1, 0, c.mem_per_interval);
+  }
+}
+
+}  // namespace
+
+sim::ThreadTrace build_sequential_trace(const PairProfile& profile,
+                                        const ThreatCosts& costs) {
+  sim::ThreadTrace trace;
+  for (std::size_t t = 0; t < profile.num_threats; ++t) {
+    for (std::size_t w = 0; w < profile.num_weapons; ++w) {
+      const PairWork work = pair_work(profile, t, w, costs);
+      trace.compute(work.ops, work.bytes);
+    }
+  }
+  return trace;
+}
+
+sim::WorkloadTrace build_chunked_workload(const PairProfile& profile,
+                                          std::size_t num_chunks,
+                                          const ThreatCosts& costs) {
+  TC3I_EXPECTS(num_chunks > 0);
+  sim::WorkloadTrace workload;
+  workload.num_locks = 0;
+  workload.threads.resize(num_chunks);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    sim::ThreadTrace& trace = workload.threads[c];
+    trace.compute(costs.chunk_prologue_alu, 0);
+    const std::size_t first = c * profile.num_threats / num_chunks;
+    const std::size_t last = (c + 1) * profile.num_threats / num_chunks;
+    for (std::size_t t = first; t < last; ++t) {
+      for (std::size_t w = 0; w < profile.num_weapons; ++w) {
+        const PairWork work = pair_work(profile, t, w, costs);
+        trace.compute(work.ops, work.bytes);
+      }
+    }
+  }
+  return workload;
+}
+
+void build_mta_sequential(mta::ProgramPool& pool, mta::Machine& machine,
+                          const PairProfile& profile,
+                          const ThreatCosts& costs) {
+  mta::VectorProgram* prog = pool.make_vector();
+  for (std::size_t t = 0; t < profile.num_threats; ++t)
+    for (std::size_t w = 0; w < profile.num_weapons; ++w)
+      emit_pair_mta(*prog, profile, t, w, costs);
+  machine.add_stream(prog);
+}
+
+void build_mta_chunked(mta::ProgramPool& pool, mta::Machine& machine,
+                       const PairProfile& profile, std::size_t num_chunks,
+                       const ThreatCosts& costs) {
+  mta::build_parallel_loop(
+      pool, machine, profile.num_threats, num_chunks,
+      [&](mta::VectorProgram& prog, std::size_t t) {
+        for (std::size_t w = 0; w < profile.num_weapons; ++w)
+          emit_pair_mta(prog, profile, t, w, costs);
+      },
+      costs.chunk_prologue_alu);
+}
+
+void build_mta_finegrained(mta::ProgramPool& pool, mta::Machine& machine,
+                           const PairProfile& profile,
+                           const ThreatCosts& costs) {
+  // Cell 0: the shared num_intervals counter, initialized FULL.
+  constexpr mta::Address kCounterCell = 0;
+  mta::init_counter_cells(machine, kCounterCell, 1);
+  for (std::size_t t = 0; t < profile.num_threats; ++t) {
+    mta::VectorProgram* prog = pool.make_vector();
+    for (std::size_t w = 0; w < profile.num_weapons; ++w) {
+      const std::uint32_t steps = profile.steps_at(t, w);
+      for (std::uint32_t s = 0; s < steps; ++s) {
+        prog->compute(costs.alu_per_step);
+        prog->load(1, costs.mem_per_step);
+      }
+      const std::uint32_t ivs = profile.intervals_at(t, w);
+      if (ivs > 0) {
+        // One fetch-add claims slots for this pair's intervals, then the
+        // intervals are stored unsynchronized into the claimed run.
+        mta::append_atomic_fetch_add(*prog, kCounterCell);
+        for (std::uint32_t i = 0; i < ivs; ++i) {
+          prog->compute(costs.alu_per_interval);
+          prog->store(1, 0, costs.mem_per_interval);
+        }
+      }
+    }
+    machine.add_stream(prog);
+  }
+}
+
+}  // namespace tc3i::c3i::threat

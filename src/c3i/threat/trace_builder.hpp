@@ -1,0 +1,47 @@
+// Converts Threat Analysis work profiles into machine-model inputs:
+// SMP workload traces and MTA stream programs.
+#pragma once
+
+#include <cstddef>
+
+#include "c3i/cost_model.hpp"
+#include "c3i/threat/sequential.hpp"
+#include "mta/machine.hpp"
+#include "mta/runtime.hpp"
+#include "sim/trace.hpp"
+#include "smp/workload.hpp"
+
+namespace tc3i::c3i::threat {
+
+// --- conventional (SMP) traces --------------------------------------------
+
+/// Program 1 replay: one thread, one compute phase per (threat, weapon).
+[[nodiscard]] sim::ThreadTrace build_sequential_trace(
+    const PairProfile& profile, const ThreatCosts& costs);
+
+/// Program 2 replay: `num_chunks` threads, threats block-partitioned.
+[[nodiscard]] sim::WorkloadTrace build_chunked_workload(
+    const PairProfile& profile, std::size_t num_chunks,
+    const ThreatCosts& costs);
+
+// --- Tera MTA stream programs ----------------------------------------------
+
+/// Registers a single stream executing the whole sequential program
+/// (the paper's "sequential execution on one Tera MTA processor").
+void build_mta_sequential(mta::ProgramPool& pool, mta::Machine& machine,
+                          const PairProfile& profile, const ThreatCosts& costs);
+
+/// Registers `num_chunks` chunk streams (Program 2 compiled with the Tera
+/// `#pragma multithreaded`; the Table 5/6 configuration).
+void build_mta_chunked(mta::ProgramPool& pool, mta::Machine& machine,
+                       const PairProfile& profile, std::size_t num_chunks,
+                       const ThreatCosts& costs);
+
+/// Registers one stream per threat using a full/empty fetch-add on the
+/// shared interval counter (the paper's fine-grained alternative; output
+/// order races, storage is not replicated).
+void build_mta_finegrained(mta::ProgramPool& pool, mta::Machine& machine,
+                           const PairProfile& profile,
+                           const ThreatCosts& costs);
+
+}  // namespace tc3i::c3i::threat

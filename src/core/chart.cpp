@@ -1,0 +1,97 @@
+#include "core/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/contracts.hpp"
+#include "core/table.hpp"
+
+namespace tc3i {
+
+AsciiChart::AsciiChart(std::string title, std::string x_label,
+                       std::string y_label, int width, int height)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)),
+      width_(width),
+      height_(height) {
+  TC3I_EXPECTS(width >= 10 && height >= 5);
+}
+
+void AsciiChart::add_series(ChartSeries series) {
+  TC3I_EXPECTS(series.x.size() == series.y.size());
+  TC3I_EXPECTS(!series.x.empty());
+  series_.push_back(std::move(series));
+}
+
+void AsciiChart::add_identity_line(double x_max) {
+  TC3I_EXPECTS(x_max > 0.0);
+  ChartSeries ideal{"ideal (y = x)", '.', {}, {}};
+  const int samples = width_;
+  for (int i = 0; i <= samples; ++i) {
+    const double x = x_max * static_cast<double>(i) / samples;
+    ideal.x.push_back(x);
+    ideal.y.push_back(x);
+  }
+  series_.push_back(std::move(ideal));
+}
+
+void AsciiChart::render(std::ostream& os) const {
+  TC3I_EXPECTS(!series_.empty());
+  double x_min = series_[0].x[0], x_max = x_min;
+  double y_min = series_[0].y[0], y_max = y_min;
+  for (const auto& s : series_) {
+    for (double v : s.x) {
+      x_min = std::min(x_min, v);
+      x_max = std::max(x_max, v);
+    }
+    for (double v : s.y) {
+      y_min = std::min(y_min, v);
+      y_max = std::max(y_max, v);
+    }
+  }
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_), ' '));
+  auto plot = [&](double x, double y, char marker) {
+    const double fx = (x - x_min) / (x_max - x_min);
+    const double fy = (y - y_min) / (y_max - y_min);
+    const int cx = std::clamp(static_cast<int>(std::lround(fx * (width_ - 1))),
+                              0, width_ - 1);
+    const int cy = std::clamp(static_cast<int>(std::lround(fy * (height_ - 1))),
+                              0, height_ - 1);
+    auto& cell = grid[static_cast<std::size_t>(height_ - 1 - cy)]
+                     [static_cast<std::size_t>(cx)];
+    // Data markers take precedence over the reference line's '.'.
+    if (cell == ' ' || cell == '.') cell = marker;
+  };
+  for (const auto& s : series_)
+    for (std::size_t i = 0; i < s.x.size(); ++i) plot(s.x[i], s.y[i], s.marker);
+
+  os << title_ << "   (" << y_label_ << " vs " << x_label_ << ")\n";
+  for (int r = 0; r < height_; ++r) {
+    if (r == 0)
+      os << TextTable::num(y_max) << '\t';
+    else if (r == height_ - 1)
+      os << TextTable::num(y_min) << '\t';
+    else
+      os << '\t';
+    os << '|' << grid[static_cast<std::size_t>(r)] << "|\n";
+  }
+  os << '\t' << ' ' << TextTable::num(x_min);
+  for (int i = 0; i < width_ - 10; ++i) os << ' ';
+  os << TextTable::num(x_max) << '\n';
+  for (const auto& s : series_)
+    os << "\t  " << s.marker << " = " << s.name << '\n';
+}
+
+std::string AsciiChart::str() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+}  // namespace tc3i

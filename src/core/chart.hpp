@@ -1,0 +1,44 @@
+// ASCII chart rendering: the paper's Figures 1-4 are speedup curves; the
+// figure benches render them as terminal plots so the shape is visible in
+// bench output without any plotting dependency.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tc3i {
+
+/// One named series of (x, y) points.
+struct ChartSeries {
+  std::string name;
+  char marker = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// A fixed-size character-grid scatter/line chart.
+class AsciiChart {
+ public:
+  AsciiChart(std::string title, std::string x_label, std::string y_label,
+             int width = 60, int height = 20);
+
+  void add_series(ChartSeries series);
+
+  /// Adds the ideal y = x reference line (used for speedup plots).
+  void add_identity_line(double x_max);
+
+  void render(std::ostream& os) const;
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  int width_;
+  int height_;
+  std::vector<ChartSeries> series_;
+};
+
+}  // namespace tc3i

@@ -1,0 +1,99 @@
+#include "core/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/contracts.hpp"
+
+namespace tc3i {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_flag(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  TC3I_EXPECTS(!name.empty());
+  TC3I_EXPECTS(!flags_.contains(name));
+  flags_[name] = Flag{default_value, help, std::nullopt};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument '%s'\n%s",
+                   arg.c_str(), usage().c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string name, value;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s is missing a value\n", name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  TC3I_EXPECTS(it != flags_.end());
+  return it->second.value.value_or(it->second.default_value);
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    return std::stoll(v);
+  } catch (const std::exception&) {
+    contract_failure("Flag parse (int)", name.c_str(), __FILE__, __LINE__);
+  }
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    contract_failure("Flag parse (double)", name.c_str(), __FILE__, __LINE__);
+  }
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  contract_failure("Flag parse (bool)", name.c_str(), __FILE__, __LINE__);
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_value << ")\n      "
+       << flag.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tc3i

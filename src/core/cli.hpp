@@ -1,0 +1,43 @@
+// Minimal command-line flag parsing for the bench and example binaries.
+// Flags are --name=value or --name value; unknown flags are an error so that
+// typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tc3i {
+
+class CliParser {
+ public:
+  CliParser(std::string program_description);
+
+  /// Registers a flag with a default value and help text.
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) on --help or error.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    std::optional<std::string> value;
+  };
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace tc3i

@@ -1,0 +1,36 @@
+// Lightweight contract macros in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()"). Violations abort with a
+// message; they are enabled in all build types because every simulator in
+// this project is deterministic and cheap relative to its invariants.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tc3i {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violated: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace tc3i
+
+#define TC3I_EXPECTS(cond)                                             \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::tc3i::contract_failure("Precondition", #cond, __FILE__, __LINE__); \
+  } while (0)
+
+#define TC3I_ENSURES(cond)                                              \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::tc3i::contract_failure("Postcondition", #cond, __FILE__, __LINE__); \
+  } while (0)
+
+#define TC3I_ASSERT(cond)                                             \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::tc3i::contract_failure("Invariant", #cond, __FILE__, __LINE__); \
+  } while (0)

@@ -1,0 +1,95 @@
+#include "core/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace tc3i {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.next();
+  // xoshiro state must not be all-zero; SplitMix64 cannot produce four zero
+  // outputs in a row, but guard anyway for safety with adversarial seeds.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  has_cached_normal_ = false;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  TC3I_EXPECTS(bound > 0);
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  TC3I_EXPECTS(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::uniform01() {
+  // 53 random bits into the mantissa: uniform on [0,1) with full double grid.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  TC3I_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::normal(double mean, double stddev) {
+  TC3I_EXPECTS(stddev >= 0.0);
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = uniform01();
+  while (u1 <= 0.0) u1 = uniform01();
+  const double u2 = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+bool Rng::chance(double p) {
+  TC3I_EXPECTS(p >= 0.0 && p <= 1.0);
+  return uniform01() < p;
+}
+
+Rng Rng::split() { return Rng(next() ^ 0x9e3779b97f4a7c15ULL); }
+
+}  // namespace tc3i

@@ -1,0 +1,125 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.hpp"
+
+namespace tc3i {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  TC3I_EXPECTS(n_ > 0);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  TC3I_EXPECTS(n_ > 1);
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  TC3I_EXPECTS(n_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  TC3I_EXPECTS(n_ > 0);
+  return max_;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::span<const double> sample, double p) {
+  TC3I_EXPECTS(!sample.empty());
+  TC3I_EXPECTS(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double geomean(std::span<const double> sample) {
+  TC3I_EXPECTS(!sample.empty());
+  double log_sum = 0.0;
+  for (double x : sample) {
+    TC3I_EXPECTS(x > 0.0);
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(sample.size()));
+}
+
+double relative_error(double measured, double reference) {
+  TC3I_EXPECTS(reference != 0.0);
+  return std::abs(measured - reference) / std::abs(reference);
+}
+
+double linear_slope(std::span<const double> x, std::span<const double> y) {
+  TC3I_EXPECTS(x.size() == y.size());
+  TC3I_EXPECTS(x.size() >= 2);
+  RunningStats sx, sy;
+  for (double v : x) sx.add(v);
+  for (double v : y) sy.add(v);
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - sx.mean()) * (y[i] - sy.mean());
+    sxx += (x[i] - sx.mean()) * (x[i] - sx.mean());
+  }
+  TC3I_EXPECTS(sxx > 0.0);
+  return sxy / sxx;
+}
+
+double correlation(std::span<const double> x, std::span<const double> y) {
+  TC3I_EXPECTS(x.size() == y.size());
+  TC3I_EXPECTS(x.size() >= 2);
+  RunningStats sx, sy;
+  for (double v : x) sx.add(v);
+  for (double v : y) sy.add(v);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - sx.mean();
+    const double dy = y[i] - sy.mean();
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  TC3I_EXPECTS(sxx > 0.0 && syy > 0.0);
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace tc3i

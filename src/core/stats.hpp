@@ -1,0 +1,52 @@
+// Small descriptive-statistics helpers used by the benchmark harnesses and
+// by tests that assert distributional properties of simulator outputs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tc3i {
+
+/// Streaming accumulator (Welford) for mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  // sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Linear-interpolated percentile of an unsorted sample, p in [0, 100].
+[[nodiscard]] double percentile(std::span<const double> sample, double p);
+
+/// Geometric mean; all inputs must be positive.
+[[nodiscard]] double geomean(std::span<const double> sample);
+
+/// Relative error |measured - reference| / |reference|.
+[[nodiscard]] double relative_error(double measured, double reference);
+
+/// Least-squares slope of y against x (used to check speedup linearity).
+[[nodiscard]] double linear_slope(std::span<const double> x,
+                                  std::span<const double> y);
+
+/// Pearson correlation coefficient.
+[[nodiscard]] double correlation(std::span<const double> x,
+                                 std::span<const double> y);
+
+}  // namespace tc3i

@@ -1,0 +1,76 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "core/contracts.hpp"
+
+namespace tc3i {
+
+void TextTable::header(std::vector<std::string> cells) {
+  TC3I_EXPECTS(!cells.empty());
+  TC3I_EXPECTS(header_.empty());
+  header_ = std::move(cells);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  TC3I_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::render(std::ostream& os) const {
+  TC3I_EXPECTS(!header_.empty());
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  auto rule = [&] {
+    os << '+';
+    for (auto w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c];
+      for (std::size_t i = cells[c].size(); i < widths[c]; ++i) os << ' ';
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  rule();
+  line(header_);
+  rule();
+  for (const auto& r : rows_) line(r);
+  rule();
+}
+
+std::string TextTable::str() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+std::string TextTable::num(double value, int decimals) {
+  TC3I_EXPECTS(decimals >= 0 && decimals <= 12);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+}  // namespace tc3i

@@ -1,0 +1,55 @@
+// Plain-text table rendering for the benchmark harnesses. Every bench binary
+// prints the paper's table next to the measured reproduction using this.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tc3i {
+
+/// A simple left/right-aligned text table with a header row and a title.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header; fixes the column count.
+  void header(std::vector<std::string> cells);
+
+  /// Appends a row; must match the header width.
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: formats arbitrary streamable values into a row.
+  template <typename... Ts>
+  void add(const Ts&... values) {
+    row({format_cell(values)...});
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return header_.size(); }
+
+  void render(std::ostream& os) const;
+  [[nodiscard]] std::string str() const;
+
+  /// Formats a double with `digits` significant decimals, trimming zeros.
+  static std::string num(double value, int decimals = 2);
+
+ private:
+  template <typename T>
+  static std::string format_cell(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(value);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      return num(static_cast<double>(value));
+    } else {
+      return std::to_string(value);
+    }
+  }
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tc3i

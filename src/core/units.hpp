@@ -1,0 +1,32 @@
+// Strongly named time/work units used across the simulators.
+//
+// Simulated time is kept in double-precision *cycles* inside each machine
+// model (every model has a single clock) and converted to seconds only at
+// reporting boundaries. Work is counted in abstract instructions and bytes.
+#pragma once
+
+#include <cstdint>
+
+namespace tc3i {
+
+/// Simulated cycle count (fractional cycles appear in fluid models).
+using Cycles = double;
+
+/// Simulated wall-clock seconds.
+using Seconds = double;
+
+/// Abstract instruction count emitted by the instrumented kernels.
+using Instructions = std::uint64_t;
+
+/// Bytes of memory traffic that miss cache / cross the network.
+using Bytes = std::uint64_t;
+
+constexpr Seconds cycles_to_seconds(Cycles c, double clock_hz) {
+  return c / clock_hz;
+}
+
+constexpr Cycles seconds_to_cycles(Seconds s, double clock_hz) {
+  return s * clock_hz;
+}
+
+}  // namespace tc3i

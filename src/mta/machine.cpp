@@ -1,0 +1,307 @@
+#include "mta/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/contracts.hpp"
+#include "core/rng.hpp"
+
+namespace tc3i::mta {
+
+std::string MtaConfig::validate() const {
+  std::ostringstream os;
+  if (num_processors < 1) os << "num_processors < 1; ";
+  if (clock_hz <= 0.0) os << "clock_hz <= 0; ";
+  if (streams_per_processor < 1) os << "streams_per_processor < 1; ";
+  if (issue_spacing_cycles < 1) os << "issue_spacing_cycles < 1; ";
+  if (memory_latency_cycles < 1) os << "memory_latency_cycles < 1; ";
+  if (network_ops_per_cycle <= 0.0) os << "network_ops_per_cycle <= 0; ";
+  if (hw_spawn_cycles < 0) os << "hw_spawn_cycles < 0; ";
+  if (sw_spawn_cycles < 0) os << "sw_spawn_cycles < 0; ";
+  if (lookahead < 0) os << "lookahead < 0; ";
+  if (memory_banks < 0) os << "memory_banks < 0; ";
+  if (memory_banks > 0 && bank_busy_cycles < 1)
+    os << "bank_busy_cycles < 1 with banks enabled; ";
+  if (memory_words == 0) os << "memory_words == 0; ";
+  return os.str();
+}
+
+Machine::Machine(MtaConfig config)
+    : config_(std::move(config)), memory_(config_.memory_words) {
+  const std::string err = config_.validate();
+  if (!err.empty())
+    contract_failure("MtaConfig", err.c_str(), __FILE__, __LINE__);
+  procs_.reserve(static_cast<std::size_t>(config_.num_processors));
+  for (int p = 0; p < config_.num_processors; ++p)
+    procs_.emplace_back(p, config_.streams_per_processor);
+  if (config_.memory_banks > 0)
+    bank_free_at_.resize(static_cast<std::size_t>(config_.memory_banks), 0.0);
+}
+
+int Machine::least_loaded_processor() const {
+  int best = 0;
+  for (int p = 1; p < static_cast<int>(procs_.size()); ++p)
+    if (procs_[static_cast<std::size_t>(p)].live_streams() <
+        procs_[static_cast<std::size_t>(best)].live_streams())
+      best = p;
+  return best;
+}
+
+void Machine::add_stream(StreamProgram* program) {
+  TC3I_EXPECTS(program != nullptr);
+  TC3I_EXPECTS(!ran_);
+  // Initial streams that exceed hardware slots are virtualized like
+  // runtime spawns: they wait for a slot.
+  const int proc = least_loaded_processor();
+  if (!procs_[static_cast<std::size_t>(proc)].has_free_slot()) {
+    pending_.push(PendingSpawn{program, false});
+    return;
+  }
+  activate(program, /*software=*/false, /*now=*/0);
+}
+
+void Machine::activate(StreamProgram* program, bool software,
+                       std::uint64_t now) {
+  const int proc = least_loaded_processor();
+  Processor& p = procs_[static_cast<std::size_t>(proc)];
+  TC3I_ASSERT(p.has_free_slot());
+  p.occupy_slot();
+
+  const auto sid = static_cast<StreamId>(streams_.size());
+  Stream s;
+  s.program = program;
+  s.proc = proc;
+  streams_.push_back(s);
+  ++live_streams_;
+  peak_live_ = std::max(peak_live_, static_cast<std::uint64_t>(live_streams_));
+
+  const std::uint64_t spawn_cost = static_cast<std::uint64_t>(
+      software ? config_.sw_spawn_cycles : config_.hw_spawn_cycles);
+  wakes_.push(Wake{now + spawn_cost, sid});
+}
+
+std::uint64_t Machine::network_service(std::uint64_t now, Address addr) {
+  double start = std::max(static_cast<double>(now) + 1.0, network_free_at_);
+  if (config_.memory_banks > 0) {
+    // Interleaved banks: the op also waits for its bank to free up. The
+    // real machine hashed addresses so strided code spreads across banks.
+    std::uint64_t key = addr;
+    if (config_.hash_addresses) {
+      key = SplitMix64(addr ^ 0x9e3779b97f4a7c15ULL).next();
+    }
+    const auto bank = static_cast<std::size_t>(
+        key % static_cast<std::uint64_t>(config_.memory_banks));
+    start = std::max(start, bank_free_at_[bank]);
+    bank_free_at_[bank] = start + static_cast<double>(config_.bank_busy_cycles);
+  }
+  network_free_at_ = start + 1.0 / config_.network_ops_per_cycle;
+  ++memory_ops_;
+  return static_cast<std::uint64_t>(
+      std::ceil(start + static_cast<double>(config_.memory_latency_cycles)));
+}
+
+void Machine::complete_memory_op(StreamId sid, std::uint64_t now,
+                                 Address addr) {
+  const std::uint64_t done = network_service(now, addr);
+  const std::uint64_t spacing =
+      now + static_cast<std::uint64_t>(config_.issue_spacing_cycles);
+  const auto lookahead = static_cast<std::size_t>(config_.lookahead);
+  if (lookahead == 0) {
+    // Fully dependent code: the stream waits for this operation.
+    wakes_.push(Wake{std::max(done, spacing), sid});
+    return;
+  }
+  // Explicit-dependence lookahead: the stream keeps issuing while at most
+  // `lookahead` memory operations are outstanding; otherwise it waits for
+  // the oldest one that must retire first.
+  auto& outstanding = streams_[static_cast<std::size_t>(sid)].outstanding;
+  while (!outstanding.empty() && outstanding.front() <= now)
+    outstanding.pop_front();
+  outstanding.push_back(done);
+  std::uint64_t wake = spacing;
+  if (outstanding.size() > lookahead)
+    wake = std::max(wake, outstanding[outstanding.size() - 1 - lookahead]);
+  wakes_.push(Wake{wake, sid});
+}
+
+void Machine::process_handoffs(std::uint64_t now) {
+  for (const auto& h : memory_.drain_handoffs()) {
+    Stream& s = streams_[static_cast<std::size_t>(h.stream)];
+    TC3I_ASSERT(!s.dead);
+    if (h.was_load) s.program->deliver(h.value);
+    // The queued operation completes now: one more trip through the network.
+    complete_memory_op(h.stream, now, h.addr);
+  }
+}
+
+void Machine::finish_stream(StreamId sid, std::uint64_t now) {
+  Stream& s = streams_[static_cast<std::size_t>(sid)];
+  TC3I_ASSERT(!s.dead);
+  s.dead = true;
+  --live_streams_;
+  ++completed_;
+  procs_[static_cast<std::size_t>(s.proc)].release_slot();
+  if (!pending_.empty()) {
+    const PendingSpawn ps = pending_.front();
+    pending_.pop();
+    activate(ps.program, ps.software, now);
+  }
+}
+
+void Machine::issue(StreamId sid, std::uint64_t now) {
+  Stream& s = streams_[static_cast<std::size_t>(sid)];
+  TC3I_ASSERT(!s.dead);
+  if (!s.has_cur) {
+    if (!s.program->next(s.cur)) {
+      s.cur.op = Instr::Op::Quit;
+      s.cur.count = 1;
+    }
+    s.has_cur = true;
+  }
+
+  const std::uint64_t spacing =
+      now + static_cast<std::uint64_t>(config_.issue_spacing_cycles);
+
+  switch (s.cur.op) {
+    case Instr::Op::Compute: {
+      ++instructions_;
+      TC3I_ASSERT(s.cur.count > 0);
+      if (--s.cur.count == 0) s.has_cur = false;
+      wakes_.push(Wake{spacing, sid});
+      break;
+    }
+    case Instr::Op::Load: {
+      ++instructions_;
+      TC3I_ASSERT(s.cur.count > 0);
+      if (--s.cur.count == 0) s.has_cur = false;
+      complete_memory_op(sid, now, s.cur.addr);
+      break;
+    }
+    case Instr::Op::Store: {
+      ++instructions_;
+      memory_.store(s.cur.addr, s.cur.value);
+      TC3I_ASSERT(s.cur.count > 0);
+      if (--s.cur.count == 0) s.has_cur = false;
+      complete_memory_op(sid, now, s.cur.addr);
+      break;
+    }
+    case Instr::Op::SyncLoad: {
+      ++instructions_;
+      s.has_cur = false;
+      const SyncAttempt a = memory_.try_sync_load(s.cur.addr, sid);
+      if (a.succeeded) {
+        s.program->deliver(a.value);
+        complete_memory_op(sid, now, s.cur.addr);
+      }
+      // On failure the stream waits in memory (no issue slots consumed).
+      process_handoffs(now);
+      break;
+    }
+    case Instr::Op::SyncStore: {
+      ++instructions_;
+      s.has_cur = false;
+      const SyncAttempt a = memory_.try_sync_store(s.cur.addr, s.cur.value, sid);
+      if (a.succeeded) complete_memory_op(sid, now, s.cur.addr);
+      process_handoffs(now);
+      break;
+    }
+    case Instr::Op::Spawn: {
+      ++instructions_;
+      ++spawns_;
+      StreamProgram* target = s.cur.spawn;
+      const bool software = s.cur.software_spawn;
+      s.has_cur = false;
+      TC3I_ASSERT(target != nullptr);
+      bool slot_free = false;
+      for (const auto& p : procs_)
+        if (p.has_free_slot()) slot_free = true;
+      if (slot_free)
+        activate(target, software, now);
+      else
+        pending_.push(PendingSpawn{target, software});
+      wakes_.push(Wake{spacing, sid});
+      break;
+    }
+    case Instr::Op::Quit: {
+      ++instructions_;
+      s.has_cur = false;
+      finish_stream(sid, now);
+      break;
+    }
+  }
+}
+
+MtaRunResult Machine::run(std::uint64_t max_cycles) {
+  TC3I_EXPECTS(!ran_);
+  ran_ = true;
+
+  std::uint64_t now = 0;
+  const std::uint64_t bucket = config_.timeline_bucket_cycles;
+  std::vector<std::uint64_t> bucket_issues;
+  while (live_streams_ > 0 || !pending_.empty()) {
+    TC3I_ASSERT(now < max_cycles && "MTA simulation exceeded max_cycles");
+
+    while (!wakes_.empty() && wakes_.top().cycle <= now) {
+      const Wake w = wakes_.top();
+      wakes_.pop();
+      const Stream& s = streams_[static_cast<std::size_t>(w.stream)];
+      procs_[static_cast<std::size_t>(s.proc)].make_ready(w.stream);
+    }
+
+    bool any_ready = false;
+    for (auto& p : procs_) {
+      if (p.has_ready()) {
+        any_ready = true;
+        issue(p.pop_ready(), now);
+        if (bucket > 0) {
+          const std::size_t b = static_cast<std::size_t>(now / bucket);
+          if (b >= bucket_issues.size()) bucket_issues.resize(b + 1, 0);
+          ++bucket_issues[b];
+        }
+      }
+    }
+
+    if (any_ready) {
+      ++now;
+    } else if (!wakes_.empty()) {
+      now = std::max(now + 1, wakes_.top().cycle);
+    } else {
+      // No stream can ever become ready again: every remaining stream is
+      // blocked on a full/empty bit that nobody will flip.
+      TC3I_ASSERT(live_streams_ == 0 && pending_.empty());
+    }
+  }
+
+  MtaRunResult result;
+  result.cycles = now;
+  result.seconds = static_cast<double>(now) / config_.clock_hz;
+  result.instructions_issued = instructions_;
+  result.memory_ops = memory_ops_;
+  result.spawns = spawns_;
+  result.streams_completed = completed_;
+  result.peak_live_streams = peak_live_;
+  std::uint64_t used = 0;
+  for (const auto& p : procs_) used += p.issues();
+  result.processor_utilization =
+      now > 0 ? static_cast<double>(used) /
+                    (static_cast<double>(now) *
+                     static_cast<double>(config_.num_processors))
+              : 0.0;
+  result.network_utilization =
+      now > 0 ? static_cast<double>(memory_ops_) /
+                    (config_.network_ops_per_cycle * static_cast<double>(now))
+              : 0.0;
+  if (bucket > 0) {
+    result.utilization_timeline.reserve(bucket_issues.size());
+    const double slots_per_bucket =
+        static_cast<double>(bucket) *
+        static_cast<double>(config_.num_processors);
+    for (const std::uint64_t issues_in_bucket : bucket_issues)
+      result.utilization_timeline.push_back(
+          static_cast<double>(issues_in_bucket) / slots_per_bucket);
+  }
+  return result;
+}
+
+}  // namespace tc3i::mta

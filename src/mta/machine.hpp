@@ -1,0 +1,160 @@
+// Stream-level simulator of the Tera MTA.
+//
+// Mechanisms modeled (the ones the paper's MTA results hinge on):
+//   - each processor issues at most one instruction per cycle, chosen from
+//     its ready streams (FIFO arbitration);
+//   - a stream that issues cannot issue again for `issue_spacing_cycles`
+//     (21 on the MTA-1: the paper's "one instruction every 21 cycles" for a
+//     lone stream, i.e. ~5% utilization single-threaded);
+//   - there is no cache: every memory operation takes
+//     `memory_latency_cycles` and passes through a shared network modeled
+//     as a serial queue with service rate `network_ops_per_cycle`
+//     (the under-development network the paper blames for the 1.4-1.8x
+//     two-processor speedups);
+//   - full/empty bits provide one-cycle-issue synchronization; blocked
+//     streams wait in memory, consuming no issue slots;
+//   - hardware thread creation costs ~2 cycles; software (library) thread
+//     creation costs 50-100 cycles;
+//   - 128 hardware stream slots per processor; additional runtime-created
+//     streams wait (virtualized, as the Tera runtime does) until a slot
+//     frees.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "core/units.hpp"
+#include "mta/processor.hpp"
+#include "mta/stream_program.hpp"
+#include "mta/sync_memory.hpp"
+
+namespace tc3i::mta {
+
+struct MtaConfig {
+  std::string name = "Tera MTA";
+  int num_processors = 1;
+  double clock_hz = 255e6;
+  int streams_per_processor = 128;
+  int issue_spacing_cycles = 21;
+  int memory_latency_cycles = 70;
+  /// Aggregate memory-network service rate (operations per cycle, shared by
+  /// all processors).
+  double network_ops_per_cycle = 0.45;
+  int hw_spawn_cycles = 2;
+  int sw_spawn_cycles = 60;
+  /// Explicit-dependence lookahead: how many memory operations a stream
+  /// may leave outstanding while continuing to issue. The real MTA
+  /// encoded a lookahead of up to 7 in each instruction; 0 models fully
+  /// dependent code (each memory op stalls its stream), which is the
+  /// conservative default all headline results use. See
+  /// bench/ablate_mta_lookahead.
+  int lookahead = 0;
+  std::size_t memory_words = 1u << 20;
+  /// Interleaved memory banks (the MTA-1 had 64-way interleaving). 0
+  /// models ideal interleaving (every op hits a distinct bank; the only
+  /// memory constraint is the network) — the headline-results default.
+  /// When > 0, an op to bank b (selected by address, see hash_addresses)
+  /// must wait for the bank's previous op to retire plus
+  /// `bank_busy_cycles`.
+  int memory_banks = 0;
+  int bank_busy_cycles = 8;
+  /// The real machine hashed addresses across banks so strided code would
+  /// not pathologically conflict; disable to see why (ablation).
+  bool hash_addresses = true;
+  /// When nonzero, the run records issue-slot utilization per bucket of
+  /// this many cycles (MtaRunResult::utilization_timeline) — used to
+  /// visualize latency masking and barrier valleys.
+  std::uint64_t timeline_bucket_cycles = 0;
+
+  [[nodiscard]] std::string validate() const;
+};
+
+struct MtaRunResult {
+  std::uint64_t cycles = 0;
+  Seconds seconds = 0.0;
+  std::uint64_t instructions_issued = 0;
+  std::uint64_t memory_ops = 0;
+  std::uint64_t spawns = 0;
+  std::uint64_t streams_completed = 0;
+  std::uint64_t peak_live_streams = 0;
+  /// Issue slots used / issue slots available over the run.
+  double processor_utilization = 0.0;
+  /// Fraction of the shared network's service capacity consumed.
+  double network_utilization = 0.0;
+  /// Per-bucket issue-slot utilization (empty unless
+  /// MtaConfig::timeline_bucket_cycles is set).
+  std::vector<double> utilization_timeline;
+};
+
+class Machine {
+ public:
+  explicit Machine(MtaConfig config);
+
+  [[nodiscard]] const MtaConfig& config() const { return config_; }
+  [[nodiscard]] SyncMemory& memory() { return memory_; }
+  [[nodiscard]] const SyncMemory& memory() const { return memory_; }
+
+  /// Registers a stream to start at cycle 0 (assigned to the least-loaded
+  /// processor). Call before run().
+  void add_stream(StreamProgram* program);
+
+  /// Runs until all streams have quit. Aborts (deadlock) if streams remain
+  /// but none can ever become ready. `max_cycles` is a runaway guard.
+  MtaRunResult run(std::uint64_t max_cycles = (1ull << 62));
+
+ private:
+  struct Stream {
+    StreamProgram* program = nullptr;
+    int proc = -1;
+    Instr cur;
+    bool has_cur = false;
+    bool dead = false;
+    /// Completion cycles of outstanding memory ops (lookahead > 0 only;
+    /// monotonically increasing, bounded by lookahead + 1).
+    std::deque<std::uint64_t> outstanding;
+  };
+
+  struct Wake {
+    std::uint64_t cycle;
+    StreamId stream;
+    bool operator>(const Wake& o) const {
+      return cycle != o.cycle ? cycle > o.cycle : stream > o.stream;
+    }
+  };
+
+  struct PendingSpawn {
+    StreamProgram* program;
+    bool software;
+  };
+
+  int least_loaded_processor() const;
+  void activate(StreamProgram* program, bool software, std::uint64_t now);
+  void issue(StreamId sid, std::uint64_t now);
+  void finish_stream(StreamId sid, std::uint64_t now);
+  std::uint64_t network_service(std::uint64_t now, Address addr);
+  void complete_memory_op(StreamId sid, std::uint64_t now, Address addr);
+  void process_handoffs(std::uint64_t now);
+
+  MtaConfig config_;
+  SyncMemory memory_;
+  std::vector<Processor> procs_;
+  std::vector<Stream> streams_;
+  std::priority_queue<Wake, std::vector<Wake>, std::greater<>> wakes_;
+  std::queue<PendingSpawn> pending_;
+  double network_free_at_ = 0.0;
+  std::vector<double> bank_free_at_;  // sized memory_banks when enabled
+
+  int live_streams_ = 0;
+  std::uint64_t instructions_ = 0;
+  std::uint64_t memory_ops_ = 0;
+  std::uint64_t spawns_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t peak_live_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace tc3i::mta

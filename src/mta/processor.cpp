@@ -1,0 +1,3 @@
+// Processor is header-only; this translation unit exists so the class has a
+// home object file and to keep one place for future out-of-line growth.
+#include "mta/processor.hpp"

@@ -1,0 +1,60 @@
+// Per-processor state of the MTA machine simulator: the pool of hardware
+// stream slots and the ready queue from which one instruction is issued per
+// clock cycle.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "core/contracts.hpp"
+#include "mta/sync_memory.hpp"
+
+namespace tc3i::mta {
+
+class Processor {
+ public:
+  Processor(int id, int hw_stream_slots)
+      : id_(id), slots_(hw_stream_slots) {
+    TC3I_EXPECTS(hw_stream_slots > 0);
+  }
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] int hw_slots() const { return slots_; }
+  [[nodiscard]] int live_streams() const { return live_; }
+  [[nodiscard]] bool has_free_slot() const { return live_ < slots_; }
+  [[nodiscard]] bool has_ready() const { return !ready_.empty(); }
+  [[nodiscard]] std::size_t ready_count() const { return ready_.size(); }
+  [[nodiscard]] std::uint64_t issues() const { return issues_; }
+
+  /// A stream occupies a hardware slot from activation until it quits.
+  void occupy_slot() {
+    TC3I_EXPECTS(has_free_slot());
+    ++live_;
+  }
+  void release_slot() {
+    TC3I_EXPECTS(live_ > 0);
+    --live_;
+  }
+
+  void make_ready(StreamId stream) { ready_.push_back(stream); }
+
+  /// Pops the next stream to issue from (FIFO arbitration, which matches
+  /// the MTA's fair selection among ready streams closely enough for
+  /// throughput behaviour).
+  StreamId pop_ready() {
+    TC3I_EXPECTS(!ready_.empty());
+    const StreamId s = ready_.front();
+    ready_.pop_front();
+    ++issues_;
+    return s;
+  }
+
+ private:
+  int id_;
+  int slots_;
+  int live_ = 0;
+  std::uint64_t issues_ = 0;
+  std::deque<StreamId> ready_;
+};
+
+}  // namespace tc3i::mta

@@ -1,0 +1,186 @@
+#include "mta/runtime.hpp"
+
+#include <memory>
+
+#include "core/contracts.hpp"
+
+namespace tc3i::mta {
+
+std::vector<VectorProgram*> build_parallel_loop(
+    ProgramPool& pool, Machine& machine, std::size_t num_items,
+    std::size_t num_chunks, const LoopBodyEmitter& emit_body,
+    std::uint64_t prologue_instructions) {
+  TC3I_EXPECTS(num_chunks > 0);
+  std::vector<VectorProgram*> chunks;
+  chunks.reserve(num_chunks);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    VectorProgram* p = pool.make_vector();
+    const std::size_t first = c * num_items / num_chunks;
+    const std::size_t last = (c + 1) * num_items / num_chunks;
+    p->compute(prologue_instructions);
+    for (std::size_t item = first; item < last; ++item) emit_body(*p, item);
+    machine.add_stream(p);
+    chunks.push_back(p);
+  }
+  return chunks;
+}
+
+VectorProgram* emit_future(
+    ProgramPool& pool, VectorProgram& parent, Address result_cell,
+    const std::function<void(VectorProgram&)>& emit_body) {
+  VectorProgram* child = pool.make_vector();
+  emit_body(*child);
+  child->sync_store(result_cell);
+  parent.spawn(child, /*software=*/true);
+  return child;
+}
+
+void await_future(VectorProgram& consumer, Address result_cell) {
+  consumer.sync_load(result_cell);
+}
+
+void append_atomic_fetch_add(VectorProgram& program, Address counter_cell) {
+  program.sync_load(counter_cell);   // acquire: cell goes EMPTY
+  program.compute(2);                // add + bookkeeping
+  program.sync_store(counter_cell);  // release: cell goes FULL
+}
+
+void init_counter_cells(Machine& machine, Address base, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i)
+    machine.memory().store_full(base + i, 0);
+}
+
+void await_all(VectorProgram& master, Address done_base, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) master.sync_load(done_base + i);
+}
+
+void signal_done(VectorProgram& worker, Address done_base, std::size_t index) {
+  worker.sync_store(done_base + index);
+}
+
+Address emit_sum_reduction(ProgramPool& pool, Machine& machine,
+                           const std::vector<Word>& values, Address cell_base,
+                           std::size_t fanout) {
+  TC3I_EXPECTS(fanout >= 2);
+  TC3I_EXPECTS(!values.empty());
+  Address next_cell = cell_base;
+
+  // Leaves: one producer stream per value.
+  std::vector<Address> level;
+  level.reserve(values.size());
+  for (const Word value : values) {
+    VectorProgram* leaf = pool.make_vector();
+    leaf->compute(4);  // "compute" the value
+    leaf->sync_store(next_cell, value);
+    machine.add_stream(leaf);
+    level.push_back(next_cell++);
+  }
+
+  // Internal nodes: consume children's cells, publish the partial sum.
+  while (level.size() > 1) {
+    std::vector<Address> next_level;
+    for (std::size_t i = 0; i < level.size(); i += fanout) {
+      const std::size_t end = std::min(i + fanout, level.size());
+      const Address out = next_cell++;
+      struct NodeState {
+        std::vector<Address> children;
+        std::size_t next_child = 0;
+        Word sum = 0;
+        Address out = 0;
+        bool stored = false;
+      };
+      auto state = std::make_shared<NodeState>();
+      state->children.assign(level.begin() + static_cast<std::ptrdiff_t>(i),
+                             level.begin() + static_cast<std::ptrdiff_t>(end));
+      state->out = out;
+      CallbackProgram* node = pool.make_callback(
+          [state](Instr& instr) {
+            instr = Instr{};
+            if (state->next_child < state->children.size()) {
+              instr.op = Instr::Op::SyncLoad;
+              instr.addr = state->children[state->next_child++];
+              return true;
+            }
+            if (!state->stored) {
+              state->stored = true;
+              instr.op = Instr::Op::SyncStore;
+              instr.addr = state->out;
+              instr.value = state->sum;
+              return true;
+            }
+            return false;
+          },
+          [state](Word v) { state->sum += v; });
+      machine.add_stream(node);
+      next_level.push_back(out);
+    }
+    level = std::move(next_level);
+  }
+  return level.front();
+}
+
+Address emit_tree_fork_join(ProgramPool& pool, VectorProgram& parent,
+                            const std::vector<VectorProgram*>& workers,
+                            Address cell_base, std::size_t fanout,
+                            bool software) {
+  TC3I_EXPECTS(fanout >= 2);
+  TC3I_EXPECTS(!workers.empty());
+  Address next_cell = cell_base;
+
+  // Leaf level: every worker signals its own cell.
+  struct Node {
+    StreamProgram* program;
+    Address done_cell;
+  };
+  std::vector<Node> level;
+  level.reserve(workers.size());
+  for (VectorProgram* worker : workers) {
+    worker->sync_store(next_cell);
+    level.push_back(Node{worker, next_cell});
+    ++next_cell;
+  }
+
+  // Internal levels: spawn children, await their cells, signal own cell.
+  while (level.size() > fanout) {
+    std::vector<Node> next;
+    for (std::size_t i = 0; i < level.size(); i += fanout) {
+      VectorProgram* node = pool.make_vector();
+      const std::size_t end = std::min(i + fanout, level.size());
+      for (std::size_t j = i; j < end; ++j)
+        node->spawn(level[j].program, software);
+      for (std::size_t j = i; j < end; ++j)
+        node->sync_load(level[j].done_cell);
+      node->sync_store(next_cell);
+      next.push_back(Node{node, next_cell});
+      ++next_cell;
+    }
+    level = std::move(next);
+  }
+
+  for (const Node& root : level) parent.spawn(root.program, software);
+  for (const Node& root : level) parent.sync_load(root.done_cell);
+  return next_cell;
+}
+
+void emit_spawn_tree(ProgramPool& pool, VectorProgram& parent,
+                     std::vector<StreamProgram*> workers, std::size_t fanout,
+                     bool software) {
+  TC3I_EXPECTS(fanout >= 2);
+  // Repeatedly fold the worker list: groups of `fanout` get an
+  // intermediate spawner stream, until at most `fanout` roots remain,
+  // which the parent spawns directly.
+  std::vector<StreamProgram*> level = std::move(workers);
+  while (level.size() > fanout) {
+    std::vector<StreamProgram*> next;
+    for (std::size_t i = 0; i < level.size(); i += fanout) {
+      VectorProgram* node = pool.make_vector();
+      for (std::size_t j = i; j < std::min(i + fanout, level.size()); ++j)
+        node->spawn(level[j], software);
+      next.push_back(node);
+    }
+    level = std::move(next);
+  }
+  for (StreamProgram* root : level) parent.spawn(root, software);
+}
+
+}  // namespace tc3i::mta

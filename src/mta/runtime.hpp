@@ -1,0 +1,94 @@
+// Programming-system constructs on top of the MTA simulator, mirroring what
+// the paper used on the real machine:
+//   - `#pragma multithreaded` chunked parallel loops (Program 2's shape),
+//   - futures (software thread creation, result through a sync variable),
+//   - full/empty-bit idioms: atomic fetch-add and completion barriers.
+//
+// Note on fidelity: the simulator's *timing* depends on instruction mix and
+// full/empty transitions, not on data values, so builders emit value-free
+// sync operations where the paper's code would carry data. Tests that check
+// value semantics use CallbackProgram streams with real data flow instead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mta/machine.hpp"
+#include "mta/stream_program.hpp"
+
+namespace tc3i::mta {
+
+/// Appends the body of one loop iteration to a chunk's stream program.
+using LoopBodyEmitter = std::function<void(VectorProgram&, std::size_t item)>;
+
+/// Builds the Program-2 shape: `num_chunks` streams, chunk c covering items
+/// [c*n/num_chunks, (c+1)*n/num_chunks). Each chunk begins with a small
+/// prologue (bounds computation, local counter initialization) of
+/// `prologue_instructions`. The streams are registered with `machine` and
+/// start at cycle 0 — this is the compiler-generated whole-loop spawn the
+/// paper charges ~2 cycles per thread for.
+std::vector<VectorProgram*> build_parallel_loop(
+    ProgramPool& pool, Machine& machine, std::size_t num_items,
+    std::size_t num_chunks, const LoopBodyEmitter& emit_body,
+    std::uint64_t prologue_instructions = 8);
+
+/// A future: `parent` spawns a software thread that runs `emit_body` and
+/// then sync-stores its result into `result_cell`. The consumer claims the
+/// result by appending a sync load of `result_cell` (see await_future).
+VectorProgram* emit_future(ProgramPool& pool, VectorProgram& parent,
+                           Address result_cell,
+                           const std::function<void(VectorProgram&)>& emit_body);
+
+/// Appends the consumer side of a future: blocks until the producer has
+/// sync-stored the result.
+void await_future(VectorProgram& consumer, Address result_cell);
+
+/// Appends an atomic fetch-add on a full/empty counter cell: sync load
+/// (acquires exclusive access, cell goes EMPTY) then sync store (releases,
+/// cell goes FULL). The cell must have been initialized FULL.
+void append_atomic_fetch_add(VectorProgram& program, Address counter_cell);
+
+/// Initializes `count` contiguous cells starting at `base` to FULL with
+/// value 0 (counters) — a direct use of store_full.
+void init_counter_cells(Machine& machine, Address base, std::size_t count);
+
+/// Appends the master side of a completion barrier: one sync load per
+/// worker done-cell. Workers signal by sync-storing their cell.
+void await_all(VectorProgram& master, Address done_base, std::size_t count);
+
+/// Appends the worker's completion signal.
+void signal_done(VectorProgram& worker, Address done_base, std::size_t index);
+
+/// Emits a logarithmic spawn tree: instead of `parent` issuing one spawn
+/// per worker (serialized at one instruction per 21 cycles), it spawns
+/// `fanout` intermediate spawner streams, which spawn their own children,
+/// and so on — all `workers` are live after ~log_fanout(n) levels. This is
+/// how real MTA codes fanned out hundreds of streams quickly; see
+/// bench/ablate_mta_spawn_tree for the latency difference.
+void emit_spawn_tree(ProgramPool& pool, VectorProgram& parent,
+                     std::vector<StreamProgram*> workers,
+                     std::size_t fanout = 4, bool software = false);
+
+/// A parallel sum reduction with real data flow: `values[i]` is produced
+/// by its own stream into a sync cell; internal tree nodes (CallbackProgram
+/// streams that branch on delivered values) sum their children's cells and
+/// publish upward. After the run, the root cell holds the exact sum —
+/// read it with machine.memory().load(root). Returns the root cell.
+/// Demonstrates that the simulator carries values, not just timing.
+Address emit_sum_reduction(ProgramPool& pool, Machine& machine,
+                           const std::vector<Word>& values,
+                           Address cell_base, std::size_t fanout = 4);
+
+/// Full combining-tree fork/join: workers are spawned through a tree AND
+/// joined through the same tree (each internal node awaits its children's
+/// done cells, then signals its own), so both sides are O(log n) at the
+/// parent instead of O(n). Appends the completion signal to each worker,
+/// allocates done cells starting at `cell_base`, and appends the root
+/// awaits to `parent`. Returns the first unused cell address.
+Address emit_tree_fork_join(ProgramPool& pool, VectorProgram& parent,
+                            const std::vector<VectorProgram*>& workers,
+                            Address cell_base, std::size_t fanout = 4,
+                            bool software = false);
+
+}  // namespace tc3i::mta

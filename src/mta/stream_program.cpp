@@ -1,0 +1,95 @@
+#include "mta/stream_program.hpp"
+
+#include "core/contracts.hpp"
+
+namespace tc3i::mta {
+
+void VectorProgram::compute(std::uint64_t n) {
+  if (n == 0) return;
+  if (!instrs_.empty() && instrs_.back().op == Instr::Op::Compute) {
+    instrs_.back().count += n;
+    return;
+  }
+  Instr i;
+  i.op = Instr::Op::Compute;
+  i.count = n;
+  instrs_.push_back(i);
+}
+
+void VectorProgram::load(Address addr, std::uint64_t n) {
+  if (n == 0) return;
+  if (!instrs_.empty() && instrs_.back().op == Instr::Op::Load &&
+      instrs_.back().addr == addr) {
+    instrs_.back().count += n;
+    return;
+  }
+  Instr i;
+  i.op = Instr::Op::Load;
+  i.addr = addr;
+  i.count = n;
+  instrs_.push_back(i);
+}
+
+void VectorProgram::store(Address addr, Word value, std::uint64_t n) {
+  if (n == 0) return;
+  Instr i;
+  i.op = Instr::Op::Store;
+  i.addr = addr;
+  i.value = value;
+  i.count = n;
+  instrs_.push_back(i);
+}
+
+void VectorProgram::sync_load(Address addr) {
+  Instr i;
+  i.op = Instr::Op::SyncLoad;
+  i.addr = addr;
+  instrs_.push_back(i);
+}
+
+void VectorProgram::sync_store(Address addr, Word value) {
+  Instr i;
+  i.op = Instr::Op::SyncStore;
+  i.addr = addr;
+  i.value = value;
+  instrs_.push_back(i);
+}
+
+void VectorProgram::spawn(StreamProgram* program, bool software) {
+  TC3I_EXPECTS(program != nullptr);
+  Instr i;
+  i.op = Instr::Op::Spawn;
+  i.spawn = program;
+  i.software_spawn = software;
+  instrs_.push_back(i);
+}
+
+std::uint64_t VectorProgram::total_instructions() const {
+  std::uint64_t total = 0;
+  for (const auto& i : instrs_)
+    total += (i.op == Instr::Op::Compute || i.op == Instr::Op::Load ||
+              i.op == Instr::Op::Store)
+                 ? i.count
+                 : 1;
+  return total;
+}
+
+bool VectorProgram::next(Instr& out) {
+  if (pos_ >= instrs_.size()) return false;
+  out = instrs_[pos_++];
+  return true;
+}
+
+VectorProgram* ProgramPool::make_vector() {
+  programs_.push_back(std::make_unique<VectorProgram>());
+  return static_cast<VectorProgram*>(programs_.back().get());
+}
+
+CallbackProgram* ProgramPool::make_callback(
+    CallbackProgram::NextFn next_fn, CallbackProgram::DeliverFn deliver_fn) {
+  programs_.push_back(std::make_unique<CallbackProgram>(
+      std::move(next_fn), std::move(deliver_fn)));
+  return static_cast<CallbackProgram*>(programs_.back().get());
+}
+
+}  // namespace tc3i::mta

@@ -1,0 +1,36 @@
+#include "platforms/calibration.hpp"
+
+#include <cmath>
+
+#include "core/contracts.hpp"
+
+namespace tc3i::platforms {
+
+CalibratedRates solve_rates(const SequentialAnchors& anchors,
+                            const WorkloadTotals& totals) {
+  TC3I_EXPECTS(anchors.threat_seconds > 0.0 && anchors.terrain_seconds > 0.0);
+  TC3I_EXPECTS(totals.threat_ops > 0.0 && totals.terrain_ops > 0.0);
+  TC3I_EXPECTS(totals.threat_bytes >= 0.0 && totals.terrain_bytes > 0.0);
+
+  // Unknowns u = 1/r_compute, v = 1/r_memory:
+  //   threat_ops  * u + threat_bytes  * v = t_TA
+  //   terrain_ops * u + terrain_bytes * v = t_TM
+  const double det = totals.threat_ops * totals.terrain_bytes -
+                     totals.terrain_ops * totals.threat_bytes;
+  TC3I_EXPECTS(std::abs(det) > 1e-12 && "workload vectors are collinear");
+  const double u = (anchors.threat_seconds * totals.terrain_bytes -
+                    anchors.terrain_seconds * totals.threat_bytes) /
+                   det;
+  const double v = (totals.threat_ops * anchors.terrain_seconds -
+                    totals.terrain_ops * anchors.threat_seconds) /
+                   det;
+  TC3I_ENSURES(u > 0.0 &&
+               "calibration: compute rate non-positive — cost model "
+               "inconsistent with anchors");
+  TC3I_ENSURES(v > 0.0 &&
+               "calibration: memory rate non-positive — cost model "
+               "inconsistent with anchors");
+  return CalibratedRates{1.0 / u, 1.0 / v};
+}
+
+}  // namespace tc3i::platforms

@@ -1,0 +1,47 @@
+// Per-platform rate calibration.
+//
+// The paper's two sequential anchor rows per platform (Table 2's Threat
+// Analysis time, Table 8's Terrain Masking time) plus the measured
+// workload totals (abstract instructions and bus bytes of each benchmark)
+// give two linear equations in two unknowns:
+//
+//   t_TA = C_TA / r_compute + M_TA / r_memory
+//   t_TM = C_TM / r_compute + M_TM / r_memory
+//
+// Solving yields each platform's effective compute rate and single-stream
+// memory bandwidth. Everything *parallel* in the reproduction is then
+// emergent from the machine models — the sequential rows are fitted by
+// construction and the parallel rows are the actual test of the models.
+#pragma once
+
+#include <string>
+
+#include "core/units.hpp"
+
+namespace tc3i::platforms {
+
+/// Workload totals over all five scenarios of each benchmark.
+struct WorkloadTotals {
+  double threat_ops = 0.0;
+  double threat_bytes = 0.0;
+  double terrain_ops = 0.0;
+  double terrain_bytes = 0.0;
+};
+
+struct SequentialAnchors {
+  Seconds threat_seconds = 0.0;   // Table 2 row
+  Seconds terrain_seconds = 0.0;  // Table 8 row
+};
+
+struct CalibratedRates {
+  double compute_rate_ips = 0.0;
+  double mem_bw_single = 0.0;
+};
+
+/// Solves the 2x2 system. Aborts if the solution is non-physical
+/// (non-positive rates), which would mean the cost model's workload mix is
+/// inconsistent with the paper's anchor times.
+[[nodiscard]] CalibratedRates solve_rates(const SequentialAnchors& anchors,
+                                          const WorkloadTotals& totals);
+
+}  // namespace tc3i::platforms

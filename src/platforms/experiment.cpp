@@ -1,0 +1,267 @@
+#include "platforms/experiment.hpp"
+
+#include "c3i/scenario.hpp"
+#include "c3i/terrain/scenario_gen.hpp"
+#include "c3i/threat/scenario_gen.hpp"
+#include "core/contracts.hpp"
+#include "platforms/paper.hpp"
+
+namespace tc3i::platforms {
+
+namespace threat = c3i::threat;
+namespace terrain = c3i::terrain;
+
+double threat_total_instructions(const threat::PairProfile& profile,
+                                 const c3i::ThreatCosts& costs) {
+  return static_cast<double>(profile.total_steps()) *
+             static_cast<double>(costs.ops_per_step()) +
+         static_cast<double>(profile.total_intervals()) *
+             static_cast<double>(costs.alu_per_interval +
+                                 costs.mem_per_interval);
+}
+
+double terrain_total_instructions(const terrain::TerrainProfile& profile,
+                                  const c3i::TerrainCosts& costs) {
+  const double init_cells = static_cast<double>(profile.x_size) *
+                            static_cast<double>(profile.y_size);
+  return static_cast<double>(profile.total_kernel_cells()) *
+             static_cast<double>(costs.ops_per_kernel_cell()) +
+         (static_cast<double>(profile.total_simple_cells()) + init_cells) *
+             static_cast<double>(costs.ops_per_simple_cell());
+}
+
+namespace {
+
+/// Scales a cost structure's magnitudes down by an integer divisor while
+/// preserving the ALU/memory mix (exactness checked).
+c3i::ThreatCosts scale_threat_costs(const c3i::ThreatCosts& c, int divisor) {
+  c3i::ThreatCosts s = c;
+  TC3I_EXPECTS(c.alu_per_step % divisor == 0 && c.mem_per_step % divisor == 0);
+  s.alu_per_step = c.alu_per_step / divisor;
+  s.mem_per_step = c.mem_per_step / divisor;
+  return s;
+}
+
+c3i::TerrainCosts scale_terrain_costs(const c3i::TerrainCosts& c, int divisor) {
+  c3i::TerrainCosts s = c;
+  TC3I_EXPECTS(c.alu_per_kernel_cell % divisor == 0 &&
+               c.mem_per_kernel_cell % divisor == 0 &&
+               c.alu_per_simple_cell % divisor == 0 &&
+               c.mem_per_simple_cell % divisor == 0);
+  s.alu_per_kernel_cell = c.alu_per_kernel_cell / divisor;
+  s.mem_per_kernel_cell = c.mem_per_kernel_cell / divisor;
+  s.alu_per_simple_cell = c.alu_per_simple_cell / divisor;
+  s.mem_per_simple_cell = c.mem_per_simple_cell / divisor;
+  return s;
+}
+
+}  // namespace
+
+Testbed build_testbed() {
+  Testbed tb;
+  tb.threat_costs = c3i::default_threat_costs();
+  tb.terrain_costs = c3i::default_terrain_costs();
+
+  // Full-scale profiles.
+  for (const auto& scenario : threat::benchmark_scenarios())
+    tb.threat_profiles.push_back(threat::profile(scenario));
+  for (const auto& geometry : terrain::benchmark_geometries())
+    tb.terrain_profiles.push_back(terrain::profile(geometry));
+
+  // Scaled MTA workloads: one scenario each, reduced size, reduced
+  // per-unit costs with the same mix (200:55 -> 40:11; 80:26:10:6 ->
+  // 40:13:5:3).
+  tb.threat_costs_scaled = scale_threat_costs(tb.threat_costs, 5);
+  tb.terrain_costs_scaled = scale_terrain_costs(tb.terrain_costs, 2);
+  {
+    threat::ScenarioParams params;
+    params.num_threats = 256;
+    params.num_weapons = 8;
+    params.dt = 5.0;  // fewer steps per pair; per-step costs model the rest
+    const auto seeds = c3i::standard_scenarios("threat-analysis");
+    threat::Scenario scaled = threat::generate_scenario(seeds[0].seed, params);
+    tb.threat_profile_scaled = threat::profile(scaled);
+  }
+  {
+    terrain::ScenarioParams params;
+    params.x_size = 320;
+    params.y_size = 320;
+    params.num_threats = 60;
+    const auto seeds = c3i::standard_scenarios("terrain-masking");
+    tb.terrain_profile_scaled =
+        terrain::profile(terrain::generate_geometry(seeds[0].seed, params));
+  }
+
+  double threat_full_instr = 0.0;
+  for (const auto& p : tb.threat_profiles)
+    threat_full_instr += threat_total_instructions(p, tb.threat_costs);
+  tb.threat_mta_factor =
+      threat_full_instr /
+      threat_total_instructions(tb.threat_profile_scaled, tb.threat_costs_scaled);
+
+  double terrain_full_instr = 0.0;
+  for (const auto& p : tb.terrain_profiles)
+    terrain_full_instr += terrain_total_instructions(p, tb.terrain_costs);
+  tb.terrain_mta_factor =
+      terrain_full_instr / terrain_total_instructions(tb.terrain_profile_scaled,
+                                                      tb.terrain_costs_scaled);
+
+  // Calibration totals (ops and bus bytes over all five scenarios), taken
+  // from the same trace builders the simulations replay.
+  for (const auto& p : tb.threat_profiles) {
+    const sim::ThreadTrace t = threat::build_sequential_trace(p, tb.threat_costs);
+    tb.totals.threat_ops += static_cast<double>(t.total_ops());
+    tb.totals.threat_bytes += static_cast<double>(t.total_bytes());
+  }
+  for (const auto& p : tb.terrain_profiles) {
+    const sim::ThreadTrace init = terrain::build_init_trace(p, tb.terrain_costs);
+    const sim::ThreadTrace seq =
+        terrain::build_sequential_trace(p, tb.terrain_costs);
+    tb.totals.terrain_ops +=
+        static_cast<double>(init.total_ops() + seq.total_ops());
+    tb.totals.terrain_bytes +=
+        static_cast<double>(init.total_bytes() + seq.total_bytes());
+  }
+
+  // Per-platform rate calibration from the paper's sequential anchors.
+  const CalibratedRates alpha_rates = solve_rates(
+      {paper::kThreatSeqAlpha, paper::kTerrainSeqAlpha}, tb.totals);
+  const CalibratedRates ppro_rates =
+      solve_rates({paper::kThreatSeqPPro, paper::kTerrainSeqPPro}, tb.totals);
+  const CalibratedRates exemplar_rates = solve_rates(
+      {paper::kThreatSeqExemplar, paper::kTerrainSeqExemplar}, tb.totals);
+  tb.alpha = make_smp_config(alpha_spec(), alpha_rates.compute_rate_ips,
+                             alpha_rates.mem_bw_single);
+  tb.ppro = make_smp_config(ppro_spec(), ppro_rates.compute_rate_ips,
+                            ppro_rates.mem_bw_single);
+  tb.exemplar = make_smp_config(exemplar_spec(),
+                                exemplar_rates.compute_rate_ips,
+                                exemplar_rates.mem_bw_single);
+  return tb;
+}
+
+// --- conventional-platform experiments --------------------------------------
+
+double threat_seq_seconds(const Testbed& tb, const smp::SmpConfig& cfg) {
+  const smp::Machine machine(cfg);
+  double total = 0.0;
+  for (const auto& p : tb.threat_profiles)
+    total += machine
+                 .run_sequential(threat::build_sequential_trace(p, tb.threat_costs))
+                 .elapsed;
+  return total;
+}
+
+double threat_chunked_seconds(const Testbed& tb, const smp::SmpConfig& cfg,
+                              int chunks, int processors) {
+  smp::SmpConfig c = cfg;
+  c.num_processors = processors;
+  const smp::Machine machine(c);
+  double total = 0.0;
+  for (const auto& p : tb.threat_profiles)
+    total += machine.run(threat::build_chunked_workload(p, chunks, tb.threat_costs))
+                 .elapsed;
+  return total;
+}
+
+double terrain_seq_seconds(const Testbed& tb, const smp::SmpConfig& cfg) {
+  const smp::Machine machine(cfg);
+  double total = 0.0;
+  for (const auto& p : tb.terrain_profiles) {
+    total += machine.run_sequential(terrain::build_init_trace(p, tb.terrain_costs))
+                 .elapsed;
+    total += machine
+                 .run_sequential(terrain::build_sequential_trace(p, tb.terrain_costs))
+                 .elapsed;
+  }
+  return total;
+}
+
+double terrain_coarse_seconds(const Testbed& tb, const smp::SmpConfig& cfg,
+                              int workers, int processors,
+                              int blocks_per_side) {
+  smp::SmpConfig c = cfg;
+  c.num_processors = processors;
+  const smp::Machine machine(c);
+  double total = 0.0;
+  for (const auto& p : tb.terrain_profiles) {
+    // Initialization runs on the master before the workers spawn.
+    total += machine.run_sequential(terrain::build_init_trace(p, tb.terrain_costs))
+                 .elapsed;
+    total += machine
+                 .run_pool(terrain::build_coarse_pool(p, workers, blocks_per_side,
+                                                      tb.terrain_costs))
+                 .elapsed;
+  }
+  return total;
+}
+
+double terrain_coarse_static_seconds(const Testbed& tb,
+                                     const smp::SmpConfig& cfg, int workers,
+                                     int processors, int blocks_per_side) {
+  smp::SmpConfig c = cfg;
+  c.num_processors = processors;
+  const smp::Machine machine(c);
+  double total = 0.0;
+  for (const auto& p : tb.terrain_profiles) {
+    total += machine.run_sequential(terrain::build_init_trace(p, tb.terrain_costs))
+                 .elapsed;
+    total += machine
+                 .run(terrain::build_coarse_static(p, workers, blocks_per_side,
+                                                   tb.terrain_costs))
+                 .elapsed;
+  }
+  return total;
+}
+
+// --- Tera MTA experiments ----------------------------------------------------
+
+double mta_threat_seq_seconds(const Testbed& tb) {
+  mta::Machine machine(make_mta_config(1));
+  mta::ProgramPool pool;
+  threat::build_mta_sequential(pool, machine, tb.threat_profile_scaled,
+                               tb.threat_costs_scaled);
+  return machine.run().seconds * tb.threat_mta_factor;
+}
+
+double mta_threat_chunked_seconds(const Testbed& tb, int chunks,
+                                  int processors) {
+  mta::Machine machine(make_mta_config(processors));
+  mta::ProgramPool pool;
+  threat::build_mta_chunked(pool, machine, tb.threat_profile_scaled,
+                            static_cast<std::size_t>(chunks),
+                            tb.threat_costs_scaled);
+  return machine.run().seconds * tb.threat_mta_factor;
+}
+
+double mta_threat_finegrained_seconds(const Testbed& tb, int processors) {
+  mta::Machine machine(make_mta_config(processors));
+  mta::ProgramPool pool;
+  threat::build_mta_finegrained(pool, machine, tb.threat_profile_scaled,
+                                tb.threat_costs_scaled);
+  return machine.run().seconds * tb.threat_mta_factor;
+}
+
+double mta_terrain_seq_seconds(const Testbed& tb) {
+  mta::Machine machine(make_mta_config(1));
+  mta::ProgramPool pool;
+  terrain::build_mta_sequential(pool, machine, tb.terrain_profile_scaled,
+                                tb.terrain_costs_scaled);
+  return machine.run().seconds * tb.terrain_mta_factor;
+}
+
+double mta_terrain_fine_seconds(const Testbed& tb, int processors) {
+  return mta_terrain_fine_seconds(tb, processors,
+                                  c3i::terrain::MtaFineParams{});
+}
+
+double mta_terrain_fine_seconds(const Testbed& tb, int processors,
+                                const terrain::MtaFineParams& params) {
+  mta::Machine machine(make_mta_config(processors));
+  mta::ProgramPool pool;
+  terrain::build_mta_finegrained(pool, machine, tb.terrain_profile_scaled,
+                                 tb.terrain_costs_scaled, params);
+  return machine.run().seconds * tb.terrain_mta_factor;
+}
+
+}  // namespace tc3i::platforms

@@ -1,0 +1,93 @@
+// The shared experiment layer: builds the calibrated testbed (workload
+// profiles + platform configs) once, and exposes one function per
+// experimental configuration in the paper. Every bench binary and the
+// calibration tests go through these functions, so all reported numbers
+// come from a single code path.
+#pragma once
+
+#include <vector>
+
+#include "c3i/cost_model.hpp"
+#include "c3i/terrain/sequential.hpp"
+#include "c3i/terrain/trace_builder.hpp"
+#include "c3i/threat/sequential.hpp"
+#include "c3i/threat/trace_builder.hpp"
+#include "platforms/calibration.hpp"
+#include "platforms/platform.hpp"
+#include "smp/machine.hpp"
+
+namespace tc3i::platforms {
+
+struct Testbed {
+  // Cost model (full-scale magnitudes).
+  c3i::ThreatCosts threat_costs;
+  c3i::TerrainCosts terrain_costs;
+
+  // Full-scale workload profiles (five scenarios each).
+  std::vector<c3i::threat::PairProfile> threat_profiles;
+  std::vector<c3i::terrain::TerrainProfile> terrain_profiles;
+
+  // Scaled workloads for the cycle-level MTA simulation. Magnitudes are
+  // reduced with the ALU/memory mix preserved, so per-instruction timing
+  // regimes match and extrapolation by instruction ratio is exact
+  // (DESIGN.md §1 step 4).
+  c3i::ThreatCosts threat_costs_scaled;
+  c3i::TerrainCosts terrain_costs_scaled;
+  c3i::threat::PairProfile threat_profile_scaled;
+  c3i::terrain::TerrainProfile terrain_profile_scaled;
+  double threat_mta_factor = 1.0;   ///< full instr / scaled instr
+  double terrain_mta_factor = 1.0;
+
+  // Calibrated platform configs.
+  smp::SmpConfig alpha;
+  smp::SmpConfig ppro;
+  smp::SmpConfig exemplar;
+
+  // Calibration inputs, exposed for reporting.
+  WorkloadTotals totals;
+};
+
+/// Builds the full testbed (runs the instrumented kernels, calibrates all
+/// platforms). Takes a few seconds; bench binaries build it once.
+[[nodiscard]] Testbed build_testbed();
+
+// --- workload accounting ----------------------------------------------------
+[[nodiscard]] double threat_total_instructions(
+    const c3i::threat::PairProfile& profile, const c3i::ThreatCosts& costs);
+[[nodiscard]] double terrain_total_instructions(
+    const c3i::terrain::TerrainProfile& profile, const c3i::TerrainCosts& costs);
+
+// --- conventional-platform experiments (seconds, 5-scenario totals) --------
+[[nodiscard]] double threat_seq_seconds(const Testbed& tb,
+                                        const smp::SmpConfig& cfg);
+[[nodiscard]] double threat_chunked_seconds(const Testbed& tb,
+                                            const smp::SmpConfig& cfg,
+                                            int chunks, int processors);
+[[nodiscard]] double terrain_seq_seconds(const Testbed& tb,
+                                         const smp::SmpConfig& cfg);
+[[nodiscard]] double terrain_coarse_seconds(const Testbed& tb,
+                                            const smp::SmpConfig& cfg,
+                                            int workers, int processors,
+                                            int blocks_per_side = 10);
+/// Ablation: static round-robin threat assignment instead of the dynamic
+/// queue of Program 4.
+[[nodiscard]] double terrain_coarse_static_seconds(const Testbed& tb,
+                                                   const smp::SmpConfig& cfg,
+                                                   int workers, int processors,
+                                                   int blocks_per_side = 10);
+
+// --- Tera MTA experiments (seconds, extrapolated 5-scenario totals) --------
+[[nodiscard]] double mta_threat_seq_seconds(const Testbed& tb);
+[[nodiscard]] double mta_threat_chunked_seconds(const Testbed& tb, int chunks,
+                                                int processors);
+[[nodiscard]] double mta_threat_finegrained_seconds(const Testbed& tb,
+                                                    int processors);
+[[nodiscard]] double mta_terrain_seq_seconds(const Testbed& tb);
+[[nodiscard]] double mta_terrain_fine_seconds(const Testbed& tb,
+                                              int processors);
+/// Parameterized form for schedule ablations.
+[[nodiscard]] double mta_terrain_fine_seconds(
+    const Testbed& tb, int processors,
+    const c3i::terrain::MtaFineParams& params);
+
+}  // namespace tc3i::platforms

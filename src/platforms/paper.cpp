@@ -1,0 +1,3 @@
+// Paper reference numbers are header-only; translation unit kept so the
+// target has an object for this component.
+#include "platforms/paper.hpp"

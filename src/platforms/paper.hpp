@@ -1,0 +1,79 @@
+// The paper's published numbers (every table), used by the bench harnesses
+// to print paper-vs-measured and by EXPERIMENTS.md generation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tc3i::platforms::paper {
+
+// --- Table 2 / Table 8: sequential execution (seconds, 5 scenarios) -------
+inline constexpr double kThreatSeqAlpha = 187.0;
+inline constexpr double kThreatSeqPPro = 458.0;
+inline constexpr double kThreatSeqExemplar = 343.0;
+inline constexpr double kThreatSeqTera = 2584.0;
+
+inline constexpr double kTerrainSeqAlpha = 158.0;
+inline constexpr double kTerrainSeqPPro = 197.0;
+inline constexpr double kTerrainSeqExemplar = 228.0;
+inline constexpr double kTerrainSeqTera = 978.0;
+
+// --- Table 3 / Figure 1: multithreaded Threat Analysis on Pentium Pro -----
+struct ScalingRow {
+  int processors;
+  double seconds;
+};
+inline const std::vector<ScalingRow>& threat_ppro_rows() {
+  static const std::vector<ScalingRow> rows = {
+      {1, 466.0}, {2, 233.0}, {3, 157.0}, {4, 117.0}};
+  return rows;
+}
+
+// --- Table 4 / Figure 2: multithreaded Threat Analysis on Exemplar --------
+inline const std::vector<ScalingRow>& threat_exemplar_rows() {
+  static const std::vector<ScalingRow> rows = {
+      {1, 343.0}, {2, 172.0}, {3, 115.0}, {4, 87.0},
+      {5, 69.0},  {6, 58.0},  {7, 50.0},  {8, 43.0},
+      {9, 39.0},  {10, 35.0}, {11, 32.0}, {12, 29.0},
+      {13, 27.0}, {14, 26.0}, {15, 24.0}, {16, 22.0}};
+  return rows;
+}
+
+// --- Table 5: multithreaded Threat Analysis on the Tera MTA ---------------
+inline constexpr double kThreatTera1Proc = 82.0;
+inline constexpr double kThreatTera2Proc = 46.0;
+
+// --- Table 6: Threat Analysis on the Tera MTA vs number of chunks ---------
+struct ChunkRow {
+  int chunks;
+  double seconds;
+};
+inline const std::vector<ChunkRow>& threat_tera_chunk_rows() {
+  static const std::vector<ChunkRow> rows = {{8, 386.0},  {16, 197.0},
+                                             {32, 104.0}, {64, 61.0},
+                                             {128, 46.0}, {256, 46.0}};
+  return rows;
+}
+
+// --- Table 9 / Figure 3: coarse-grained Terrain Masking on Pentium Pro ----
+inline const std::vector<ScalingRow>& terrain_ppro_rows() {
+  static const std::vector<ScalingRow> rows = {
+      {1, 172.0}, {2, 97.0}, {3, 74.0}, {4, 65.0}};
+  return rows;
+}
+
+// --- Table 10 / Figure 4: coarse-grained Terrain Masking on Exemplar ------
+inline const std::vector<ScalingRow>& terrain_exemplar_rows() {
+  static const std::vector<ScalingRow> rows = {
+      {1, 228.0}, {2, 102.0}, {3, 90.0},  {4, 59.0},
+      {5, 62.0},  {6, 43.0},  {7, 51.0},  {8, 37.0},
+      {9, 49.0},  {10, 34.0}, {11, 41.0}, {12, 34.0},
+      {13, 32.0}, {14, 40.0}, {15, 41.0}, {16, 37.0}};
+  return rows;
+}
+
+// --- Table 11: fine-grained Terrain Masking on the Tera MTA ----------------
+inline constexpr double kTerrainTera1Proc = 48.0;
+inline constexpr double kTerrainTera2Proc = 34.0;
+
+}  // namespace tc3i::platforms::paper

@@ -1,0 +1,50 @@
+// The four platforms of the paper's Table 1, with the model parameters
+// attached to each. Compute and memory rates are calibrated (see
+// calibration.hpp); structural parameters (processor counts, clocks,
+// thread/lock costs, bus headroom) are set here.
+#pragma once
+
+#include <string>
+
+#include "mta/machine.hpp"
+#include "smp/config.hpp"
+
+namespace tc3i::platforms {
+
+struct PlatformSpec {
+  std::string name;
+  std::string cpu_description;
+  std::string memory;
+  std::string operating_system;
+  int processors = 1;
+  double clock_hz = 0.0;
+
+  /// mem_bw_total / mem_bw_single: how much more traffic the whole bus
+  /// sustains than one processor can draw. Fitted per platform; this is
+  /// what bounds memory-bound speedup (Tables 9 and 10).
+  double bus_headroom = 1.0;
+
+  /// OS thread-creation cost in cycles ("tens of thousands to hundreds of
+  /// thousands" on conventional platforms, per the paper's §7).
+  double thread_spawn_cycles = 50'000.0;
+  /// Lock acquire/release cost in cycles ("hundreds to thousands").
+  double lock_cycles = 400.0;
+};
+
+/// Table 1 rows.
+[[nodiscard]] PlatformSpec alpha_spec();      // Digital AlphaStation, 1x500MHz
+[[nodiscard]] PlatformSpec ppro_spec();       // NeTpower Sparta, 4x200MHz
+[[nodiscard]] PlatformSpec exemplar_spec();   // HP Exemplar, 16x180MHz
+[[nodiscard]] PlatformSpec tera_spec();       // Tera MTA, 2x255MHz
+
+/// Builds the SMP machine config from a spec plus calibrated rates.
+[[nodiscard]] smp::SmpConfig make_smp_config(const PlatformSpec& spec,
+                                             double compute_rate_ips,
+                                             double mem_bw_single);
+
+/// Builds the MTA machine config (architectural constants from §2 of the
+/// paper: 21-cycle issue spacing, no caches, 128 streams/processor; the
+/// network service rate reflects the under-development interconnect).
+[[nodiscard]] mta::MtaConfig make_mta_config(int num_processors);
+
+}  // namespace tc3i::platforms

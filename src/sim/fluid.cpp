@@ -1,0 +1,51 @@
+#include "sim/fluid.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/contracts.hpp"
+
+namespace tc3i::sim {
+
+std::vector<double> water_fill(double total_capacity,
+                               std::span<const double> private_caps) {
+  TC3I_EXPECTS(total_capacity >= 0.0);
+  std::vector<double> rates(private_caps.size(), 0.0);
+  if (private_caps.empty()) return rates;
+
+  // Iterate: grant every cap below the current fair share, then re-divide.
+  std::vector<std::size_t> open(private_caps.size());
+  std::iota(open.begin(), open.end(), std::size_t{0});
+  double remaining = total_capacity;
+  while (!open.empty()) {
+    const double fair = remaining / static_cast<double>(open.size());
+    bool granted_any = false;
+    for (auto it = open.begin(); it != open.end();) {
+      const std::size_t i = *it;
+      TC3I_EXPECTS(private_caps[i] >= 0.0);
+      if (private_caps[i] <= fair) {
+        rates[i] = private_caps[i];
+        remaining -= private_caps[i];
+        it = open.erase(it);
+        granted_any = true;
+      } else {
+        ++it;
+      }
+    }
+    if (!granted_any) {
+      // Every remaining flow is capacity-limited: split evenly.
+      for (std::size_t i : open) rates[i] = fair;
+      break;
+    }
+  }
+  return rates;
+}
+
+double water_fill_uniform(double total_capacity, int n_flows,
+                          double private_cap) {
+  TC3I_EXPECTS(n_flows > 0);
+  TC3I_EXPECTS(private_cap >= 0.0);
+  return std::min(private_cap, total_capacity / n_flows);
+}
+
+}  // namespace tc3i::sim

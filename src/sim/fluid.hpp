@@ -1,0 +1,29 @@
+// Fluid (processor-sharing) rate allocation.
+//
+// The conventional-SMP machine model treats the shared memory bus as a fluid
+// resource: at any instant each active thread demands bandwidth up to its
+// private cap (a single core cannot saturate the bus by itself) and the bus
+// divides its total capacity fairly among demanders. The classic solution is
+// water-filling: caps below the fair share are granted in full and the
+// remainder is re-divided among the rest.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace tc3i::sim {
+
+/// Computes per-flow rates for a shared resource of `total_capacity`,
+/// where flow i can consume at most `private_caps[i]`.
+///
+/// Postconditions: rates[i] <= private_caps[i]; sum(rates) <=
+/// total_capacity (with equality when the demand is binding); max-min fair.
+[[nodiscard]] std::vector<double> water_fill(double total_capacity,
+                                             std::span<const double> private_caps);
+
+/// Convenience for the common homogeneous case: n identical flows with the
+/// same cap. Returns the per-flow rate.
+[[nodiscard]] double water_fill_uniform(double total_capacity, int n_flows,
+                                        double private_cap);
+
+}  // namespace tc3i::sim

@@ -1,0 +1,91 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+#include "core/contracts.hpp"
+
+namespace tc3i::sim {
+
+void ThreadTrace::compute(Instructions ops, Bytes bytes) {
+  if (ops == 0 && bytes == 0) return;
+  if (!phases_.empty() && phases_.back().kind == Phase::Kind::Compute &&
+      open_locks_ == 0) {
+    phases_.back().ops += ops;
+    phases_.back().bytes += bytes;
+    return;
+  }
+  phases_.push_back(Phase{Phase::Kind::Compute, ops, bytes, -1});
+}
+
+void ThreadTrace::acquire(int lock_id) {
+  TC3I_EXPECTS(lock_id >= 0);
+  phases_.push_back(Phase{Phase::Kind::Acquire, 0, 0, lock_id});
+  ++open_locks_;
+}
+
+void ThreadTrace::release(int lock_id) {
+  TC3I_EXPECTS(lock_id >= 0);
+  TC3I_EXPECTS(open_locks_ > 0);
+  phases_.push_back(Phase{Phase::Kind::Release, 0, 0, lock_id});
+  --open_locks_;
+}
+
+Instructions ThreadTrace::total_ops() const {
+  Instructions total = 0;
+  for (const auto& p : phases_) total += p.ops;
+  return total;
+}
+
+Bytes ThreadTrace::total_bytes() const {
+  Bytes total = 0;
+  for (const auto& p : phases_) total += p.bytes;
+  return total;
+}
+
+Instructions WorkloadTrace::total_ops() const {
+  Instructions total = 0;
+  for (const auto& t : threads) total += t.total_ops();
+  return total;
+}
+
+Bytes WorkloadTrace::total_bytes() const {
+  Bytes total = 0;
+  for (const auto& t : threads) total += t.total_bytes();
+  return total;
+}
+
+std::string WorkloadTrace::validate() const {
+  for (std::size_t ti = 0; ti < threads.size(); ++ti) {
+    int depth = 0;
+    for (const auto& p : threads[ti].phases()) {
+      switch (p.kind) {
+        case Phase::Kind::Compute:
+          break;
+        case Phase::Kind::Acquire:
+        case Phase::Kind::Release: {
+          if (p.lock_id < 0 || p.lock_id >= num_locks) {
+            std::ostringstream os;
+            os << "thread " << ti << ": lock id " << p.lock_id
+               << " out of range [0, " << num_locks << ")";
+            return os.str();
+          }
+          depth += (p.kind == Phase::Kind::Acquire) ? 1 : -1;
+          if (depth < 0) {
+            std::ostringstream os;
+            os << "thread " << ti << ": release without matching acquire";
+            return os.str();
+          }
+          break;
+        }
+      }
+    }
+    if (depth != 0) {
+      std::ostringstream os;
+      os << "thread " << ti << ": " << depth << " unreleased lock(s)";
+      return os.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace tc3i::sim

@@ -1,0 +1,61 @@
+// Workload traces.
+//
+// The benchmark kernels run for real (instrumented) and emit traces; the
+// machine models replay the traces. A trace is a set of simulated threads,
+// each a sequence of phases: compute (with attached memory traffic) and
+// lock acquire/release. This is the level of detail that drives every
+// conventional-platform result in the paper: instruction counts, bus
+// traffic, and critical sections.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace tc3i::sim {
+
+struct Phase {
+  enum class Kind : std::uint8_t { Compute, Acquire, Release };
+
+  Kind kind = Kind::Compute;
+  Instructions ops = 0;  ///< abstract instructions (Compute only)
+  Bytes bytes = 0;       ///< bus-crossing memory traffic (Compute only)
+  int lock_id = -1;      ///< Acquire/Release only
+};
+
+/// The execution of one simulated thread.
+class ThreadTrace {
+ public:
+  /// Appends a compute phase; consecutive compute phases outside critical
+  /// sections are merged to keep traces compact.
+  void compute(Instructions ops, Bytes bytes);
+
+  void acquire(int lock_id);
+  void release(int lock_id);
+
+  [[nodiscard]] const std::vector<Phase>& phases() const { return phases_; }
+  [[nodiscard]] bool empty() const { return phases_.empty(); }
+  [[nodiscard]] Instructions total_ops() const;
+  [[nodiscard]] Bytes total_bytes() const;
+
+ private:
+  std::vector<Phase> phases_;
+  int open_locks_ = 0;  // merging is only safe outside critical sections
+};
+
+/// A complete multithreaded workload.
+struct WorkloadTrace {
+  std::vector<ThreadTrace> threads;
+  int num_locks = 0;
+
+  [[nodiscard]] Instructions total_ops() const;
+  [[nodiscard]] Bytes total_bytes() const;
+
+  /// Checks structural validity (balanced locks, ids in range).
+  /// Returns an empty string when valid, else a description of the defect.
+  [[nodiscard]] std::string validate() const;
+};
+
+}  // namespace tc3i::sim

@@ -1,0 +1,22 @@
+#include "smp/config.hpp"
+
+#include <sstream>
+
+namespace tc3i::smp {
+
+std::string SmpConfig::validate() const {
+  std::ostringstream os;
+  if (name.empty()) os << "name is empty; ";
+  if (num_processors < 1) os << "num_processors < 1; ";
+  if (clock_hz <= 0.0) os << "clock_hz <= 0; ";
+  if (compute_rate_ips <= 0.0) os << "compute_rate_ips <= 0; ";
+  if (mem_bw_single <= 0.0) os << "mem_bw_single <= 0; ";
+  if (mem_bw_total < mem_bw_single)
+    os << "mem_bw_total < mem_bw_single (the bus cannot be slower than one "
+          "processor's draw); ";
+  if (thread_spawn_cycles < 0.0) os << "thread_spawn_cycles < 0; ";
+  if (lock_cycles < 0.0) os << "lock_cycles < 0; ";
+  return os.str();
+}
+
+}  // namespace tc3i::smp

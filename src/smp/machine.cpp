@@ -1,0 +1,353 @@
+#include "smp/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <utility>
+
+#include "core/contracts.hpp"
+#include "sim/fluid.hpp"
+
+namespace tc3i::smp {
+
+namespace {
+
+using sim::Phase;
+using sim::ThreadTrace;
+
+// A timed or instantaneous unit of worker progress. Compute phases expand to
+// Cpu (ops) then Mem (bytes); lock phases expand to Overhead + Grab/Release.
+struct Job {
+  enum class Kind : std::uint8_t { Sleep, Overhead, Cpu, Mem, Grab, Release };
+  Kind kind = Kind::Sleep;
+  double amount = 0.0;  ///< seconds (Sleep/Overhead), ops (Cpu), bytes (Mem)
+  int lock_id = -1;
+};
+
+struct Worker {
+  std::deque<Job> jobs;
+  const std::vector<Phase>* phases = nullptr;
+  std::size_t phase_idx = 0;
+
+  enum class Status : std::uint8_t { Run, Blocked, Done };
+  Status status = Status::Run;
+
+  Seconds busy = 0.0;
+  Seconds lock_wait = 0.0;
+  Seconds finish = 0.0;
+};
+
+struct LockState {
+  int owner = -1;
+  std::deque<int> waiters;
+};
+
+class Engine {
+ public:
+  Engine(const SmpConfig& cfg, int num_workers, int num_locks,
+         const std::vector<ThreadTrace>* pool_tasks)
+      : cfg_(cfg),
+        workers_(static_cast<std::size_t>(num_workers)),
+        locks_(static_cast<std::size_t>(num_locks)),
+        pool_(pool_tasks) {}
+
+  /// Assigns a fixed trace to worker `i` (static partitioning).
+  void assign(int i, const ThreadTrace& trace) {
+    workers_[static_cast<std::size_t>(i)].phases = &trace.phases();
+  }
+
+  /// Adds the serialized master-spawn stagger before each worker starts.
+  void add_spawn_stagger() {
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      const double delay =
+          cfg_.spawn_seconds() * static_cast<double>(i + 1);
+      if (delay > 0.0)
+        workers_[i].jobs.push_front(Job{Job::Kind::Sleep, delay, -1});
+    }
+  }
+
+  RunResult run();
+
+ private:
+  static constexpr double kDoneEps = 1e-12;
+
+  void expand_phase(Worker& w, const Phase& p) {
+    switch (p.kind) {
+      case Phase::Kind::Compute:
+        if (p.ops > 0)
+          w.jobs.push_back(
+              Job{Job::Kind::Cpu, static_cast<double>(p.ops), -1});
+        if (p.bytes > 0)
+          w.jobs.push_back(
+              Job{Job::Kind::Mem, static_cast<double>(p.bytes), -1});
+        break;
+      case Phase::Kind::Acquire:
+        if (cfg_.lock_seconds() > 0.0)
+          w.jobs.push_back(
+              Job{Job::Kind::Overhead, cfg_.lock_seconds(), -1});
+        w.jobs.push_back(Job{Job::Kind::Grab, 0.0, p.lock_id});
+        break;
+      case Phase::Kind::Release:
+        w.jobs.push_back(Job{Job::Kind::Release, 0.0, p.lock_id});
+        break;
+    }
+  }
+
+  /// Refills the worker's job queue from its phase list or the task pool.
+  /// Marks the worker Done when no work remains.
+  void refill(Worker& w, Seconds now) {
+    while (w.jobs.empty()) {
+      if (w.phases != nullptr && w.phase_idx < w.phases->size()) {
+        expand_phase(w, (*w.phases)[w.phase_idx++]);
+        continue;
+      }
+      if (pool_ != nullptr && next_task_ < pool_->size()) {
+        w.phases = &(*pool_)[next_task_++].phases();
+        w.phase_idx = 0;
+        // Pulling from the shared queue costs one lock round-trip.
+        if (cfg_.lock_seconds() > 0.0)
+          w.jobs.push_back(
+              Job{Job::Kind::Overhead, cfg_.lock_seconds(), -1});
+        continue;
+      }
+      w.status = Worker::Status::Done;
+      w.finish = now;
+      return;
+    }
+  }
+
+  /// Advances the worker past instantaneous jobs until it has a timed job,
+  /// blocks, or finishes. May wake other workers (lock hand-off).
+  void settle(int wi, Seconds now) {
+    std::deque<int> work{wi};
+    while (!work.empty()) {
+      const int idx = work.front();
+      work.pop_front();
+      Worker& w = workers_[static_cast<std::size_t>(idx)];
+      while (w.status == Worker::Status::Run) {
+        if (w.jobs.empty()) {
+          refill(w, now);
+          if (w.status == Worker::Status::Done) break;
+        }
+        Job& job = w.jobs.front();
+        switch (job.kind) {
+          case Job::Kind::Sleep:
+          case Job::Kind::Overhead:
+          case Job::Kind::Cpu:
+          case Job::Kind::Mem:
+            if (job.amount > kDoneEps) goto settled;
+            w.jobs.pop_front();
+            break;
+          case Job::Kind::Grab: {
+            LockState& lk = locks_[static_cast<std::size_t>(job.lock_id)];
+            if (lk.owner < 0) {
+              lk.owner = idx;
+              w.jobs.pop_front();
+            } else {
+              lk.waiters.push_back(idx);
+              w.status = Worker::Status::Blocked;
+            }
+            break;
+          }
+          case Job::Kind::Release: {
+            LockState& lk = locks_[static_cast<std::size_t>(job.lock_id)];
+            TC3I_ASSERT(lk.owner == idx);
+            w.jobs.pop_front();
+            if (lk.waiters.empty()) {
+              lk.owner = -1;
+            } else {
+              const int next = lk.waiters.front();
+              lk.waiters.pop_front();
+              lk.owner = next;
+              Worker& nw = workers_[static_cast<std::size_t>(next)];
+              TC3I_ASSERT(nw.status == Worker::Status::Blocked);
+              TC3I_ASSERT(!nw.jobs.empty() &&
+                          nw.jobs.front().kind == Job::Kind::Grab);
+              nw.jobs.pop_front();
+              nw.status = Worker::Status::Run;
+              work.push_back(next);
+            }
+            break;
+          }
+        }
+      }
+    settled:;
+    }
+  }
+
+  const SmpConfig& cfg_;
+  std::vector<Worker> workers_;
+  std::vector<LockState> locks_;
+  const std::vector<ThreadTrace>* pool_ = nullptr;
+  std::size_t next_task_ = 0;
+};
+
+RunResult Engine::run() {
+  Seconds now = 0.0;
+  double ops_done = 0.0;
+  double bytes_done = 0.0;
+  std::vector<TimelineSample> timeline;
+
+  for (std::size_t i = 0; i < workers_.size(); ++i)
+    settle(static_cast<int>(i), now);
+
+  std::vector<double> mem_caps;
+  std::vector<int> mem_workers;
+  std::vector<double> rates(workers_.size(), 0.0);
+
+  for (;;) {
+    // Count running workers and collect the memory-stage demanders.
+    int running = 0;
+    int done = 0;
+    mem_caps.clear();
+    mem_workers.clear();
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      const Worker& w = workers_[i];
+      if (w.status == Worker::Status::Done) {
+        ++done;
+      } else if (w.status == Worker::Status::Run) {
+        ++running;
+        TC3I_ASSERT(!w.jobs.empty());
+        if (w.jobs.front().kind == Job::Kind::Mem) {
+          mem_workers.push_back(static_cast<int>(i));
+          mem_caps.push_back(cfg_.mem_bw_single);
+        }
+      }
+    }
+    if (done == static_cast<int>(workers_.size())) break;
+    TC3I_ASSERT(running > 0 && "deadlock: all unfinished workers blocked");
+
+    const double cpu_share =
+        std::min(1.0, static_cast<double>(cfg_.num_processors) /
+                          static_cast<double>(running));
+    const std::vector<double> mem_rates =
+        sim::water_fill(cfg_.mem_bw_total, mem_caps);
+
+    // Per-worker progress rate in its current job's unit.
+    std::size_t mem_cursor = 0;
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      Worker& w = workers_[i];
+      rates[i] = 0.0;
+      if (w.status != Worker::Status::Run) continue;
+      const Job& job = w.jobs.front();
+      switch (job.kind) {
+        case Job::Kind::Sleep:
+          rates[i] = 1.0;
+          break;
+        case Job::Kind::Overhead:
+          rates[i] = cpu_share;
+          break;
+        case Job::Kind::Cpu:
+          rates[i] = cfg_.compute_rate_ips * cpu_share;
+          break;
+        case Job::Kind::Mem:
+          rates[i] = mem_rates[mem_cursor++];
+          break;
+        default:
+          TC3I_ASSERT(false && "instantaneous job survived settle()");
+      }
+      TC3I_ASSERT(rates[i] > 0.0);
+      dt = std::min(dt, job.amount / rates[i]);
+    }
+    TC3I_ASSERT(std::isfinite(dt));
+
+    if (cfg_.record_timeline) {
+      TimelineSample sample;
+      sample.start = now;
+      sample.duration = dt;
+      double bus_rate = 0.0;
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        const Worker& w = workers_[i];
+        if (w.status == Worker::Status::Blocked) {
+          ++sample.blocked_threads;
+        } else if (w.status == Worker::Status::Run) {
+          ++sample.running_threads;
+          if (w.jobs.front().kind == Job::Kind::Mem) bus_rate += rates[i];
+        }
+      }
+      sample.bus_fraction = bus_rate / cfg_.mem_bw_total;
+      timeline.push_back(sample);
+    }
+
+    // Advance everything by dt; jobs whose completion defined dt snap to 0.
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      Worker& w = workers_[i];
+      if (w.status == Worker::Status::Blocked) {
+        w.lock_wait += dt;
+        continue;
+      }
+      if (w.status != Worker::Status::Run) continue;
+      Job& job = w.jobs.front();
+      const double progress = rates[i] * dt;
+      if (job.kind == Job::Kind::Cpu) ops_done += progress;
+      if (job.kind == Job::Kind::Mem) bytes_done += progress;
+      if (job.kind != Job::Kind::Sleep) w.busy += dt;
+      if (job.amount <= progress * (1.0 + 1e-12))
+        job.amount = 0.0;
+      else
+        job.amount -= progress;
+    }
+    now += dt;
+
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      Worker& w = workers_[i];
+      if (w.status == Worker::Status::Run && w.jobs.front().amount <= kDoneEps)
+        settle(static_cast<int>(i), now);
+    }
+  }
+
+  RunResult result;
+  result.elapsed = now;
+  result.ops_executed = static_cast<Instructions>(ops_done + 0.5);
+  result.bytes_transferred = static_cast<Bytes>(bytes_done + 0.5);
+  result.bus_utilization =
+      (now > 0.0) ? bytes_done / (now * cfg_.mem_bw_total) : 0.0;
+  for (const Worker& w : workers_) {
+    result.lock_wait_total += w.lock_wait;
+    result.thread_busy.push_back(w.busy);
+    result.thread_finish.push_back(w.finish);
+  }
+  result.timeline = std::move(timeline);
+  return result;
+}
+
+}  // namespace
+
+Machine::Machine(SmpConfig config) : config_(std::move(config)) {
+  const std::string err = config_.validate();
+  if (!err.empty())
+    contract_failure("SmpConfig", err.c_str(), __FILE__, __LINE__);
+}
+
+RunResult Machine::run_sequential(const sim::ThreadTrace& trace) const {
+  Engine engine(config_, 1, 0, nullptr);
+  engine.assign(0, trace);
+  return engine.run();
+}
+
+RunResult Machine::run(const sim::WorkloadTrace& workload) const {
+  const std::string err = workload.validate();
+  if (!err.empty())
+    contract_failure("WorkloadTrace", err.c_str(), __FILE__, __LINE__);
+  TC3I_EXPECTS(!workload.threads.empty());
+  Engine engine(config_, static_cast<int>(workload.threads.size()),
+                workload.num_locks, nullptr);
+  for (std::size_t i = 0; i < workload.threads.size(); ++i)
+    engine.assign(static_cast<int>(i), workload.threads[i]);
+  engine.add_spawn_stagger();
+  return engine.run();
+}
+
+RunResult Machine::run_pool(const PoolWorkload& workload) const {
+  const std::string err = workload.validate();
+  if (!err.empty())
+    contract_failure("PoolWorkload", err.c_str(), __FILE__, __LINE__);
+  Engine engine(config_, workload.num_workers, workload.num_locks,
+                &workload.tasks);
+  engine.add_spawn_stagger();
+  return engine.run();
+}
+
+}  // namespace tc3i::smp

@@ -1,0 +1,33 @@
+#include "smp/workload.hpp"
+
+#include <sstream>
+
+namespace tc3i::smp {
+
+Instructions PoolWorkload::total_ops() const {
+  Instructions total = 0;
+  for (const auto& t : tasks) total += t.total_ops();
+  return total;
+}
+
+Bytes PoolWorkload::total_bytes() const {
+  Bytes total = 0;
+  for (const auto& t : tasks) total += t.total_bytes();
+  return total;
+}
+
+std::string PoolWorkload::validate() const {
+  if (num_workers < 1) return "num_workers < 1";
+  sim::WorkloadTrace as_trace;
+  as_trace.threads = tasks;  // each task must be individually well-formed
+  as_trace.num_locks = num_locks;
+  std::string err = as_trace.validate();
+  if (!err.empty()) {
+    std::ostringstream os;
+    os << "task pool: " << err;
+    return os.str();
+  }
+  return {};
+}
+
+}  // namespace tc3i::smp

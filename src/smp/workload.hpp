@@ -1,0 +1,27 @@
+// Workload forms accepted by the SMP machine model.
+//
+// Static: one trace per thread (the paper's Program 2 chunking — each thread
+// owns a fixed chunk). Dynamic: a shared pool of task traces pulled by a
+// fixed number of workers (the paper's Program 4 — "while (unprocessed
+// threats) { threat = next unprocessed threat; ... }").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace tc3i::smp {
+
+struct PoolWorkload {
+  /// Each task is an independent piece of work (e.g. one threat's masking).
+  std::vector<sim::ThreadTrace> tasks;
+  int num_workers = 1;
+  int num_locks = 0;
+
+  [[nodiscard]] Instructions total_ops() const;
+  [[nodiscard]] Bytes total_bytes() const;
+  [[nodiscard]] std::string validate() const;
+};
+
+}  // namespace tc3i::smp

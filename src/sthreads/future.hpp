@@ -1,0 +1,62 @@
+// Host-thread futures with Tera semantics: a future is a computation
+// running in its own (software) thread whose result lives in a full/empty
+// cell; "touching" the future blocks until the producer has filled it.
+// Unlike std::future, a touched value stays readable (the cell remains
+// FULL), matching Tera future variables.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "core/contracts.hpp"
+#include "sthreads/sync_var.hpp"
+#include "sthreads/thread.hpp"
+
+namespace tc3i::sthreads {
+
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+
+  /// Starts `fn` on a new thread immediately.
+  explicit Future(std::function<T()> fn)
+      : cell_(std::make_shared<SyncVar<T>>()),
+        worker_(std::make_shared<Thread>(
+            [cell = cell_, fn = std::move(fn)] { cell->put(fn()); })) {}
+
+  /// Blocks until the producer finishes; the value remains available for
+  /// further touches (and for copies of this future).
+  [[nodiscard]] T touch() const {
+    TC3I_EXPECTS(valid());
+    return cell_->read();
+  }
+
+  /// Non-blocking readiness check.
+  [[nodiscard]] bool ready() const { return valid() && cell_->is_full(); }
+
+  [[nodiscard]] bool valid() const { return cell_ != nullptr; }
+
+  /// Blocks until the producer thread has finished (touch() already
+  /// implies the value is available; wait() additionally joins).
+  void wait() {
+    if (valid()) {
+      (void)cell_->read();
+      worker_->join();
+    }
+  }
+
+ private:
+  std::shared_ptr<SyncVar<T>> cell_;
+  std::shared_ptr<Thread> worker_;  // shared so futures are copyable
+};
+
+/// Spawns a future computing `fn()`.
+template <typename F>
+[[nodiscard]] auto async(F&& fn) {
+  using T = std::invoke_result_t<F>;
+  return Future<T>(std::function<T()>(std::forward<F>(fn)));
+}
+
+}  // namespace tc3i::sthreads

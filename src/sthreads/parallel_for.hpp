@@ -1,0 +1,48 @@
+// Chunked parallel loops — the host-thread equivalent of the paper's
+// `#pragma multithreaded` loops (Program 2) and of Exemplar loop pragmas.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace tc3i::sthreads {
+
+/// Static chunking (Program 2's exact split): chunk c covers
+/// [c*n/num_chunks, (c+1)*n/num_chunks). `num_threads` threads execute
+/// `num_chunks` chunks; when they are equal each thread owns one chunk.
+/// `body(begin, end, chunk)` runs once per chunk.
+void parallel_for_chunked(
+    std::size_t n, int num_chunks, int num_threads,
+    const std::function<void(std::size_t begin, std::size_t end, int chunk)>&
+        body);
+
+/// Dynamic scheduling: items are claimed one at a time from a shared
+/// counter (Program 4's "next unprocessed threat" loop). `body(i, worker)`.
+void parallel_for_dynamic(
+    std::size_t n, int num_threads,
+    const std::function<void(std::size_t item, int worker)>& body);
+
+/// Chunked parallel reduction: `map(i)` per item, combined per chunk and
+/// then across chunks with `combine` (must be associative; chunk order is
+/// fixed, so results are deterministic for associative-but-not-commutative
+/// combiners too).
+template <typename T, typename Map, typename Combine>
+[[nodiscard]] T parallel_reduce(std::size_t n, int num_threads, T identity,
+                                const Map& map, const Combine& combine) {
+  const int chunks = std::max(1, num_threads);
+  std::vector<T> partial(static_cast<std::size_t>(chunks), identity);
+  parallel_for_chunked(n, chunks, num_threads,
+                       [&](std::size_t begin, std::size_t end, int chunk) {
+                         T acc = identity;
+                         for (std::size_t i = begin; i < end; ++i)
+                           acc = combine(acc, map(i));
+                         partial[static_cast<std::size_t>(chunk)] = acc;
+                       });
+  T result = identity;
+  for (const T& p : partial) result = combine(result, p);
+  return result;
+}
+
+}  // namespace tc3i::sthreads

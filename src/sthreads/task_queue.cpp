@@ -1,0 +1,59 @@
+#include "sthreads/task_queue.hpp"
+
+#include "core/contracts.hpp"
+
+namespace tc3i::sthreads {
+
+void TaskQueue::push(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TC3I_EXPECTS(!closed_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+std::optional<TaskQueue::Task> TaskQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !tasks_.empty(); });
+  if (tasks_.empty()) return std::nullopt;
+  Task t = std::move(tasks_.front());
+  tasks_.pop_front();
+  return t;
+}
+
+void TaskQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t TaskQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
+}
+
+WorkerPool::WorkerPool(int num_workers) {
+  TC3I_EXPECTS(num_workers > 0);
+  workers_.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] {
+      while (auto task = queue_.pop()) (*task)();
+    });
+  }
+}
+
+WorkerPool::~WorkerPool() { drain(); }
+
+void WorkerPool::submit(TaskQueue::Task task) { queue_.push(std::move(task)); }
+
+void WorkerPool::drain() {
+  if (drained_) return;
+  drained_ = true;
+  queue_.close();
+  for (auto& w : workers_) w.join();
+}
+
+}  // namespace tc3i::sthreads

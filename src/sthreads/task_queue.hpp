@@ -1,0 +1,63 @@
+// A bounded-unbounded MPMC task queue: producers push closures, worker
+// threads drain them. Used by examples and tests for dynamic work
+// distribution beyond simple index loops.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "sthreads/thread.hpp"
+
+namespace tc3i::sthreads {
+
+class TaskQueue {
+ public:
+  using Task = std::function<void()>;
+
+  TaskQueue() = default;
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  /// Enqueues a task. Must not be called after close().
+  void push(Task task);
+
+  /// Blocks for a task; returns nullopt when the queue is closed and empty.
+  std::optional<Task> pop();
+
+  /// After close(), pops drain remaining tasks then return nullopt.
+  void close();
+
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> tasks_;
+  bool closed_ = false;
+};
+
+/// A fixed pool of workers draining one TaskQueue; joins on destruction.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int num_workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void submit(TaskQueue::Task task);
+
+  /// Closes the queue and joins all workers.
+  void drain();
+
+ private:
+  TaskQueue queue_;
+  std::vector<Thread> workers_;
+  bool drained_ = false;
+};
+
+}  // namespace tc3i::sthreads

@@ -1,0 +1,16 @@
+#include "sthreads/thread.hpp"
+
+#include "core/contracts.hpp"
+
+namespace tc3i::sthreads {
+
+void fork_join(int count, const std::function<void(int)>& fn) {
+  TC3I_EXPECTS(count >= 0);
+  std::vector<Thread> threads;
+  threads.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    threads.emplace_back([&fn, i] { fn(i); });
+  // Thread destructors join.
+}
+
+}  // namespace tc3i::sthreads

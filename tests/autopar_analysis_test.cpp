@@ -1,0 +1,202 @@
+// Scalar classification and full-program verdicts: the analyzer must reach
+// the paper's conclusions for the paper's reasons, and must still prove
+// genuinely parallel loops (no rubber-stamping).
+#include <gtest/gtest.h>
+
+#include "autopar/parallelizer.hpp"
+#include "autopar/programs.hpp"
+#include "autopar/scalar_analysis.hpp"
+
+namespace tc3i::autopar {
+namespace {
+
+// --- scalar classification -------------------------------------------------
+
+Statement stmt(std::vector<ScalarAccess> scalars,
+               std::vector<ArrayAccess> arrays = {}) {
+  Statement s;
+  s.scalars = std::move(scalars);
+  s.arrays = std::move(arrays);
+  return s;
+}
+
+std::vector<ScalarVerdict> classify(const std::vector<Statement>& statements,
+                                    const std::set<std::string>& locals = {}) {
+  std::vector<const Statement*> ptrs;
+  for (const auto& s : statements) ptrs.push_back(&s);
+  return classify_scalars(ptrs, locals);
+}
+
+const ScalarVerdict& find(const std::vector<ScalarVerdict>& vs,
+                          const std::string& name) {
+  for (const auto& v : vs)
+    if (v.name == name) return v;
+  ADD_FAILURE() << "scalar " << name << " not classified";
+  static ScalarVerdict dummy;
+  return dummy;
+}
+
+TEST(ScalarAnalysis, ReadOnlyIsInvariant) {
+  const auto vs = classify({stmt({{"k", ScalarAccess::Kind::Read, ""}})});
+  EXPECT_EQ(find(vs, "k").cls, ScalarClass::Invariant);
+}
+
+TEST(ScalarAnalysis, WriteFirstIsPrivatizable) {
+  const auto vs = classify({stmt({{"t", ScalarAccess::Kind::Write, ""}}),
+                            stmt({{"t", ScalarAccess::Kind::Read, ""}})});
+  EXPECT_EQ(find(vs, "t").cls, ScalarClass::Privatizable);
+}
+
+TEST(ScalarAnalysis, AssociativeUpdateIsReduction) {
+  const auto vs = classify({stmt({{"s", ScalarAccess::Kind::Update, "+"}})});
+  EXPECT_EQ(find(vs, "s").cls, ScalarClass::Reduction);
+}
+
+TEST(ScalarAnalysis, MinUpdateIsReduction) {
+  const auto vs = classify({stmt({{"m", ScalarAccess::Kind::Update, "min"}})});
+  EXPECT_EQ(find(vs, "m").cls, ScalarClass::Reduction);
+}
+
+TEST(ScalarAnalysis, NonAssociativeUpdateIsCarried) {
+  const auto vs = classify({stmt({{"s", ScalarAccess::Kind::Update, "-"}})});
+  EXPECT_EQ(find(vs, "s").cls, ScalarClass::Carried);
+}
+
+TEST(ScalarAnalysis, UpdateUsedAsIndexIsCarried) {
+  // The num_intervals pattern.
+  const auto vs = classify(
+      {stmt({{"n", ScalarAccess::Kind::Read, ""}},
+            {ArrayAccess{"a", {AffineExpr::var("n")}, AccessKind::Write}}),
+       stmt({{"n", ScalarAccess::Kind::Update, "+"}})});
+  const auto& v = find(vs, "n");
+  EXPECT_EQ(v.cls, ScalarClass::Carried);
+  EXPECT_NE(v.reason.find("array index"), std::string::npos);
+}
+
+TEST(ScalarAnalysis, ReadThenWriteIsCarried) {
+  const auto vs = classify({stmt({{"x", ScalarAccess::Kind::Read, ""}}),
+                            stmt({{"x", ScalarAccess::Kind::Write, ""}})});
+  EXPECT_EQ(find(vs, "x").cls, ScalarClass::Carried);
+}
+
+TEST(ScalarAnalysis, LocalsAreSkipped) {
+  const auto vs =
+      classify({stmt({{"t", ScalarAccess::Kind::Write, ""}})}, {"t"});
+  EXPECT_TRUE(vs.empty());
+}
+
+TEST(ScalarAnalysis, MixedUpdateOpsAreCarried) {
+  const auto vs = classify({stmt({{"s", ScalarAccess::Kind::Update, "+"}}),
+                            stmt({{"s", ScalarAccess::Kind::Update, "*"}})});
+  EXPECT_EQ(find(vs, "s").cls, ScalarClass::Carried);
+}
+
+// --- program verdicts (the paper's Table 7/12 "Automatic" rows) -------------
+
+bool has_obstacle(const LoopVerdict& v, const std::string& needle) {
+  for (const auto& o : v.obstacles)
+    if (o.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+TEST(Programs, Program1IsNotAutoParallelizable) {
+  const Parallelizer p;
+  const auto v = p.analyze(threat_program1());
+  EXPECT_FALSE(v.parallelizable);
+  EXPECT_TRUE(has_obstacle(v, "num_intervals"));
+  EXPECT_TRUE(has_obstacle(v, "separately compiled"));
+}
+
+TEST(Programs, Program1PrivatizesTheTimeScalars) {
+  const Parallelizer p;
+  const auto v = p.analyze(threat_program1());
+  bool t0 = false;
+  for (const auto& t : v.transformations)
+    if (t.find("'t0'") != std::string::npos) t0 = true;
+  EXPECT_TRUE(t0);
+}
+
+TEST(Programs, Program2WithoutPragmaStillRejected) {
+  const Parallelizer p;
+  const auto v = p.analyze(threat_program2(false));
+  EXPECT_FALSE(v.parallelizable);
+  // The reason must be opacity, not the (fixed) shared-counter problem.
+  EXPECT_FALSE(has_obstacle(v, "num_intervals'"));
+  EXPECT_TRUE(has_obstacle(v, "separately compiled"));
+}
+
+TEST(Programs, Program2WithPragmaAcceptedByAssertion) {
+  const Parallelizer p;
+  const auto v = p.analyze(threat_program2(true));
+  EXPECT_TRUE(v.parallelizable);
+  EXPECT_TRUE(v.by_pragma_only);
+}
+
+TEST(Programs, Program3OverlappingRegionsBlockTheOuterLoop) {
+  const Parallelizer p;
+  const auto v = p.analyze(terrain_program3());
+  EXPECT_FALSE(v.parallelizable);
+  EXPECT_TRUE(has_obstacle(v, "masking"));
+}
+
+TEST(Programs, Program3SimpleInnerLoopIsProvable) {
+  // analyze_nest visits the inner region passes; the save pass
+  // (temp[x][y] = masking[x][y]) has no calls and distance-0 subscripts,
+  // so inner-loop parallelism is provable — matching the paper's remark
+  // that the inner loops *do* contain opportunities.
+  const Parallelizer p;
+  const auto verdicts = p.analyze_nest(terrain_program3());
+  bool found_provable_inner = false;
+  for (const auto& v : verdicts)
+    if (v.loop_name.find("save pass") != std::string::npos &&
+        v.parallelizable && !v.by_pragma_only)
+      found_provable_inner = true;
+  EXPECT_TRUE(found_provable_inner);
+}
+
+TEST(Programs, Program4WithAndWithoutPragma) {
+  const Parallelizer p;
+  EXPECT_FALSE(p.analyze(terrain_program4(false)).parallelizable);
+  const auto with = p.analyze(terrain_program4(true));
+  EXPECT_TRUE(with.parallelizable);
+  EXPECT_TRUE(with.by_pragma_only);
+}
+
+TEST(Programs, RingLoopNeedsPragmaDueToIndirection) {
+  const Parallelizer p;
+  const auto v = p.analyze(terrain_ring_loop(false));
+  EXPECT_FALSE(v.parallelizable);
+  EXPECT_TRUE(has_obstacle(v, "indirection"));
+  EXPECT_TRUE(p.analyze(terrain_ring_loop(true)).parallelizable);
+}
+
+TEST(Programs, ToyLoopsCalibrateTheAnalyzer) {
+  const Parallelizer p;
+  const auto add = p.analyze(toy_vector_add());
+  EXPECT_TRUE(add.parallelizable);
+  EXPECT_FALSE(add.by_pragma_only);
+  EXPECT_TRUE(add.obstacles.empty());
+
+  const auto red = p.analyze(toy_reduction());
+  EXPECT_TRUE(red.parallelizable);
+  ASSERT_FALSE(red.transformations.empty());
+  EXPECT_NE(red.transformations[0].find("reduction"), std::string::npos);
+
+  const auto sten = p.analyze(toy_stencil());
+  EXPECT_FALSE(sten.parallelizable);
+}
+
+TEST(Programs, WhileLoopReportsOrderedIterations) {
+  const Parallelizer p;
+  Loop w;
+  w.name = "while";
+  w.is_while = true;
+  w.add_statement("t = step(t)").scalars = {
+      {"t", ScalarAccess::Kind::Update, "step"}};
+  const auto v = p.analyze(w);
+  EXPECT_FALSE(v.parallelizable);
+  EXPECT_TRUE(has_obstacle(v, "data-dependent trip count"));
+}
+
+}  // namespace
+}  // namespace tc3i::autopar

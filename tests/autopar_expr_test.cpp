@@ -1,0 +1,72 @@
+#include "autopar/expr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace tc3i::autopar {
+namespace {
+
+TEST(AffineExpr, ConstantAndVar) {
+  const AffineExpr c = AffineExpr::constant(5);
+  EXPECT_TRUE(c.is_affine());
+  EXPECT_EQ(c.constant_term(), 5);
+  const AffineExpr v = AffineExpr::var("i", 3);
+  EXPECT_EQ(v.coeff_of("i"), 3);
+  EXPECT_EQ(v.coeff_of("j"), 0);
+  EXPECT_TRUE(v.uses("i"));
+  EXPECT_FALSE(v.uses("j"));
+}
+
+TEST(AffineExpr, AdditionCombinesTerms) {
+  const AffineExpr e = AffineExpr::var("i", 2) + AffineExpr::var("i", 3) +
+                       AffineExpr::var("j") + AffineExpr::constant(7);
+  EXPECT_EQ(e.coeff_of("i"), 5);
+  EXPECT_EQ(e.coeff_of("j"), 1);
+  EXPECT_EQ(e.constant_term(), 7);
+}
+
+TEST(AffineExpr, SubtractionCancels) {
+  const AffineExpr e =
+      (AffineExpr::var("i") + AffineExpr::constant(4)) - AffineExpr::var("i");
+  EXPECT_EQ(e.coeff_of("i"), 0);
+  EXPECT_EQ(e.constant_term(), 4);
+  EXPECT_FALSE(e.uses("i"));
+}
+
+TEST(AffineExpr, Scaling) {
+  const AffineExpr e =
+      (AffineExpr::var("i", 2) + AffineExpr::constant(3)).scaled(-2);
+  EXPECT_EQ(e.coeff_of("i"), -4);
+  EXPECT_EQ(e.constant_term(), -6);
+}
+
+TEST(AffineExpr, NonAffinePropagates) {
+  const AffineExpr na = AffineExpr::non_affine("i/num_chunks");
+  EXPECT_FALSE(na.is_affine());
+  EXPECT_EQ(na.note(), "i/num_chunks");
+  EXPECT_FALSE((na + AffineExpr::var("i")).is_affine());
+  EXPECT_FALSE((AffineExpr::var("i") - na).is_affine());
+  EXPECT_FALSE(na.scaled(2).is_affine());
+}
+
+TEST(AffineExpr, OnlyUsesChecksAllowedSet) {
+  const AffineExpr e = AffineExpr::var("i") + AffineExpr::var("j", 2);
+  const std::set<std::string> ij = {"i", "j"};
+  const std::set<std::string> i_only = {"i"};
+  EXPECT_TRUE(e.only_uses(ij));
+  EXPECT_FALSE(e.only_uses(i_only));
+}
+
+TEST(AffineExpr, StrRendersReadably) {
+  EXPECT_EQ(AffineExpr::constant(0).str(), "0");
+  EXPECT_EQ(AffineExpr::var("i").str(), "i");
+  EXPECT_EQ((AffineExpr::var("i", 2) + AffineExpr::constant(1)).str(),
+            "2*i + 1");
+  EXPECT_NE(AffineExpr::non_affine("x/y").str().find("non-affine"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tc3i::autopar

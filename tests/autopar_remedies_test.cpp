@@ -1,0 +1,75 @@
+#include "autopar/remedies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "autopar/programs.hpp"
+
+namespace tc3i::autopar {
+namespace {
+
+bool any_suggestion_contains(const std::vector<Remedy>& remedies,
+                             const std::string& needle) {
+  for (const auto& r : remedies)
+    if (r.suggestion.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+TEST(Remedies, Program1GetsTheProgram2Transformation) {
+  const Parallelizer p;
+  const auto remedies = suggest_remedies(p.analyze(threat_program1()));
+  ASSERT_FALSE(remedies.empty());
+  EXPECT_TRUE(any_suggestion_contains(remedies, "privatize"));
+  EXPECT_TRUE(any_suggestion_contains(remedies, "fetch-add"));
+  bool cites_program2 = false;
+  for (const auto& r : remedies)
+    if (r.precedent.find("Program 2") != std::string::npos)
+      cites_program2 = true;
+  EXPECT_TRUE(cites_program2);
+}
+
+TEST(Remedies, Program3GetsBlockingOrInnerLoops) {
+  const Parallelizer p;
+  const auto remedies = suggest_remedies(p.analyze(terrain_program3()));
+  EXPECT_TRUE(any_suggestion_contains(remedies, "lock"));
+  EXPECT_TRUE(any_suggestion_contains(remedies, "inner"));
+}
+
+TEST(Remedies, OpaqueCallsSuggestThePragma) {
+  const Parallelizer p;
+  const auto remedies = suggest_remedies(p.analyze(threat_program2(false)));
+  EXPECT_TRUE(any_suggestion_contains(remedies, "pragma"));
+}
+
+TEST(Remedies, TrueRecurrenceGetsNoLoopLevelFix) {
+  const Parallelizer p;
+  const auto remedies = suggest_remedies(p.analyze(toy_stencil()));
+  ASSERT_EQ(remedies.size(), 1u);
+  EXPECT_NE(remedies[0].suggestion.find("recurrence"), std::string::npos);
+}
+
+TEST(Remedies, CleanLoopGetsNone) {
+  const Parallelizer p;
+  EXPECT_TRUE(suggest_remedies(p.analyze(toy_vector_add())).empty());
+}
+
+TEST(Remedies, OneRemedyPerObstacle) {
+  const Parallelizer p;
+  const auto verdict = p.analyze(threat_program1());
+  EXPECT_EQ(suggest_remedies(verdict).size(), verdict.obstacles.size());
+}
+
+TEST(Remedies, FormatIncludesSuggestions) {
+  const Parallelizer p;
+  const std::string text = format_with_remedies(p.analyze(terrain_program3()));
+  EXPECT_NE(text.find("suggested remedies"), std::string::npos);
+  EXPECT_NE(text.find("precedent"), std::string::npos);
+}
+
+TEST(Remedies, FormatOmitsSectionWhenClean) {
+  const Parallelizer p;
+  const std::string text = format_with_remedies(p.analyze(toy_vector_add()));
+  EXPECT_EQ(text.find("suggested remedies"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tc3i::autopar

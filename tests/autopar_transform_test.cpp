@@ -1,0 +1,105 @@
+#include "autopar/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "autopar/parallelizer.hpp"
+#include "autopar/programs.hpp"
+
+namespace tc3i::autopar {
+namespace {
+
+bool any_obstacle_contains(const LoopVerdict& v, const std::string& needle) {
+  for (const auto& o : v.obstacles)
+    if (o.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+TEST(Chunking, TransformsProgram1) {
+  const auto result = apply_chunking(threat_program1());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->transformed.var, "chunk");
+  EXPECT_FALSE(result->notes.empty());
+  EXPECT_NE(result->notes[0].find("num_intervals"), std::string::npos);
+}
+
+TEST(Chunking, TransformedLoopLosesTheCounterObstacle) {
+  const auto result = apply_chunking(threat_program1());
+  ASSERT_TRUE(result.has_value());
+  const Parallelizer p;
+  const LoopVerdict before = p.analyze(threat_program1());
+  const LoopVerdict after = p.analyze(result->transformed);
+  EXPECT_TRUE(any_obstacle_contains(before, "num_intervals"));
+  EXPECT_FALSE(any_obstacle_contains(after, "num_intervals"));
+}
+
+TEST(Chunking, ResidualObstaclesAreOnlyOpacity) {
+  // The mechanical rewrite fixes the data structure; the opaque calls
+  // remain — exactly why the pragma is still needed (the paper's point).
+  const auto result = apply_chunking(threat_program1());
+  ASSERT_TRUE(result.has_value());
+  const Parallelizer p;
+  for (const auto& obstacle : p.analyze(result->transformed).obstacles) {
+    const bool opacity =
+        obstacle.find("separately compiled") != std::string::npos ||
+        obstacle.find("dereferences pointers") != std::string::npos;
+    EXPECT_TRUE(opacity) << "unexpected residual obstacle: " << obstacle;
+  }
+}
+
+TEST(Chunking, WithPragmaTheTransformedLoopParallelizes) {
+  auto result = apply_chunking(threat_program1());
+  ASSERT_TRUE(result.has_value());
+  result->transformed.pragma_parallel = true;
+  const Parallelizer p;
+  const LoopVerdict v = p.analyze(result->transformed);
+  EXPECT_TRUE(v.parallelizable);
+}
+
+TEST(Chunking, TransformedShapeMatchesProgram2) {
+  // The hand-written Program 2 and the mechanical transform of Program 1
+  // must agree on the analyzer's verdict structure.
+  const auto result = apply_chunking(threat_program1());
+  ASSERT_TRUE(result.has_value());
+  const Parallelizer p;
+  const LoopVerdict mech = p.analyze(result->transformed);
+  const LoopVerdict hand = p.analyze(threat_program2(false));
+  EXPECT_EQ(mech.parallelizable, hand.parallelizable);
+  EXPECT_EQ(any_obstacle_contains(mech, "num_intervals"),
+            any_obstacle_contains(hand, "num_intervals"));
+}
+
+TEST(Chunking, RefusesGenuineRecurrence) {
+  EXPECT_FALSE(apply_chunking(toy_stencil()).has_value());
+}
+
+TEST(Chunking, RefusesWhenNothingToFix) {
+  EXPECT_FALSE(apply_chunking(toy_vector_add()).has_value());
+  EXPECT_FALSE(apply_chunking(toy_reduction()).has_value());
+}
+
+TEST(Chunking, RefusesWhileLoops) {
+  Loop w;
+  w.name = "while";
+  w.is_while = true;
+  EXPECT_FALSE(apply_chunking(w).has_value());
+}
+
+TEST(Chunking, RefusesOverlappingRegionWrites) {
+  // Program 3's obstacle is not a counter pattern: must refuse.
+  EXPECT_FALSE(apply_chunking(terrain_program3()).has_value());
+}
+
+TEST(Chunking, CounterInitAndBoundsStatementsPresent) {
+  const auto result = apply_chunking(threat_program1());
+  ASSERT_TRUE(result.has_value());
+  const Loop& t = result->transformed;
+  ASSERT_GE(t.statements.size(), 3u);
+  EXPECT_NE(t.statements[0].text.find("first_threat"), std::string::npos);
+  EXPECT_NE(t.statements[2].text.find("num_intervals[chunk] = 0"),
+            std::string::npos);
+  ASSERT_EQ(t.nested.size(), 1u);
+  EXPECT_FALSE(t.nested[0].lower.is_affine());  // division bounds
+}
+
+}  // namespace
+}  // namespace tc3i::autopar

@@ -1,0 +1,154 @@
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace tc3i {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(1234);
+  SplitMix64 b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.next());
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(2);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-5.0, 17.0);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, 17.0);
+  }
+}
+
+TEST(Rng, UniformDegenerateBounds) {
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(rng.uniform(4.0, 4.0), 4.0);
+}
+
+class NextBelowTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NextBelowTest, AlwaysBelowBound) {
+  Rng rng(GetParam());
+  const std::uint64_t bound = GetParam();
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+}
+
+TEST_P(NextBelowTest, HitsEveryResidueForSmallBounds) {
+  const std::uint64_t bound = GetParam();
+  if (bound > 64) GTEST_SKIP() << "coverage check only for small bounds";
+  Rng rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 20000 && seen.size() < bound; ++i)
+    seen.insert(rng.next_below(bound));
+  EXPECT_EQ(seen.size(), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, NextBelowTest,
+                         ::testing::Values(1, 2, 3, 7, 10, 64, 1000,
+                                           1'000'000'007ULL,
+                                           (1ULL << 63) + 1));
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(6);
+  constexpr int kN = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal(10.0, 3.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i)
+    if (rng.chance(0.25)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.25, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(10);
+  Rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, MinMaxBoundsForUniformRandomBitGenerator) {
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~std::uint64_t{0});
+}
+
+}  // namespace
+}  // namespace tc3i

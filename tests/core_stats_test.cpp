@@ -1,0 +1,123 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace tc3i {
+namespace {
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {3.0, 1.5, -2.0, 8.25, 0.0, 4.5};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.25);
+  EXPECT_NEAR(s.sum(), mean * static_cast<double>(xs.size()), 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSinglePass) {
+  Rng rng(11);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    all.add(x);
+    (i % 3 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // empty other
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats c;
+  c.merge(a);  // empty self
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_NEAR(c.mean(), 2.0, 1e-12);
+}
+
+TEST(Percentile, EndpointsAndMedian) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 3.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 75.0), 7.5);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> xs = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 7.0);
+}
+
+TEST(Geomean, KnownValues) {
+  const std::vector<double> xs = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geomean(xs), 4.0, 1e-12);
+}
+
+TEST(Geomean, ScaleInvariance) {
+  const std::vector<double> xs = {2.0, 3.0, 5.0, 7.0};
+  std::vector<double> scaled;
+  for (double x : xs) scaled.push_back(10.0 * x);
+  EXPECT_NEAR(geomean(scaled), 10.0 * geomean(xs), 1e-9);
+}
+
+TEST(RelativeError, Basics) {
+  EXPECT_DOUBLE_EQ(relative_error(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(100.0, 100.0), 0.0);
+}
+
+TEST(LinearSlope, ExactLine) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y;
+  for (double v : x) y.push_back(3.0 * v - 1.0);
+  EXPECT_NEAR(linear_slope(x, y), 3.0, 1e-12);
+}
+
+TEST(Correlation, PerfectAndAnti) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> up = {2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> down = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(correlation(x, up), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(x, down), -1.0, 1e-12);
+}
+
+TEST(Correlation, NearZeroForIndependentNoise) {
+  Rng rng(13);
+  std::vector<double> x, y;
+  for (int i = 0; i < 10000; ++i) {
+    x.push_back(rng.uniform01());
+    y.push_back(rng.uniform01());
+  }
+  EXPECT_NEAR(correlation(x, y), 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace tc3i

@@ -1,0 +1,132 @@
+// Unit tests for the smaller MTA components: Processor bookkeeping and
+// the StreamProgram builders.
+#include <gtest/gtest.h>
+
+#include "mta/processor.hpp"
+#include "mta/stream_program.hpp"
+
+namespace tc3i::mta {
+namespace {
+
+TEST(Processor, SlotAccounting) {
+  Processor p(3, 2);
+  EXPECT_EQ(p.id(), 3);
+  EXPECT_EQ(p.hw_slots(), 2);
+  EXPECT_TRUE(p.has_free_slot());
+  p.occupy_slot();
+  EXPECT_EQ(p.live_streams(), 1);
+  p.occupy_slot();
+  EXPECT_FALSE(p.has_free_slot());
+  p.release_slot();
+  EXPECT_TRUE(p.has_free_slot());
+}
+
+TEST(ProcessorDeathTest, OverOccupancyAborts) {
+  Processor p(0, 1);
+  p.occupy_slot();
+  EXPECT_DEATH(p.occupy_slot(), "Precondition");
+}
+
+TEST(ProcessorDeathTest, ReleaseWhenEmptyAborts) {
+  Processor p(0, 1);
+  EXPECT_DEATH(p.release_slot(), "Precondition");
+}
+
+TEST(Processor, ReadyQueueIsFifoAndCountsIssues) {
+  Processor p(0, 8);
+  p.make_ready(5);
+  p.make_ready(9);
+  p.make_ready(2);
+  EXPECT_EQ(p.ready_count(), 3u);
+  EXPECT_EQ(p.pop_ready(), 5);
+  EXPECT_EQ(p.pop_ready(), 9);
+  EXPECT_EQ(p.pop_ready(), 2);
+  EXPECT_FALSE(p.has_ready());
+  EXPECT_EQ(p.issues(), 3u);
+}
+
+TEST(VectorProgram, MergesConsecutiveCompute) {
+  VectorProgram p;
+  p.compute(5);
+  p.compute(7);
+  EXPECT_EQ(p.instruction_entries(), 1u);
+  EXPECT_EQ(p.total_instructions(), 12u);
+}
+
+TEST(VectorProgram, MergesConsecutiveSameAddressLoads) {
+  VectorProgram p;
+  p.load(3, 4);
+  p.load(3, 2);
+  p.load(4, 1);  // different address: new entry
+  EXPECT_EQ(p.instruction_entries(), 2u);
+  EXPECT_EQ(p.total_instructions(), 7u);
+}
+
+TEST(VectorProgram, ZeroCountsAreDropped) {
+  VectorProgram p;
+  p.compute(0);
+  p.load(1, 0);
+  EXPECT_EQ(p.instruction_entries(), 0u);
+}
+
+TEST(VectorProgram, IterationYieldsEntriesInOrder) {
+  VectorProgram p;
+  p.compute(2);
+  p.sync_load(9);
+  p.store(4, 11);
+  Instr instr;
+  ASSERT_TRUE(p.next(instr));
+  EXPECT_EQ(instr.op, Instr::Op::Compute);
+  EXPECT_EQ(instr.count, 2u);
+  ASSERT_TRUE(p.next(instr));
+  EXPECT_EQ(instr.op, Instr::Op::SyncLoad);
+  EXPECT_EQ(instr.addr, 9u);
+  ASSERT_TRUE(p.next(instr));
+  EXPECT_EQ(instr.op, Instr::Op::Store);
+  EXPECT_EQ(instr.value, 11);
+  EXPECT_FALSE(p.next(instr));
+}
+
+TEST(VectorProgram, SyncOpsCountAsOneInstructionEach) {
+  VectorProgram p;
+  p.sync_load(1);
+  p.sync_store(2, 0);
+  VectorProgram child;
+  p.spawn(&child);
+  EXPECT_EQ(p.total_instructions(), 3u);
+}
+
+TEST(ProgramPool, OwnsStableAddresses) {
+  ProgramPool pool;
+  VectorProgram* a = pool.make_vector();
+  a->compute(1);
+  std::vector<VectorProgram*> more;
+  for (int i = 0; i < 100; ++i) more.push_back(pool.make_vector());
+  EXPECT_EQ(a->total_instructions(), 1u);  // still valid after growth
+  EXPECT_EQ(pool.size(), 101u);
+}
+
+TEST(CallbackProgram, DrivesControlFlowFromDeliveredValues) {
+  // A program that loops until it is delivered a zero: demonstrates
+  // data-dependent stream control flow.
+  int remaining = 3;
+  int emitted = 0;
+  CallbackProgram p(
+      [&](Instr& out) {
+        if (remaining == 0) return false;
+        out = Instr{};
+        out.op = Instr::Op::Compute;
+        out.count = 1;
+        ++emitted;
+        --remaining;  // simulate consuming a delivered value per round
+        return true;
+      },
+      [&](Word) {});
+  Instr instr;
+  while (p.next(instr)) {
+  }
+  EXPECT_EQ(emitted, 3);
+}
+
+}  // namespace
+}  // namespace tc3i::mta

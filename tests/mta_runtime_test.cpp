@@ -1,0 +1,205 @@
+#include "mta/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mta/machine.hpp"
+
+namespace tc3i::mta {
+namespace {
+
+MtaConfig small_config() {
+  MtaConfig cfg;
+  cfg.num_processors = 1;
+  cfg.clock_hz = 100e6;
+  cfg.memory_words = 4096;
+  return cfg;
+}
+
+TEST(ParallelLoop, ChunksPartitionItemsExactly) {
+  Machine m(small_config());
+  ProgramPool pool;
+  std::multiset<std::size_t> emitted;
+  const auto chunks = build_parallel_loop(
+      pool, m, /*num_items=*/103, /*num_chunks=*/7,
+      [&](VectorProgram& p, std::size_t item) {
+        emitted.insert(item);
+        p.compute(1);
+      });
+  EXPECT_EQ(chunks.size(), 7u);
+  EXPECT_EQ(emitted.size(), 103u);
+  for (std::size_t i = 0; i < 103; ++i) EXPECT_EQ(emitted.count(i), 1u);
+}
+
+TEST(ParallelLoop, MoreChunksThanItemsLeavesSomeEmpty) {
+  Machine m(small_config());
+  ProgramPool pool;
+  int bodies = 0;
+  build_parallel_loop(pool, m, 3, 8,
+                      [&](VectorProgram& p, std::size_t) {
+                        ++bodies;
+                        p.compute(1);
+                      });
+  EXPECT_EQ(bodies, 3);
+  const auto r = m.run();
+  EXPECT_EQ(r.streams_completed, 8u);  // empty chunks still run prologues
+}
+
+TEST(ParallelLoop, RunsToCompletion) {
+  Machine m(small_config());
+  ProgramPool pool;
+  build_parallel_loop(pool, m, 64, 16, [](VectorProgram& p, std::size_t) {
+    p.compute(5);
+    p.load(1, 2);
+  });
+  const auto r = m.run();
+  EXPECT_EQ(r.streams_completed, 16u);
+  EXPECT_GT(r.instructions_issued, 64u * 7u);
+}
+
+TEST(Futures, ProducerConsumerThroughResultCell) {
+  Machine m(small_config());
+  ProgramPool pool;
+  VectorProgram* parent = pool.make_vector();
+  parent->compute(3);
+  emit_future(pool, *parent, /*result_cell=*/100,
+              [](VectorProgram& child) { child.compute(50); });
+  await_future(*parent, 100);
+  parent->compute(3);
+  m.add_stream(parent);
+  const auto r = m.run();
+  EXPECT_EQ(r.streams_completed, 2u);
+  EXPECT_EQ(r.spawns, 1u);
+  EXPECT_FALSE(m.memory().is_full(100));  // touch consumed the result
+}
+
+TEST(Futures, ParentBlocksUntilChildFinishes) {
+  Machine m(small_config());
+  ProgramPool pool;
+  VectorProgram* parent = pool.make_vector();
+  emit_future(pool, *parent, 100,
+              [](VectorProgram& child) { child.compute(1000); });
+  await_future(*parent, 100);
+  m.add_stream(parent);
+  // The child's 1000 instructions at 21-cycle spacing dominate.
+  EXPECT_GE(m.run().cycles, 1000u * 21u);
+}
+
+TEST(Barrier, AwaitAllWaitsForEveryWorker) {
+  Machine m(small_config());
+  ProgramPool pool;
+  constexpr std::size_t kWorkers = 10;
+  VectorProgram* master = pool.make_vector();
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    VectorProgram* worker = pool.make_vector();
+    worker->compute(10 * (w + 1));  // uneven finish times
+    signal_done(*worker, 200, w);
+    master->spawn(worker, false);
+  }
+  await_all(*master, 200, kWorkers);
+  master->compute(1);
+  m.add_stream(master);
+  const auto r = m.run();
+  EXPECT_EQ(r.streams_completed, kWorkers + 1);
+  // The slowest worker has 100 computes: the barrier cannot resolve sooner.
+  EXPECT_GE(r.cycles, 100u * 21u);
+}
+
+TEST(CounterCells, InitializedFullWithZero) {
+  Machine m(small_config());
+  init_counter_cells(m, 300, 4);
+  for (Address a = 300; a < 304; ++a) {
+    EXPECT_TRUE(m.memory().is_full(a));
+    EXPECT_EQ(m.memory().load(a), 0);
+  }
+}
+
+TEST(SumReduction, ComputesExactSum) {
+  Machine m(small_config());
+  ProgramPool pool;
+  std::vector<Word> values;
+  Word expected = 0;
+  for (Word v = 1; v <= 100; ++v) {
+    values.push_back(v * 3 - 50);
+    expected += v * 3 - 50;
+  }
+  const Address root = emit_sum_reduction(pool, m, values, 100, 4);
+  m.run();
+  EXPECT_EQ(m.memory().load(root), expected);
+  EXPECT_TRUE(m.memory().is_full(root));
+}
+
+TEST(SumReduction, SingleValueIsItsOwnRoot) {
+  Machine m(small_config());
+  ProgramPool pool;
+  const Address root = emit_sum_reduction(pool, m, {42}, 10, 2);
+  m.run();
+  EXPECT_EQ(m.memory().load(root), 42);
+}
+
+TEST(SumReduction, WorksAcrossFanoutsAndSizes) {
+  for (const std::size_t fanout : {2u, 3u, 8u}) {
+    for (const std::size_t n : {2u, 5u, 17u, 64u}) {
+      Machine m(small_config());
+      ProgramPool pool;
+      std::vector<Word> values;
+      Word expected = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        values.push_back(static_cast<Word>(i * i));
+        expected += static_cast<Word>(i * i);
+      }
+      const Address root = emit_sum_reduction(pool, m, values, 200, fanout);
+      m.run();
+      EXPECT_EQ(m.memory().load(root), expected)
+          << "fanout " << fanout << " n " << n;
+    }
+  }
+}
+
+TEST(SumReduction, LogarithmicDepthBeatsSerialChain) {
+  // 256 values: tree depth 4 at fanout 4 vs a serial accumulator stream.
+  auto tree_cycles = [&] {
+    Machine m(small_config());
+    ProgramPool pool;
+    std::vector<Word> values(256, 1);
+    emit_sum_reduction(pool, m, values, 300, 4);
+    return m.run().cycles;
+  };
+  auto serial_cycles = [&] {
+    Machine m(small_config());
+    ProgramPool pool;
+    // One stream sync-loading all 256 producer cells.
+    for (Address c = 0; c < 256; ++c) {
+      VectorProgram* leaf = pool.make_vector();
+      leaf->compute(4);
+      leaf->sync_store(300 + c, 1);
+      m.add_stream(leaf);
+    }
+    VectorProgram* acc = pool.make_vector();
+    for (Address c = 0; c < 256; ++c) acc->sync_load(300 + c);
+    m.add_stream(acc);
+    return m.run().cycles;
+  };
+  EXPECT_LT(tree_cycles() * 2, serial_cycles());
+}
+
+TEST(FetchAdd, ManyStreamsAllComplete) {
+  Machine m(small_config());
+  ProgramPool pool;
+  init_counter_cells(m, 0, 1);
+  constexpr int kStreams = 32;
+  for (int s = 0; s < kStreams; ++s) {
+    VectorProgram* p = pool.make_vector();
+    p->compute(5);
+    append_atomic_fetch_add(*p, 0);
+    p->compute(5);
+    m.add_stream(p);
+  }
+  const auto r = m.run();
+  EXPECT_EQ(r.streams_completed, static_cast<std::uint64_t>(kStreams));
+  EXPECT_TRUE(m.memory().is_full(0));
+}
+
+}  // namespace
+}  // namespace tc3i::mta

@@ -1,0 +1,71 @@
+// Self-regression pins: the reproduction is fully deterministic, so the
+// headline measured values are pinned here to +/-0.5%. If a change to the
+// simulators, cost model, or scenario generators moves any of these,
+// this suite fails — forcing the change to be justified against
+// EXPERIMENTS.md rather than drifting silently. (reproduction_test pins
+// the same quantities against the *paper* with wider, shape-level bands.)
+#include <gtest/gtest.h>
+
+#include "platforms/experiment.hpp"
+
+namespace tc3i::platforms {
+namespace {
+
+class RegressionPin : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { testbed_ = new Testbed(build_testbed()); }
+  static void TearDownTestSuite() {
+    delete testbed_;
+    testbed_ = nullptr;
+  }
+  static const Testbed& tb() { return *testbed_; }
+
+ private:
+  static const Testbed* testbed_;
+};
+
+const Testbed* RegressionPin::testbed_ = nullptr;
+
+void pin(double measured, double expected) {
+  EXPECT_NEAR(measured / expected, 1.0, 0.005)
+      << "pinned value drifted: expected " << expected << ", got " << measured;
+}
+
+TEST_F(RegressionPin, CalibratedRates) {
+  pin(tb().alpha.compute_rate_ips, 113.7e6);
+  pin(tb().ppro.compute_rate_ips, 44.3e6);
+  pin(tb().exemplar.compute_rate_ips, 60.7e6);
+}
+
+TEST_F(RegressionPin, TeraSequentialRows) {
+  pin(mta_threat_seq_seconds(tb()), 2507.3);
+  pin(mta_terrain_seq_seconds(tb()), 969.8);
+}
+
+TEST_F(RegressionPin, TeraMultithreadedRows) {
+  pin(mta_threat_chunked_seconds(tb(), 256, 1), 82.1);
+  pin(mta_threat_chunked_seconds(tb(), 256, 2), 45.9);
+  pin(mta_terrain_fine_seconds(tb(), 1), 29.3);
+  pin(mta_terrain_fine_seconds(tb(), 2), 24.3);
+}
+
+TEST_F(RegressionPin, ChunkSweepEndpoints) {
+  pin(mta_threat_chunked_seconds(tb(), 8, 2), 340.6);
+  pin(mta_threat_chunked_seconds(tb(), 64, 2), 56.8);
+}
+
+TEST_F(RegressionPin, ConventionalParallelRows) {
+  pin(threat_chunked_seconds(tb(), tb().ppro, 4, 4), 117.1);
+  pin(threat_chunked_seconds(tb(), tb().exemplar, 16, 16), 23.1);
+  pin(terrain_coarse_seconds(tb(), tb().ppro, 4, 4), 59.4);
+  pin(terrain_coarse_seconds(tb(), tb().exemplar, 16, 16), 36.8);
+}
+
+TEST_F(RegressionPin, WorkloadTotals) {
+  // The instrumented kernels themselves: steps and cells at full scale.
+  pin(tb().totals.threat_ops, 2.0117e10);
+  pin(tb().totals.terrain_ops, 6.9608e9);
+}
+
+}  // namespace
+}  // namespace tc3i::platforms

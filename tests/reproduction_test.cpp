@@ -1,0 +1,188 @@
+// The capstone integration test: builds the full calibrated testbed and
+// checks every table's reproduction criteria (EXPERIMENTS.md) — the
+// calibrated sequential rows to tight tolerance, the emergent parallel
+// rows to shape tolerances.
+#include <gtest/gtest.h>
+
+#include "platforms/experiment.hpp"
+#include "platforms/paper.hpp"
+
+namespace tc3i::platforms {
+namespace {
+
+class ReproductionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { testbed_ = new Testbed(build_testbed()); }
+  static void TearDownTestSuite() {
+    delete testbed_;
+    testbed_ = nullptr;
+  }
+  static const Testbed& tb() { return *testbed_; }
+
+ private:
+  static const Testbed* testbed_;
+};
+
+const Testbed* ReproductionTest::testbed_ = nullptr;
+
+void expect_close(double measured, double paper, double tolerance) {
+  EXPECT_NEAR(measured / paper, 1.0, tolerance)
+      << "measured " << measured << " vs paper " << paper;
+}
+
+TEST_F(ReproductionTest, CalibrationIsPhysical) {
+  for (const auto* cfg : {&tb().alpha, &tb().ppro, &tb().exemplar}) {
+    EXPECT_GT(cfg->compute_rate_ips, 1e6) << cfg->name;
+    EXPECT_LT(cfg->compute_rate_ips, 1e9) << cfg->name;
+    EXPECT_GT(cfg->mem_bw_single, 1e6) << cfg->name;
+    EXPECT_EQ(cfg->validate(), "") << cfg->name;
+  }
+  // The Alpha is the fastest scalar processor of the four.
+  EXPECT_GT(tb().alpha.compute_rate_ips, tb().ppro.compute_rate_ips);
+  EXPECT_GT(tb().alpha.compute_rate_ips, tb().exemplar.compute_rate_ips);
+}
+
+TEST_F(ReproductionTest, Table2SequentialThreatAnalysis) {
+  expect_close(threat_seq_seconds(tb(), tb().alpha), 187.0, 0.02);
+  expect_close(threat_seq_seconds(tb(), tb().ppro), 458.0, 0.02);
+  expect_close(threat_seq_seconds(tb(), tb().exemplar), 343.0, 0.02);
+  // Emergent from the stream simulator: the paper stresses "roughly 14x
+  // slower than the Alpha".
+  const double tera = mta_threat_seq_seconds(tb());
+  expect_close(tera, 2584.0, 0.15);
+  EXPECT_GT(tera / threat_seq_seconds(tb(), tb().alpha), 10.0);
+}
+
+TEST_F(ReproductionTest, Table3ThreatOnPentiumPro) {
+  const double seq = threat_seq_seconds(tb(), tb().ppro);
+  for (const auto& row : paper::threat_ppro_rows()) {
+    const double t =
+        threat_chunked_seconds(tb(), tb().ppro, row.processors, row.processors);
+    expect_close(t, row.seconds, 0.10);
+    // Near-linear speedup.
+    EXPECT_NEAR(seq / t, row.processors, 0.35);
+  }
+}
+
+TEST_F(ReproductionTest, Table4ThreatOnExemplar) {
+  for (const auto& row : paper::threat_exemplar_rows()) {
+    const double t = threat_chunked_seconds(tb(), tb().exemplar,
+                                            row.processors, row.processors);
+    expect_close(t, row.seconds, 0.10);
+  }
+}
+
+TEST_F(ReproductionTest, Table5ThreatOnTera) {
+  const double t1 = mta_threat_chunked_seconds(tb(), 256, 1);
+  const double t2 = mta_threat_chunked_seconds(tb(), 256, 2);
+  expect_close(t1, 82.0, 0.12);
+  expect_close(t2, 46.0, 0.12);
+  // Less-than-ideal two-processor scaling (paper: 1.8x).
+  EXPECT_GT(t1 / t2, 1.5);
+  EXPECT_LT(t1 / t2, 2.0);
+  // "32 times faster" than its own sequential run.
+  const double seq = mta_threat_seq_seconds(tb());
+  EXPECT_GT(seq / t1, 25.0);
+  EXPECT_LT(seq / t1, 40.0);
+}
+
+TEST_F(ReproductionTest, Table6ChunkSweepShape) {
+  double prev = 1e18;
+  double t8 = 0, t256 = 0;
+  for (const auto& row : paper::threat_tera_chunk_rows()) {
+    const double t = mta_threat_chunked_seconds(tb(), row.chunks, 2);
+    expect_close(t, row.seconds, 0.20);
+    EXPECT_LT(t, prev * 1.05) << "time must not rise with more chunks";
+    prev = t;
+    if (row.chunks == 8) t8 = t;
+    if (row.chunks == 256) t256 = t;
+  }
+  // Hundreds of threads needed: 8 chunks are several times slower.
+  EXPECT_GT(t8 / t256, 4.0);
+}
+
+TEST_F(ReproductionTest, Table8SequentialTerrainMasking) {
+  expect_close(terrain_seq_seconds(tb(), tb().alpha), 158.0, 0.02);
+  expect_close(terrain_seq_seconds(tb(), tb().ppro), 197.0, 0.02);
+  expect_close(terrain_seq_seconds(tb(), tb().exemplar), 228.0, 0.02);
+  const double tera = mta_terrain_seq_seconds(tb());
+  expect_close(tera, 978.0, 0.15);
+  // Memory-bound: the Tera penalty vs the Alpha is much smaller than for
+  // Threat Analysis (~6x vs ~14x).
+  const double ratio_tm = tera / terrain_seq_seconds(tb(), tb().alpha);
+  const double ratio_ta =
+      mta_threat_seq_seconds(tb()) / threat_seq_seconds(tb(), tb().alpha);
+  EXPECT_LT(ratio_tm, 8.5);
+  EXPECT_GT(ratio_ta, ratio_tm * 1.5);
+}
+
+TEST_F(ReproductionTest, Table9TerrainOnPentiumPro) {
+  const double seq = terrain_seq_seconds(tb(), tb().ppro);
+  for (const auto& row : paper::terrain_ppro_rows()) {
+    const double t = terrain_coarse_seconds(tb(), tb().ppro, row.processors,
+                                            row.processors);
+    expect_close(t, row.seconds, 0.15);
+  }
+  // The incidental 1-processor speedup from the pass-role swap.
+  const double t1 = terrain_coarse_seconds(tb(), tb().ppro, 1, 1);
+  EXPECT_GT(seq / t1, 1.02);
+  // Saturation well below linear at 4 (paper: 3.0x).
+  const double t4 = terrain_coarse_seconds(tb(), tb().ppro, 4, 4);
+  EXPECT_LT(seq / t4, 3.6);
+}
+
+TEST_F(ReproductionTest, Table10TerrainOnExemplarSaturates) {
+  const double seq = terrain_seq_seconds(tb(), tb().exemplar);
+  double best = 0.0;
+  for (const auto& row : paper::terrain_exemplar_rows()) {
+    const double t = terrain_coarse_seconds(tb(), tb().exemplar,
+                                            row.processors, row.processors);
+    best = std::max(best, seq / t);
+  }
+  // The paper's curve tops out at ~7.1x; far from the 15.4x the
+  // compute-bound program reached on the same machine.
+  EXPECT_GT(best, 4.5);
+  EXPECT_LT(best, 9.0);
+}
+
+TEST_F(ReproductionTest, Table11TerrainOnTeraShape) {
+  const double t1 = mta_terrain_fine_seconds(tb(), 1);
+  const double t2 = mta_terrain_fine_seconds(tb(), 2);
+  const double seq = mta_terrain_seq_seconds(tb());
+  // Dramatically faster than sequential (paper: 20x; our schedule is more
+  // efficient — see EXPERIMENTS.md for the documented deviation).
+  EXPECT_GT(seq / t1, 15.0);
+  EXPECT_LT(seq / t1, 40.0);
+  // Two-processor scaling well below ideal (paper: 1.4x).
+  EXPECT_GT(t1 / t2, 1.0);
+  EXPECT_LT(t1 / t2, 1.5);
+}
+
+TEST_F(ReproductionTest, CrossTableClaims) {
+  // §5: one Tera processor ~ four Exemplar processors on Threat Analysis.
+  const double tera1 = mta_threat_chunked_seconds(tb(), 256, 1);
+  const double ex4 = threat_chunked_seconds(tb(), tb().exemplar, 4, 4);
+  EXPECT_NEAR(tera1 / ex4, 1.0, 0.25);
+  // §6: the dual-processor Tera ~ eight Exemplar processors on Terrain
+  // Masking (our fine-grained schedule is somewhat faster; allow slack
+  // on the fast side only).
+  const double tera2 = mta_terrain_fine_seconds(tb(), 2);
+  const double ex8 = terrain_coarse_seconds(tb(), tb().exemplar, 8, 8);
+  EXPECT_LT(tera2, ex8 * 1.3);
+  // §7: multithreaded Tera (1 proc) beats sequential Alpha by 2-3.5x.
+  const double alpha_ta = threat_seq_seconds(tb(), tb().alpha);
+  EXPECT_GT(alpha_ta / tera1, 1.7);
+  EXPECT_LT(alpha_ta / tera1, 4.0);
+  // §7: "approximately one third faster than multithreaded execution on
+  // the quad-processor Pentium Pro" (82 vs 117 s).
+  const double ppro4 = threat_chunked_seconds(tb(), tb().ppro, 4, 4);
+  EXPECT_NEAR(ppro4 / tera1, 117.0 / 82.0, 0.25);
+}
+
+TEST_F(ReproductionTest, ExtrapolationFactorsAreSane) {
+  EXPECT_GT(tb().threat_mta_factor, 10.0);
+  EXPECT_GT(tb().terrain_mta_factor, 10.0);
+}
+
+}  // namespace
+}  // namespace tc3i::platforms

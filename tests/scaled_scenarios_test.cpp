@@ -1,0 +1,86 @@
+// The down-scaled scenario factories used by the MTA cycle-level runs.
+#include <gtest/gtest.h>
+
+#include "c3i/terrain/scenario_gen.hpp"
+#include "c3i/terrain/sequential.hpp"
+#include "c3i/threat/scenario_gen.hpp"
+#include "c3i/threat/sequential.hpp"
+
+namespace tc3i::c3i {
+namespace {
+
+TEST(ScaledThreatScenarios, FiveScenariosAtRequestedSize) {
+  const auto scenarios = threat::scaled_scenarios(64, 4);
+  ASSERT_EQ(scenarios.size(), 5u);
+  for (const auto& s : scenarios) {
+    EXPECT_EQ(s.threats.size(), 64u);
+    EXPECT_EQ(s.weapons.size(), 4u);
+    EXPECT_NE(s.name.find("scaled"), std::string::npos);
+  }
+}
+
+TEST(ScaledThreatScenarios, ShareSeedsWithFullScale) {
+  // Scaled scenario i uses the same seed as full scenario i, so the first
+  // threats coincide (the generators draw identically in order).
+  const auto scaled = threat::scaled_scenarios(64, 4);
+  const auto full = threat::benchmark_scenarios();
+  for (std::size_t i = 0; i < 5; ++i) {
+    // Weapons are drawn first and differ in count (4 vs 25), so compare
+    // the *weapon* stream prefix instead: first 4 weapons coincide.
+    for (std::size_t w = 0; w < 4; ++w) {
+      EXPECT_DOUBLE_EQ(scaled[i].weapons[w].pos.x, full[i].weapons[w].pos.x);
+      EXPECT_DOUBLE_EQ(scaled[i].weapons[w].max_range,
+                       full[i].weapons[w].max_range);
+    }
+  }
+}
+
+TEST(ScaledThreatScenarios, WorkScalesRoughlyLinearly) {
+  const auto small = threat::profile(threat::scaled_scenarios(32, 4)[0]);
+  const auto large = threat::profile(threat::scaled_scenarios(64, 4)[0]);
+  const double ratio = static_cast<double>(large.total_steps()) /
+                       static_cast<double>(small.total_steps());
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 2.6);
+}
+
+TEST(ScaledTerrainScenarios, FiveScenariosAtRequestedSize) {
+  const auto scenarios = terrain::scaled_scenarios(96, 96, 12);
+  ASSERT_EQ(scenarios.size(), 5u);
+  for (const auto& s : scenarios) {
+    EXPECT_EQ(s.terrain.x_size(), 96);
+    EXPECT_EQ(s.terrain.y_size(), 96);
+    EXPECT_EQ(s.threats.size(), 12u);
+  }
+}
+
+TEST(ScaledTerrainScenarios, RegionFractionPreservedAcrossScales) {
+  // The 5%-of-terrain property is scale-invariant: the mean region
+  // fraction should be similar at different terrain sizes.
+  auto mean_fraction = [](int size) {
+    const auto scenarios = terrain::scaled_scenarios(size, size, 30);
+    double total = 0.0;
+    int count = 0;
+    for (const auto& s : scenarios)
+      for (const auto& t : s.threats) {
+        const double side = 2.0 * t.radius + 1.0;
+        total += side * side / (static_cast<double>(size) * size);
+        ++count;
+      }
+    return total / count;
+  };
+  const double small = mean_fraction(128);
+  const double large = mean_fraction(384);
+  EXPECT_NEAR(small, large, 0.01);
+  EXPECT_GT(small, 0.015);
+  EXPECT_LT(small, 0.05);
+}
+
+TEST(ScaledTerrainScenarios, MaskingComputableAtScale) {
+  const auto scenarios = terrain::scaled_scenarios(64, 64, 5);
+  const terrain::Grid masking = terrain::run_sequential(scenarios[0]);
+  EXPECT_EQ(masking.x_size(), 64);
+}
+
+}  // namespace
+}  // namespace tc3i::c3i

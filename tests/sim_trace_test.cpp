@@ -1,0 +1,100 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tc3i::sim {
+namespace {
+
+TEST(ThreadTrace, MergesConsecutiveComputeOutsideLocks) {
+  ThreadTrace t;
+  t.compute(10, 100);
+  t.compute(5, 50);
+  EXPECT_EQ(t.phases().size(), 1u);
+  EXPECT_EQ(t.phases()[0].ops, 15u);
+  EXPECT_EQ(t.phases()[0].bytes, 150u);
+}
+
+TEST(ThreadTrace, DoesNotMergeInsideCriticalSections) {
+  ThreadTrace t;
+  t.compute(10, 0);
+  t.acquire(0);
+  t.compute(5, 0);
+  t.compute(5, 0);  // merges with previous compute *inside* the lock? No:
+                    // merging is disabled while a lock is held.
+  t.release(0);
+  t.compute(1, 0);
+  // compute, acquire, compute, compute, release, compute
+  EXPECT_EQ(t.phases().size(), 6u);
+}
+
+TEST(ThreadTrace, IgnoresEmptyCompute) {
+  ThreadTrace t;
+  t.compute(0, 0);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(ThreadTrace, Totals) {
+  ThreadTrace t;
+  t.compute(10, 100);
+  t.acquire(1);
+  t.compute(20, 0);
+  t.release(1);
+  EXPECT_EQ(t.total_ops(), 30u);
+  EXPECT_EQ(t.total_bytes(), 100u);
+}
+
+TEST(WorkloadTrace, ValidAndTotals) {
+  WorkloadTrace w;
+  w.num_locks = 2;
+  ThreadTrace a;
+  a.compute(5, 10);
+  a.acquire(0);
+  a.compute(1, 2);
+  a.release(0);
+  ThreadTrace b;
+  b.compute(7, 0);
+  w.threads = {a, b};
+  EXPECT_EQ(w.validate(), "");
+  EXPECT_EQ(w.total_ops(), 13u);
+  EXPECT_EQ(w.total_bytes(), 12u);
+}
+
+TEST(WorkloadTrace, DetectsLockIdOutOfRange) {
+  WorkloadTrace w;
+  w.num_locks = 1;
+  ThreadTrace t;
+  t.acquire(3);
+  t.release(3);
+  w.threads = {t};
+  EXPECT_NE(w.validate().find("out of range"), std::string::npos);
+}
+
+TEST(WorkloadTrace, DetectsUnreleasedLock) {
+  WorkloadTrace w;
+  w.num_locks = 1;
+  ThreadTrace t;
+  t.acquire(0);
+  w.threads = {t};
+  EXPECT_NE(w.validate().find("unreleased"), std::string::npos);
+}
+
+TEST(WorkloadTraceDeathTest, ReleaseWithoutAcquireIsRejectedAtBuildTime) {
+  ThreadTrace t;
+  EXPECT_DEATH(t.release(0), "Precondition");
+}
+
+TEST(WorkloadTrace, NestedLocksBalance) {
+  WorkloadTrace w;
+  w.num_locks = 2;
+  ThreadTrace t;
+  t.acquire(0);
+  t.acquire(1);
+  t.compute(1, 0);
+  t.release(1);
+  t.release(0);
+  w.threads = {t};
+  EXPECT_EQ(w.validate(), "");
+}
+
+}  // namespace
+}  // namespace tc3i::sim

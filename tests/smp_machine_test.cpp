@@ -1,0 +1,283 @@
+// Analytic validation of the SMP fluid machine model: cases with
+// closed-form answers, plus structural properties (lock serialization,
+// bus sharing, dynamic balancing).
+#include "smp/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "smp/config.hpp"
+#include "smp/workload.hpp"
+
+namespace tc3i::smp {
+namespace {
+
+SmpConfig test_config(int procs = 4) {
+  SmpConfig cfg;
+  cfg.name = "test";
+  cfg.num_processors = procs;
+  cfg.clock_hz = 100e6;
+  cfg.compute_rate_ips = 1e6;       // 1 op = 1 microsecond
+  cfg.mem_bw_single = 1e6;          // 1 byte = 1 microsecond
+  cfg.mem_bw_total = 2e6;           // bus sustains two full streams
+  cfg.thread_spawn_cycles = 0.0;    // most tests want no stagger
+  cfg.lock_cycles = 0.0;
+  return cfg;
+}
+
+sim::ThreadTrace compute_trace(Instructions ops, Bytes bytes = 0) {
+  sim::ThreadTrace t;
+  t.compute(ops, bytes);
+  return t;
+}
+
+TEST(SmpMachine, SequentialComputeTimeIsOpsOverRate) {
+  const Machine m(test_config());
+  const auto r = m.run_sequential(compute_trace(1'000'000));
+  EXPECT_NEAR(r.elapsed, 1.0, 1e-9);
+  EXPECT_EQ(r.ops_executed, 1'000'000u);
+}
+
+TEST(SmpMachine, SequentialMemoryTimeIsBytesOverSingleRate) {
+  const Machine m(test_config());
+  const auto r = m.run_sequential(compute_trace(0, 500'000));
+  EXPECT_NEAR(r.elapsed, 0.5, 1e-9);
+  EXPECT_EQ(r.bytes_transferred, 500'000u);
+}
+
+TEST(SmpMachine, ComputeAndMemoryAreAdditiveForOneThread) {
+  const Machine m(test_config());
+  const auto r = m.run_sequential(compute_trace(1'000'000, 1'000'000));
+  EXPECT_NEAR(r.elapsed, 2.0, 1e-9);
+}
+
+TEST(SmpMachine, IndependentComputeThreadsRunFullyParallel) {
+  const Machine m(test_config(4));
+  sim::WorkloadTrace w;
+  for (int i = 0; i < 4; ++i) w.threads.push_back(compute_trace(1'000'000));
+  const auto r = m.run(w);
+  EXPECT_NEAR(r.elapsed, 1.0, 1e-9);
+}
+
+TEST(SmpMachine, OversubscriptionSharesProcessors) {
+  const Machine m(test_config(2));
+  sim::WorkloadTrace w;
+  for (int i = 0; i < 4; ++i) w.threads.push_back(compute_trace(1'000'000));
+  const auto r = m.run(w);
+  // 4 threads on 2 processors: each runs at half rate.
+  EXPECT_NEAR(r.elapsed, 2.0, 1e-9);
+}
+
+TEST(SmpMachine, BusSharingLimitsMemoryBoundThreads) {
+  const Machine m(test_config(4));
+  sim::WorkloadTrace w;
+  for (int i = 0; i < 4; ++i)
+    w.threads.push_back(compute_trace(0, 1'000'000));
+  const auto r = m.run(w);
+  // 4 MB of traffic through a 2 MB/s bus: 2 seconds, not 1.
+  EXPECT_NEAR(r.elapsed, 2.0, 1e-9);
+  EXPECT_NEAR(r.bus_utilization, 1.0, 1e-6);
+}
+
+TEST(SmpMachine, MemoryBoundSpeedupBoundedByBusHeadroom) {
+  SmpConfig cfg = test_config(4);
+  const Machine m(cfg);
+  const double seq = m.run_sequential(compute_trace(0, 4'000'000)).elapsed;
+  sim::WorkloadTrace w;
+  for (int i = 0; i < 4; ++i) w.threads.push_back(compute_trace(0, 1'000'000));
+  const double par = m.run(w).elapsed;
+  EXPECT_NEAR(seq / par, cfg.mem_bw_total / cfg.mem_bw_single, 1e-6);
+}
+
+TEST(SmpMachine, LocksSerializeCriticalSections) {
+  const Machine m(test_config(4));
+  sim::WorkloadTrace w;
+  w.num_locks = 1;
+  for (int i = 0; i < 4; ++i) {
+    sim::ThreadTrace t;
+    t.acquire(0);
+    t.compute(1'000'000, 0);
+    t.release(0);
+    w.threads.push_back(std::move(t));
+  }
+  const auto r = m.run(w);
+  // Entirely critical-section work: fully serialized.
+  EXPECT_NEAR(r.elapsed, 4.0, 1e-9);
+  // Three threads wait 1s, 2s, 3s respectively.
+  EXPECT_NEAR(r.lock_wait_total, 6.0, 1e-6);
+}
+
+TEST(SmpMachine, DisjointLocksDoNotSerialize) {
+  const Machine m(test_config(4));
+  sim::WorkloadTrace w;
+  w.num_locks = 4;
+  for (int i = 0; i < 4; ++i) {
+    sim::ThreadTrace t;
+    t.acquire(i);
+    t.compute(1'000'000, 0);
+    t.release(i);
+    w.threads.push_back(std::move(t));
+  }
+  EXPECT_NEAR(m.run(w).elapsed, 1.0, 1e-9);
+}
+
+TEST(SmpMachine, SpawnStaggerDelaysWorkers) {
+  SmpConfig cfg = test_config(4);
+  cfg.thread_spawn_cycles = 10e6;  // 0.1 s at 100 MHz
+  const Machine m(cfg);
+  sim::WorkloadTrace w;
+  for (int i = 0; i < 2; ++i) w.threads.push_back(compute_trace(1'000'000));
+  const auto r = m.run(w);
+  // Worker 1 starts at 0.1 s, worker 2 at 0.2 s; each runs 1 s.
+  EXPECT_NEAR(r.elapsed, 1.2, 1e-9);
+}
+
+TEST(SmpMachine, LockOverheadChargedPerAcquire) {
+  SmpConfig cfg = test_config(1);
+  cfg.lock_cycles = 50e6;  // 0.5 s at 100 MHz
+  const Machine m(cfg);
+  sim::WorkloadTrace w;
+  w.num_locks = 1;
+  sim::ThreadTrace t;
+  t.acquire(0);
+  t.compute(1'000'000, 0);
+  t.release(0);
+  w.threads.push_back(std::move(t));
+  // acquire overhead 0.5 + compute 1.0 (release overhead is modeled inside
+  // the acquire cost).
+  EXPECT_NEAR(m.run(w).elapsed, 1.5, 1e-9);
+}
+
+TEST(SmpMachine, PoolBalancesUnevenTasks) {
+  const Machine m(test_config(2));
+  PoolWorkload pool;
+  pool.num_workers = 2;
+  // One 3s task and three 1s tasks: dynamic scheduling finishes in 3s
+  // (one worker takes the big task, the other takes the three small ones).
+  pool.tasks.push_back(compute_trace(3'000'000));
+  for (int i = 0; i < 3; ++i) pool.tasks.push_back(compute_trace(1'000'000));
+  EXPECT_NEAR(m.run_pool(pool).elapsed, 3.0, 1e-9);
+}
+
+TEST(SmpMachine, PoolStaticEquivalentIsSlower) {
+  const Machine m(test_config(2));
+  // Static split of the same tasks: {3s, 1s} vs {1s, 1s} -> 4s.
+  sim::WorkloadTrace w;
+  sim::ThreadTrace a;
+  a.compute(3'000'000, 0);
+  a.compute(1'000'000, 0);
+  sim::ThreadTrace b;
+  b.compute(1'000'000, 0);
+  b.compute(1'000'000, 0);
+  w.threads = {a, b};
+  EXPECT_NEAR(m.run(w).elapsed, 4.0, 1e-9);
+}
+
+TEST(SmpMachine, FifoLockHandoff) {
+  const Machine m(test_config(4));
+  sim::WorkloadTrace w;
+  w.num_locks = 1;
+  // Thread 0 computes 1s then takes the lock; threads 1..3 take the lock
+  // immediately. FIFO means thread 0 waits for all of them.
+  sim::ThreadTrace t0;
+  t0.compute(1'000'000, 0);
+  t0.acquire(0);
+  t0.compute(100'000, 0);
+  t0.release(0);
+  w.threads.push_back(std::move(t0));
+  for (int i = 0; i < 3; ++i) {
+    sim::ThreadTrace t;
+    t.acquire(0);
+    t.compute(1'000'000, 0);
+    t.release(0);
+    w.threads.push_back(std::move(t));
+  }
+  const auto r = m.run(w);
+  // Lock is held 3 x 1s by threads 1-3 (starting at 0), thread 0 enters at
+  // 3s and finishes at 3.1s.
+  EXPECT_NEAR(r.elapsed, 3.1, 1e-9);
+  EXPECT_GT(r.thread_finish[0], r.thread_finish[1]);
+}
+
+TEST(SmpMachine, ThreadBusyExcludesLockWait) {
+  const Machine m(test_config(2));
+  sim::WorkloadTrace w;
+  w.num_locks = 1;
+  for (int i = 0; i < 2; ++i) {
+    sim::ThreadTrace t;
+    t.acquire(0);
+    t.compute(1'000'000, 0);
+    t.release(0);
+    w.threads.push_back(std::move(t));
+  }
+  const auto r = m.run(w);
+  EXPECT_NEAR(r.elapsed, 2.0, 1e-9);
+  EXPECT_NEAR(r.thread_busy[0] + r.thread_busy[1], 2.0, 1e-6);
+  EXPECT_NEAR(r.lock_wait_total, 1.0, 1e-6);
+}
+
+TEST(SmpMachine, EmptyTraceFinishesInstantly) {
+  const Machine m(test_config());
+  EXPECT_DOUBLE_EQ(m.run_sequential(sim::ThreadTrace{}).elapsed, 0.0);
+}
+
+TEST(SmpMachineDeathTest, InvalidConfigAborts) {
+  SmpConfig cfg = test_config();
+  cfg.mem_bw_total = cfg.mem_bw_single / 2.0;  // bus slower than one proc
+  EXPECT_DEATH(Machine{cfg}, "SmpConfig");
+}
+
+TEST(SmpMachine, TimelineRecordsActivityWhenEnabled) {
+  SmpConfig cfg = test_config(2);
+  cfg.record_timeline = true;
+  const Machine m(cfg);
+  sim::WorkloadTrace w;
+  w.threads.push_back(compute_trace(1'000'000, 500'000));
+  w.threads.push_back(compute_trace(2'000'000, 0));
+  const auto r = m.run(w);
+  ASSERT_FALSE(r.timeline.empty());
+  // Samples tile [0, elapsed] exactly.
+  double covered = 0.0;
+  for (const auto& s : r.timeline) {
+    EXPECT_NEAR(s.start, covered, 1e-9);
+    EXPECT_GE(s.duration, 0.0);
+    EXPECT_GE(s.running_threads, 1);
+    EXPECT_LE(s.running_threads, 2);
+    EXPECT_GE(s.bus_fraction, 0.0);
+    EXPECT_LE(s.bus_fraction, 1.0 + 1e-9);
+    covered += s.duration;
+  }
+  EXPECT_NEAR(covered, r.elapsed, 1e-9);
+  // Integrated bus usage equals total bytes moved.
+  double bytes = 0.0;
+  for (const auto& s : r.timeline)
+    bytes += s.bus_fraction * cfg.mem_bw_total * s.duration;
+  EXPECT_NEAR(bytes, 500'000.0, 1.0);
+}
+
+TEST(SmpMachine, TimelineDisabledByDefault) {
+  const Machine m(test_config());
+  EXPECT_TRUE(m.run_sequential(compute_trace(1000)).timeline.empty());
+}
+
+TEST(SmpMachine, DeterministicAcrossRuns) {
+  const Machine m(test_config(3));
+  PoolWorkload pool;
+  pool.num_workers = 3;
+  pool.num_locks = 2;
+  for (int i = 0; i < 20; ++i) {
+    sim::ThreadTrace t;
+    t.compute(static_cast<Instructions>(100'000 + 7919 * i),
+              static_cast<Bytes>(5000 * (i % 5)));
+    t.acquire(i % 2);
+    t.compute(10'000, 0);
+    t.release(i % 2);
+    pool.tasks.push_back(std::move(t));
+  }
+  const auto r1 = m.run_pool(pool);
+  const auto r2 = m.run_pool(pool);
+  EXPECT_DOUBLE_EQ(r1.elapsed, r2.elapsed);
+  EXPECT_EQ(r1.ops_executed, r2.ops_executed);
+}
+
+}  // namespace
+}  // namespace tc3i::smp

@@ -1,0 +1,85 @@
+#include "sthreads/future.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tc3i::sthreads {
+namespace {
+
+TEST(Future, TouchReturnsComputedValue) {
+  auto f = async([] { return 6 * 7; });
+  EXPECT_EQ(f.touch(), 42);
+}
+
+TEST(Future, TouchIsRepeatable) {
+  auto f = async([] { return std::string("tera"); });
+  EXPECT_EQ(f.touch(), "tera");
+  EXPECT_EQ(f.touch(), "tera");  // the cell stays FULL after a touch
+}
+
+TEST(Future, TouchBlocksUntilProducerFinishes) {
+  std::atomic<bool> produced{false};
+  auto f = async([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    produced = true;
+    return 1;
+  });
+  EXPECT_EQ(f.touch(), 1);
+  EXPECT_TRUE(produced.load());
+}
+
+TEST(Future, ReadyReflectsState) {
+  SyncVar<int> gate;
+  auto f = async([&] { return gate.take(); });
+  EXPECT_FALSE(f.ready());
+  gate.put(5);
+  EXPECT_EQ(f.touch(), 5);
+  EXPECT_TRUE(f.ready());
+}
+
+TEST(Future, CopiesShareTheResult) {
+  auto f = async([] { return 11; });
+  Future<int> g = f;
+  EXPECT_EQ(g.touch(), 11);
+  EXPECT_EQ(f.touch(), 11);
+}
+
+TEST(Future, DefaultConstructedIsInvalid) {
+  Future<int> f;
+  EXPECT_FALSE(f.valid());
+  EXPECT_FALSE(f.ready());
+}
+
+TEST(Future, ManyFuturesForkJoin) {
+  std::vector<Future<long>> futures;
+  for (long i = 0; i < 32; ++i)
+    futures.push_back(async([i] { return i * i; }));
+  long sum = 0;
+  for (auto& f : futures) sum += f.touch();
+  long expected = 0;
+  for (long i = 0; i < 32; ++i) expected += i * i;
+  EXPECT_EQ(sum, expected);
+}
+
+TEST(Future, NestedFutures) {
+  auto outer = async([] {
+    auto inner = async([] { return 10; });
+    return inner.touch() + 1;
+  });
+  EXPECT_EQ(outer.touch(), 11);
+}
+
+TEST(Future, WaitJoinsProducer) {
+  auto f = async([] { return 3; });
+  f.wait();
+  EXPECT_TRUE(f.ready());
+  EXPECT_EQ(f.touch(), 3);
+}
+
+}  // namespace
+}  // namespace tc3i::sthreads

@@ -1,0 +1,156 @@
+// Semantic tests of the line-of-sight masking kernel.
+#include <gtest/gtest.h>
+
+#include "c3i/terrain/masking_kernel.hpp"
+
+namespace tc3i::c3i::terrain {
+namespace {
+
+GroundThreat center_threat(int x, int y, double sensor = 20.0, int radius = 10) {
+  GroundThreat t;
+  t.x = x;
+  t.y = y;
+  t.sensor_height = sensor;
+  t.radius = radius;
+  return t;
+}
+
+TEST(MaskingKernel, FlatTerrainLeavesEverythingVisible) {
+  const Grid terrain(32, 32, 100.0);  // perfectly flat at 100 m
+  Grid out(32, 32, -1.0);
+  KernelScratch scratch;
+  const GroundThreat t = center_threat(16, 16);
+  const std::uint64_t cells = compute_threat_masking(terrain, t, out, scratch);
+  const Region region = threat_region(terrain, t);
+  EXPECT_EQ(cells, static_cast<std::uint64_t>(region.cell_count()));
+  // On flat terrain nothing shadows anything: masking == ground height
+  // everywhere in the region (an aircraft is visible at any altitude
+  // above ground).
+  for (int y = region.y0; y <= region.y1; ++y)
+    for (int x = region.x0; x <= region.x1; ++x)
+      EXPECT_DOUBLE_EQ(out.at(x, y), 100.0) << "at (" << x << ", " << y << ")";
+}
+
+TEST(MaskingKernel, ThreatCellIsFullyVisible) {
+  const Grid terrain(32, 32, 50.0);
+  Grid out(32, 32, 0.0);
+  KernelScratch scratch;
+  const GroundThreat t = center_threat(10, 12);
+  compute_threat_masking(terrain, t, out, scratch);
+  EXPECT_DOUBLE_EQ(out.at(10, 12), 50.0);
+}
+
+TEST(MaskingKernel, RidgeCastsAShadow) {
+  // Flat terrain with a tall ridge wall at x = 18; cells beyond the wall
+  // (x > 18) are shadowed: safe altitude well above ground.
+  Grid terrain(40, 40, 0.0);
+  for (int y = 0; y < 40; ++y) terrain.at(18, y) = 500.0;
+  Grid out(40, 40, 0.0);
+  KernelScratch scratch;
+  const GroundThreat t = center_threat(10, 20, 10.0, 15);
+  compute_threat_masking(terrain, t, out, scratch);
+  // In front of the wall: visible down to the ground.
+  EXPECT_DOUBLE_EQ(out.at(14, 20), 0.0);
+  // Behind the wall: shadowed, and deeper with distance.
+  const double just_behind = out.at(19, 20);
+  const double far_behind = out.at(24, 20);
+  EXPECT_GT(just_behind, 400.0);
+  EXPECT_GT(far_behind, just_behind);
+}
+
+TEST(MaskingKernel, ShadowGrowsLinearlyWithDistance) {
+  Grid terrain(60, 9, 0.0);
+  for (int y = 0; y < 9; ++y) terrain.at(10, y) = 300.0;
+  Grid out(60, 9, 0.0);
+  KernelScratch scratch;
+  GroundThreat t = center_threat(5, 4, 0.0, 50);
+  compute_threat_masking(terrain, t, out, scratch);
+  // Along the axis the shadow line through the wall top is linear in x.
+  const double m20 = out.at(20, 4);
+  const double m30 = out.at(30, 4);
+  const double m40 = out.at(40, 4);
+  EXPECT_NEAR(m30 - m20, m40 - m30, 1e-6);
+  EXPECT_GT(m30, m20);
+}
+
+TEST(MaskingKernel, MaskingNeverBelowTerrain) {
+  const Grid terrain = generate_terrain(99, 64, 64, 800.0);
+  Grid out(64, 64, 0.0);
+  KernelScratch scratch;
+  const GroundThreat t = center_threat(32, 32, 25.0, 20);
+  compute_threat_masking(terrain, t, out, scratch);
+  const Region region = threat_region(terrain, t);
+  for (int y = region.y0; y <= region.y1; ++y)
+    for (int x = region.x0; x <= region.x1; ++x)
+      EXPECT_GE(out.at(x, y), terrain.at(x, y));
+}
+
+TEST(MaskingKernel, OnlyRegionCellsWritten) {
+  const Grid terrain(64, 64, 10.0);
+  Grid out(64, 64, -7.0);
+  KernelScratch scratch;
+  const GroundThreat t = center_threat(32, 32, 20.0, 5);
+  compute_threat_masking(terrain, t, out, scratch);
+  const Region region = threat_region(terrain, t);
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x)
+      if (!region.contains(x, y)) {
+        EXPECT_DOUBLE_EQ(out.at(x, y), -7.0);
+      }
+}
+
+TEST(MaskingKernel, ClippedRegionAtEdgeWorks) {
+  const Grid terrain = generate_terrain(4, 40, 40, 500.0);
+  Grid out(40, 40, 0.0);
+  KernelScratch scratch;
+  const GroundThreat t = center_threat(1, 1, 15.0, 8);
+  const std::uint64_t cells = compute_threat_masking(terrain, t, out, scratch);
+  const Region region = threat_region(terrain, t);
+  EXPECT_EQ(cells, static_cast<std::uint64_t>(region.cell_count()));
+}
+
+TEST(MaskingKernel, DeterministicAcrossCalls) {
+  const Grid terrain = generate_terrain(3, 48, 48, 600.0);
+  const GroundThreat t = center_threat(20, 25, 18.0, 12);
+  Grid out1(48, 48, 0.0), out2(48, 48, 0.0);
+  KernelScratch s1, s2;
+  compute_threat_masking(terrain, t, out1, s1);
+  compute_threat_masking(terrain, t, out2, s2);
+  EXPECT_TRUE(out1 == out2);
+}
+
+TEST(MaskingKernel, HigherSensorSeesMore) {
+  const Grid terrain = generate_terrain(17, 48, 48, 600.0);
+  Grid low(48, 48, 0.0), high(48, 48, 0.0);
+  KernelScratch scratch;
+  compute_threat_masking(terrain, center_threat(24, 24, 5.0, 15), low, scratch);
+  compute_threat_masking(terrain, center_threat(24, 24, 80.0, 15), high,
+                         scratch);
+  // A higher sensor shrinks shadows: masking altitudes can only drop.
+  const Region region = threat_region(terrain, center_threat(24, 24, 5.0, 15));
+  for (int y = region.y0; y <= region.y1; ++y)
+    for (int x = region.x0; x <= region.x1; ++x)
+      EXPECT_LE(high.at(x, y), low.at(x, y) + 1e-9);
+}
+
+TEST(EvaluateCell, ShadowLineFormula) {
+  const Grid terrain(8, 8, 0.0);
+  GroundThreat t = center_threat(0, 0, 10.0, 7);
+  // Parent slope 0.5: at distance 4 the shadow reaches 10 + 4*0.5 = 12.
+  const CellResult r = evaluate_cell(terrain, t, 10.0, 4, 0, 0.5);
+  EXPECT_DOUBLE_EQ(r.masking, 12.0);
+  // Flat ground below the sensor keeps the slope at the parent's value.
+  EXPECT_DOUBLE_EQ(r.slope, 0.5);
+}
+
+TEST(EvaluateCell, TerrainAboveShadowLineRaisesSlope) {
+  Grid terrain(8, 8, 0.0);
+  terrain.at(4, 0) = 100.0;
+  GroundThreat t = center_threat(0, 0, 10.0, 7);
+  const CellResult r = evaluate_cell(terrain, t, 10.0, 4, 0, 0.5);
+  EXPECT_DOUBLE_EQ(r.masking, 100.0);  // ground dominates the shadow line
+  EXPECT_DOUBLE_EQ(r.slope, (100.0 - 10.0) / 4.0);
+}
+
+}  // namespace
+}  // namespace tc3i::c3i::terrain

@@ -1,0 +1,214 @@
+#include "c3i/threat/physics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "c3i/threat/scenario_gen.hpp"
+
+namespace tc3i::c3i::threat {
+namespace {
+
+Threat simple_threat() {
+  Threat t;
+  t.launch_pos = {0.0, 0.0, 0.0};
+  t.impact_pos = {100'000.0, 0.0, 0.0};
+  t.launch_time = 10.0;
+  t.flight_time = 200.0;
+  t.apex_altitude = 40'000.0;
+  t.detect_time = 20.0;
+  return t;
+}
+
+Weapon capable_weapon() {
+  Weapon w;
+  w.pos = {50'000.0, 0.0, 0.0};
+  w.interceptor_speed = 3000.0;
+  w.max_range = 80'000.0;
+  w.min_intercept_alt = 5'000.0;
+  w.max_intercept_alt = 45'000.0;
+  w.reaction_time = 5.0;
+  return w;
+}
+
+TEST(ThreatPosition, EndpointsAndApex) {
+  const Threat t = simple_threat();
+  const Vec3 start = threat_position(t, t.launch_time);
+  EXPECT_DOUBLE_EQ(start.x, 0.0);
+  EXPECT_DOUBLE_EQ(start.z, 0.0);
+  const Vec3 end = threat_position(t, t.impact_time());
+  EXPECT_DOUBLE_EQ(end.x, 100'000.0);
+  EXPECT_DOUBLE_EQ(end.z, 0.0);
+  const Vec3 apex = threat_position(t, t.launch_time + t.flight_time / 2.0);
+  EXPECT_DOUBLE_EQ(apex.z, 40'000.0);
+  EXPECT_DOUBLE_EQ(apex.x, 50'000.0);
+}
+
+TEST(ThreatPosition, AltitudeIsSymmetricAboutApex) {
+  const Threat t = simple_threat();
+  for (double frac : {0.1, 0.25, 0.4}) {
+    const double za =
+        threat_position(t, t.launch_time + frac * t.flight_time).z;
+    const double zb =
+        threat_position(t, t.launch_time + (1.0 - frac) * t.flight_time).z;
+    EXPECT_NEAR(za, zb, 1e-6);
+  }
+}
+
+TEST(Distance, Euclidean) {
+  EXPECT_DOUBLE_EQ(distance({0, 0, 0}, {3, 4, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(CanIntercept, RejectsOutsideFlightWindow) {
+  const Threat t = simple_threat();
+  const Weapon w = capable_weapon();
+  EXPECT_FALSE(can_intercept(w, t, t.launch_time - 1.0));
+  EXPECT_FALSE(can_intercept(w, t, t.impact_time() + 1.0));
+}
+
+TEST(CanIntercept, RejectsBelowAltitudeFloor) {
+  const Threat t = simple_threat();
+  const Weapon w = capable_weapon();
+  // Just after launch the threat is below min_intercept_alt.
+  EXPECT_FALSE(can_intercept(w, t, t.launch_time + 1.0));
+}
+
+TEST(CanIntercept, RejectsAboveCeiling) {
+  Threat t = simple_threat();
+  t.apex_altitude = 200'000.0;  // apex far above the weapon's ceiling
+  const Weapon w = capable_weapon();
+  EXPECT_FALSE(can_intercept(w, t, t.launch_time + t.flight_time / 2.0));
+}
+
+TEST(CanIntercept, RejectsOutOfRange) {
+  const Threat t = simple_threat();
+  Weapon w = capable_weapon();
+  w.pos.y = 500'000.0;  // far to the side
+  for (double frac : {0.2, 0.5, 0.8})
+    EXPECT_FALSE(can_intercept(w, t, t.launch_time + frac * t.flight_time));
+}
+
+TEST(CanIntercept, RejectsBeforeFlyOutFeasible) {
+  const Threat t = simple_threat();
+  Weapon w = capable_weapon();
+  w.interceptor_speed = 100.0;  // glacial: fly-out takes hundreds of seconds
+  // Mid-flight the threat is ~up to 64km from the weapon: fly-out ~640s,
+  // far beyond the remaining flight time.
+  EXPECT_FALSE(can_intercept(w, t, t.launch_time + 0.5 * t.flight_time));
+}
+
+TEST(CanIntercept, AcceptsMidFlightForCapableWeapon) {
+  const Threat t = simple_threat();
+  const Weapon w = capable_weapon();
+  EXPECT_TRUE(can_intercept(w, t, t.launch_time + 0.5 * t.flight_time));
+}
+
+TEST(ScanPair, IntervalsAreWithinScanWindow) {
+  const Threat t = simple_threat();
+  const Weapon w = capable_weapon();
+  const PairScan scan = scan_pair(t, 0, w, 0, 0.5);
+  ASSERT_FALSE(scan.intervals.empty());
+  for (const auto& iv : scan.intervals) {
+    EXPECT_GE(iv.t_begin, t.detect_time);
+    EXPECT_LE(iv.t_end, t.impact_time());
+    EXPECT_LE(iv.t_begin, iv.t_end);
+  }
+}
+
+TEST(ScanPair, CountsOneStepPerSample) {
+  const Threat t = simple_threat();
+  const Weapon w = capable_weapon();
+  const PairScan scan = scan_pair(t, 0, w, 0, 0.5);
+  const auto expected =
+      static_cast<std::uint64_t>((t.impact_time() - t.detect_time) / 0.5) + 1;
+  EXPECT_NEAR(static_cast<double>(scan.steps), static_cast<double>(expected),
+              1.0);
+}
+
+TEST(ScanPair, NoIntervalsForHopelessWeapon) {
+  const Threat t = simple_threat();
+  Weapon w = capable_weapon();
+  w.max_range = 10.0;
+  const PairScan scan = scan_pair(t, 3, w, 4, 0.5);
+  EXPECT_TRUE(scan.intervals.empty());
+  EXPECT_GT(scan.steps, 0u);
+}
+
+TEST(ScanPair, AltitudeWindowSplitsIntoTwoIntervals) {
+  // A weapon whose ceiling is below the apex: interceptable on ascent and
+  // again on descent — the "zero, one, or more intervals" property.
+  Threat t = simple_threat();
+  t.apex_altitude = 60'000.0;
+  Weapon w = capable_weapon();
+  w.max_intercept_alt = 30'000.0;
+  w.min_intercept_alt = 10'000.0;
+  w.max_range = 300'000.0;
+  w.interceptor_speed = 10'000.0;
+  const PairScan scan = scan_pair(t, 0, 0 == 0 ? w : w, 0, 0.25);
+  EXPECT_EQ(scan.intervals.size(), 2u);
+  EXPECT_LT(scan.intervals[0].t_end, scan.intervals[1].t_begin);
+}
+
+TEST(ScanPair, MaximalityAtEveryBoundary) {
+  const Threat t = simple_threat();
+  const Weapon w = capable_weapon();
+  const double dt = 0.5;
+  const PairScan scan = scan_pair(t, 0, w, 0, dt);
+  for (const auto& iv : scan.intervals) {
+    EXPECT_TRUE(can_intercept(w, t, iv.t_begin));
+    EXPECT_TRUE(can_intercept(w, t, iv.t_end));
+    if (iv.t_begin - dt >= t.detect_time) {
+      EXPECT_FALSE(can_intercept(w, t, iv.t_begin - dt));
+    }
+    if (iv.t_end + dt <= t.impact_time()) {
+      EXPECT_FALSE(can_intercept(w, t, iv.t_end + dt));
+    }
+  }
+}
+
+TEST(IntervalLess, CanonicalOrdering) {
+  const Interval a{0, 0, 1.0, 2.0};
+  const Interval b{0, 1, 0.0, 1.0};
+  const Interval c{1, 0, 0.0, 1.0};
+  EXPECT_TRUE(interval_less(a, b));
+  EXPECT_TRUE(interval_less(b, c));
+  EXPECT_FALSE(interval_less(c, a));
+  EXPECT_FALSE(interval_less(a, a));
+}
+
+class ScenarioPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScenarioPropertyTest, GeneratedScenariosAreWellFormed) {
+  ScenarioParams params;
+  params.num_threats = 50;
+  params.num_weapons = 8;
+  const Scenario s = generate_scenario(GetParam(), params);
+  EXPECT_EQ(s.threats.size(), 50u);
+  EXPECT_EQ(s.weapons.size(), 8u);
+  for (const auto& t : s.threats) {
+    EXPECT_GT(t.flight_time, 0.0);
+    EXPECT_GE(t.detect_time, t.launch_time);
+    EXPECT_LT(t.detect_time, t.impact_time());
+    EXPECT_GT(t.apex_altitude, 0.0);
+  }
+  for (const auto& w : s.weapons) {
+    EXPECT_GT(w.interceptor_speed, 0.0);
+    EXPECT_GT(w.max_range, 0.0);
+    EXPECT_LT(w.min_intercept_alt, w.max_intercept_alt);
+  }
+}
+
+TEST_P(ScenarioPropertyTest, GenerationIsDeterministic) {
+  const Scenario a = generate_scenario(GetParam());
+  const Scenario b = generate_scenario(GetParam());
+  ASSERT_EQ(a.threats.size(), b.threats.size());
+  for (std::size_t i = 0; i < a.threats.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.threats[i].launch_pos.x, b.threats[i].launch_pos.x);
+    EXPECT_DOUBLE_EQ(a.threats[i].flight_time, b.threats[i].flight_time);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScenarioPropertyTest,
+                         ::testing::Values(1, 42, 1998, 0xC3));
+
+}  // namespace
+}  // namespace tc3i::c3i::threat

@@ -1,0 +1,176 @@
+// All Threat Analysis program variants must agree with the sequential
+// reference (Program 1); the chunked variant bit-for-bit in order, the
+// fine-grained variant as a multiset (its order races by design).
+#include <gtest/gtest.h>
+
+#include "c3i/threat/checker.hpp"
+#include "c3i/threat/chunked.hpp"
+#include "c3i/threat/finegrained.hpp"
+#include "c3i/threat/scenario_gen.hpp"
+#include "c3i/threat/sequential.hpp"
+
+namespace tc3i::c3i::threat {
+namespace {
+
+Scenario small_scenario(std::uint64_t seed = 7) {
+  ScenarioParams params;
+  params.num_threats = 60;
+  params.num_weapons = 6;
+  params.dt = 1.0;
+  return generate_scenario(seed, params);
+}
+
+TEST(SequentialThreat, ProducesIntervalsAndValidates) {
+  const Scenario s = small_scenario();
+  const AnalysisResult r = run_sequential(s);
+  EXPECT_GT(r.intervals.size(), 0u);
+  EXPECT_GT(r.steps, 0u);
+  const CheckResult check = validate_intervals(s, r.intervals);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(SequentialThreat, IntervalsOrderedThreatMajor) {
+  const Scenario s = small_scenario();
+  const AnalysisResult r = run_sequential(s);
+  for (std::size_t i = 1; i < r.intervals.size(); ++i) {
+    const auto& prev = r.intervals[i - 1];
+    const auto& cur = r.intervals[i];
+    EXPECT_FALSE(interval_less(cur, prev));
+  }
+}
+
+struct ChunkCase {
+  int chunks;
+  int threads;
+};
+
+class ChunkedEquivalenceTest : public ::testing::TestWithParam<ChunkCase> {};
+
+TEST_P(ChunkedEquivalenceTest, MatchesSequentialExactlyInOrder) {
+  const Scenario s = small_scenario();
+  const AnalysisResult ref = run_sequential(s);
+  const auto [chunks, threads] = GetParam();
+  const AnalysisResult got = run_chunked(s, chunks, threads);
+  EXPECT_EQ(got.steps, ref.steps);
+  const CheckResult check =
+      check_against_reference(ref.intervals, got.intervals,
+                              /*order_sensitive=*/true);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ChunkedEquivalenceTest,
+    ::testing::Values(ChunkCase{1, 1}, ChunkCase{4, 1}, ChunkCase{4, 4},
+                      ChunkCase{16, 4}, ChunkCase{60, 8}, ChunkCase{7, 3},
+                      ChunkCase{13, 2}),
+    [](const auto& info) {
+      return "chunks" + std::to_string(info.param.chunks) + "_threads" +
+             std::to_string(info.param.threads);
+    });
+
+TEST(ChunkedThreat, MoreChunksThanThreatsStillCorrect) {
+  const Scenario s = small_scenario();
+  const AnalysisResult ref = run_sequential(s);
+  const AnalysisResult got = run_chunked(s, 100, 4);
+  EXPECT_TRUE(check_against_reference(ref.intervals, got.intervals, true).ok);
+}
+
+class FinegrainedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FinegrainedTest, MatchesSequentialAsMultiset) {
+  const Scenario s = small_scenario();
+  const AnalysisResult ref = run_sequential(s);
+  const AnalysisResult got = run_finegrained(s, GetParam());
+  EXPECT_EQ(got.steps, ref.steps);
+  const CheckResult check =
+      check_against_reference(ref.intervals, got.intervals,
+                              /*order_sensitive=*/false);
+  EXPECT_TRUE(check.ok) << check.message;
+  const CheckResult sem = validate_intervals(s, got.intervals);
+  EXPECT_TRUE(sem.ok) << sem.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, FinegrainedTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(Checker, DetectsCountMismatch) {
+  const Scenario s = small_scenario();
+  const AnalysisResult ref = run_sequential(s);
+  std::vector<Interval> truncated = ref.intervals;
+  truncated.pop_back();
+  EXPECT_FALSE(check_against_reference(ref.intervals, truncated, true).ok);
+}
+
+TEST(Checker, DetectsValueCorruption) {
+  const Scenario s = small_scenario();
+  const AnalysisResult ref = run_sequential(s);
+  std::vector<Interval> corrupted = ref.intervals;
+  corrupted[corrupted.size() / 2].t_end += 1000.0;
+  EXPECT_FALSE(check_against_reference(ref.intervals, corrupted, true).ok);
+  EXPECT_FALSE(check_against_reference(ref.intervals, corrupted, false).ok);
+}
+
+TEST(Checker, OrderInsensitiveAcceptsShuffle) {
+  const Scenario s = small_scenario();
+  const AnalysisResult ref = run_sequential(s);
+  std::vector<Interval> shuffled = ref.intervals;
+  std::reverse(shuffled.begin(), shuffled.end());
+  EXPECT_FALSE(check_against_reference(ref.intervals, shuffled, true).ok);
+  EXPECT_TRUE(check_against_reference(ref.intervals, shuffled, false).ok);
+}
+
+TEST(Checker, ValidateCatchesIdOutOfRange) {
+  const Scenario s = small_scenario();
+  std::vector<Interval> bad = {
+      Interval{static_cast<std::int32_t>(s.threats.size()), 0, 1.0, 2.0}};
+  EXPECT_FALSE(validate_intervals(s, bad).ok);
+}
+
+TEST(Checker, ValidateCatchesInvertedInterval) {
+  const Scenario s = small_scenario();
+  const AnalysisResult ref = run_sequential(s);
+  ASSERT_FALSE(ref.intervals.empty());
+  std::vector<Interval> bad = {ref.intervals[0]};
+  std::swap(bad[0].t_begin, bad[0].t_end);
+  if (bad[0].t_begin == bad[0].t_end) GTEST_SKIP();
+  EXPECT_FALSE(validate_intervals(s, bad).ok);
+}
+
+TEST(Checker, ValidateCatchesNonMaximalInterval) {
+  const Scenario s = small_scenario();
+  const AnalysisResult ref = run_sequential(s);
+  // Find an interval with at least two samples and shrink it: the new
+  // endpoint is feasible but not maximal.
+  for (const auto& iv : ref.intervals) {
+    if (iv.t_end - iv.t_begin >= 2.0 * s.dt) {
+      Interval shrunk = iv;
+      shrunk.t_end -= s.dt;
+      EXPECT_FALSE(validate_intervals(s, {shrunk}).ok);
+      return;
+    }
+  }
+  GTEST_SKIP() << "no multi-step interval in this scenario";
+}
+
+TEST(Profile, TotalsMatchSequentialRun) {
+  const Scenario s = small_scenario();
+  const AnalysisResult ref = run_sequential(s);
+  const PairProfile prof = profile(s);
+  EXPECT_EQ(prof.total_steps(), ref.steps);
+  EXPECT_EQ(prof.total_intervals(), ref.intervals.size());
+  EXPECT_EQ(prof.num_threats, s.threats.size());
+  EXPECT_EQ(prof.num_weapons, s.weapons.size());
+}
+
+TEST(Profile, PerPairCountsAreConsistent) {
+  const Scenario s = small_scenario();
+  const PairProfile prof = profile(s);
+  std::uint64_t steps = 0;
+  for (std::size_t t = 0; t < prof.num_threats; ++t)
+    for (std::size_t w = 0; w < prof.num_weapons; ++w)
+      steps += prof.steps_at(t, w);
+  EXPECT_EQ(steps, prof.total_steps());
+}
+
+}  // namespace
+}  // namespace tc3i::c3i::threat

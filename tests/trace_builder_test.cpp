@@ -1,0 +1,192 @@
+// The trace builders are the bridge between the real kernels and the
+// machine models: their totals must agree with the profiles, their
+// structures with the programs they replay.
+#include <gtest/gtest.h>
+
+#include "c3i/terrain/scenario_gen.hpp"
+#include "c3i/terrain/sequential.hpp"
+#include "c3i/terrain/trace_builder.hpp"
+#include "c3i/threat/scenario_gen.hpp"
+#include "c3i/threat/sequential.hpp"
+#include "c3i/threat/trace_builder.hpp"
+#include "mta/machine.hpp"
+
+namespace tc3i::c3i {
+namespace {
+
+threat::PairProfile small_threat_profile() {
+  threat::ScenarioParams params;
+  params.num_threats = 24;
+  params.num_weapons = 4;
+  params.dt = 2.0;
+  return threat::profile(threat::generate_scenario(3, params));
+}
+
+terrain::TerrainProfile small_terrain_profile() {
+  terrain::ScenarioParams params;
+  params.x_size = 80;
+  params.y_size = 80;
+  params.num_threats = 8;
+  return terrain::profile(terrain::generate_geometry(3, params));
+}
+
+mta::MtaConfig small_mta() {
+  mta::MtaConfig cfg;
+  cfg.memory_words = 1u << 16;
+  return cfg;
+}
+
+TEST(ThreatTraces, ChunkedTotalsEqualSequentialPlusPrologues) {
+  const auto profile = small_threat_profile();
+  const ThreatCosts costs = default_threat_costs();
+  const sim::ThreadTrace seq = threat::build_sequential_trace(profile, costs);
+  for (const std::size_t chunks : {1u, 4u, 7u, 24u}) {
+    const sim::WorkloadTrace w =
+        threat::build_chunked_workload(profile, chunks, costs);
+    EXPECT_EQ(w.threads.size(), chunks);
+    EXPECT_EQ(w.total_ops(), seq.total_ops() + chunks * costs.chunk_prologue_alu);
+    EXPECT_EQ(w.total_bytes(), seq.total_bytes());
+    EXPECT_EQ(w.validate(), "");
+  }
+}
+
+TEST(ThreatTraces, SequentialTraceMatchesProfileFormula) {
+  const auto profile = small_threat_profile();
+  const ThreatCosts costs = default_threat_costs();
+  const sim::ThreadTrace seq = threat::build_sequential_trace(profile, costs);
+  const std::uint64_t expected_ops =
+      profile.total_steps() * costs.ops_per_step() +
+      profile.total_intervals() * (costs.alu_per_interval + costs.mem_per_interval);
+  EXPECT_EQ(seq.total_ops(), expected_ops);
+}
+
+TEST(ThreatTraces, MtaChunkedInstructionsMatchTraceOps) {
+  const auto profile = small_threat_profile();
+  const ThreatCosts costs = default_threat_costs();
+  mta::Machine machine(small_mta());
+  mta::ProgramPool pool;
+  threat::build_mta_chunked(pool, machine, profile, 6, costs);
+  const auto result = machine.run();
+  const sim::WorkloadTrace w = threat::build_chunked_workload(profile, 6, costs);
+  // Each stream issues its trace ops plus one Quit.
+  EXPECT_EQ(result.instructions_issued, w.total_ops() + 6);
+  EXPECT_EQ(result.streams_completed, 6u);
+}
+
+TEST(ThreatTraces, MtaSequentialInstructionCount) {
+  const auto profile = small_threat_profile();
+  const ThreatCosts costs = default_threat_costs();
+  mta::Machine machine(small_mta());
+  mta::ProgramPool pool;
+  threat::build_mta_sequential(pool, machine, profile, costs);
+  const auto result = machine.run();
+  const sim::ThreadTrace seq = threat::build_sequential_trace(profile, costs);
+  EXPECT_EQ(result.instructions_issued, seq.total_ops() + 1);  // + Quit
+}
+
+TEST(ThreatTraces, MtaFinegrainedCompletesOneStreamPerThreat) {
+  const auto profile = small_threat_profile();
+  mta::Machine machine(small_mta());
+  mta::ProgramPool pool;
+  threat::build_mta_finegrained(pool, machine, profile,
+                                default_threat_costs());
+  const auto result = machine.run();
+  EXPECT_EQ(result.streams_completed, profile.num_threats);
+  EXPECT_TRUE(machine.memory().is_full(0));  // counter cell released
+}
+
+TEST(TerrainTraces, SequentialTraceMatchesProfileFormula) {
+  const auto profile = small_terrain_profile();
+  const TerrainCosts costs = default_terrain_costs();
+  const sim::ThreadTrace seq = terrain::build_sequential_trace(profile, costs);
+  const std::uint64_t expected =
+      profile.total_kernel_cells() * costs.ops_per_kernel_cell() +
+      profile.total_simple_cells() * costs.ops_per_simple_cell();
+  EXPECT_EQ(seq.total_ops(), expected);
+}
+
+TEST(TerrainTraces, InitTraceCoversWholeTerrain) {
+  const auto profile = small_terrain_profile();
+  const TerrainCosts costs = default_terrain_costs();
+  const sim::ThreadTrace init = terrain::build_init_trace(profile, costs);
+  EXPECT_EQ(init.total_ops(), 80u * 80u * costs.ops_per_simple_cell());
+}
+
+TEST(TerrainTraces, CoarsePoolHasOneTaskPerThreatAndValidLocks) {
+  const auto profile = small_terrain_profile();
+  const smp::PoolWorkload pool =
+      terrain::build_coarse_pool(profile, 4, 10, default_terrain_costs());
+  EXPECT_EQ(pool.tasks.size(), profile.threats.size());
+  EXPECT_EQ(pool.num_locks, 100);
+  EXPECT_EQ(pool.validate(), "");
+}
+
+TEST(TerrainTraces, CoarsePoolDoesFewerSimplePassesThanSequential) {
+  const auto profile = small_terrain_profile();
+  const TerrainCosts costs = default_terrain_costs();
+  const sim::ThreadTrace seq = terrain::build_sequential_trace(profile, costs);
+  const smp::PoolWorkload pool =
+      terrain::build_coarse_pool(profile, 4, 10, costs);
+  // The role swap saves one simple pass per threat: coarse ops are lower
+  // (modulo small per-block bookkeeping).
+  EXPECT_LT(pool.total_ops(), seq.total_ops());
+}
+
+TEST(TerrainTraces, StaticAndPoolTotalsMatch) {
+  const auto profile = small_terrain_profile();
+  const TerrainCosts costs = default_terrain_costs();
+  const smp::PoolWorkload pool = terrain::build_coarse_pool(profile, 4, 10, costs);
+  const sim::WorkloadTrace stat =
+      terrain::build_coarse_static(profile, 4, 10, costs);
+  EXPECT_EQ(stat.total_ops(), pool.total_ops());
+  EXPECT_EQ(stat.total_bytes(), pool.total_bytes());
+  EXPECT_EQ(stat.validate(), "");
+}
+
+TEST(TerrainTraces, MtaSequentialRunsToCompletion) {
+  const auto profile = small_terrain_profile();
+  mta::Machine machine(small_mta());
+  mta::ProgramPool pool;
+  terrain::build_mta_sequential(pool, machine, profile,
+                                default_terrain_costs());
+  const auto result = machine.run();
+  EXPECT_EQ(result.streams_completed, 1u);
+  const sim::ThreadTrace seq =
+      terrain::build_sequential_trace(profile, default_terrain_costs());
+  const sim::ThreadTrace init =
+      terrain::build_init_trace(profile, default_terrain_costs());
+  EXPECT_EQ(result.instructions_issued,
+            seq.total_ops() + init.total_ops() + 1);
+}
+
+TEST(TerrainTraces, MtaFinegrainedCompletesWithoutDeadlock) {
+  const auto profile = small_terrain_profile();
+  mta::Machine machine(small_mta());
+  mta::ProgramPool pool;
+  terrain::build_mta_finegrained(pool, machine, profile,
+                                 default_terrain_costs());
+  const auto result = machine.run();
+  EXPECT_GT(result.streams_completed, profile.threats.size());
+  EXPECT_GT(result.spawns, 0u);
+}
+
+TEST(TerrainTraces, MtaFinegrainedFasterThanSequentialSim) {
+  const auto profile = small_terrain_profile();
+  const TerrainCosts costs = default_terrain_costs();
+  auto run_seq = [&] {
+    mta::Machine machine(small_mta());
+    mta::ProgramPool pool;
+    terrain::build_mta_sequential(pool, machine, profile, costs);
+    return machine.run().cycles;
+  };
+  auto run_fine = [&] {
+    mta::Machine machine(small_mta());
+    mta::ProgramPool pool;
+    terrain::build_mta_finegrained(pool, machine, profile, costs);
+    return machine.run().cycles;
+  };
+  EXPECT_LT(run_fine() * 4, run_seq());  // at least 4x on this small case
+}
+
+}  // namespace
+}  // namespace tc3i::c3i
