@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_finegrain_smp.dir/ablate_finegrain_smp.cpp.o"
+  "CMakeFiles/ablate_finegrain_smp.dir/ablate_finegrain_smp.cpp.o.d"
+  "ablate_finegrain_smp"
+  "ablate_finegrain_smp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_finegrain_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

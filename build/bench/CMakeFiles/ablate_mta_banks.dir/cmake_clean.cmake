@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_mta_banks.dir/ablate_mta_banks.cpp.o"
+  "CMakeFiles/ablate_mta_banks.dir/ablate_mta_banks.cpp.o.d"
+  "ablate_mta_banks"
+  "ablate_mta_banks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_mta_banks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

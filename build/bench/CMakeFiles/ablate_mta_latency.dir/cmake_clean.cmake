@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_mta_latency.dir/ablate_mta_latency.cpp.o"
+  "CMakeFiles/ablate_mta_latency.dir/ablate_mta_latency.cpp.o.d"
+  "ablate_mta_latency"
+  "ablate_mta_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_mta_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

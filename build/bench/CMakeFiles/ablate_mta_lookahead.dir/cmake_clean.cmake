@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_mta_lookahead.dir/ablate_mta_lookahead.cpp.o"
+  "CMakeFiles/ablate_mta_lookahead.dir/ablate_mta_lookahead.cpp.o.d"
+  "ablate_mta_lookahead"
+  "ablate_mta_lookahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_mta_lookahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

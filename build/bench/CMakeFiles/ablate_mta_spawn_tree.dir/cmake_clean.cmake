@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_mta_spawn_tree.dir/ablate_mta_spawn_tree.cpp.o"
+  "CMakeFiles/ablate_mta_spawn_tree.dir/ablate_mta_spawn_tree.cpp.o.d"
+  "ablate_mta_spawn_tree"
+  "ablate_mta_spawn_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_mta_spawn_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

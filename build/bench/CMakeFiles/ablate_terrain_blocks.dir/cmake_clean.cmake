@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_terrain_blocks.dir/ablate_terrain_blocks.cpp.o"
+  "CMakeFiles/ablate_terrain_blocks.dir/ablate_terrain_blocks.cpp.o.d"
+  "ablate_terrain_blocks"
+  "ablate_terrain_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_terrain_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

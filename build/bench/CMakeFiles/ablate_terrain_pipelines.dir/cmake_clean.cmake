@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_terrain_pipelines.dir/ablate_terrain_pipelines.cpp.o"
+  "CMakeFiles/ablate_terrain_pipelines.dir/ablate_terrain_pipelines.cpp.o.d"
+  "ablate_terrain_pipelines"
+  "ablate_terrain_pipelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_terrain_pipelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

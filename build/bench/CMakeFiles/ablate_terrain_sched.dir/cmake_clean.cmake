@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_terrain_sched.dir/ablate_terrain_sched.cpp.o"
+  "CMakeFiles/ablate_terrain_sched.dir/ablate_terrain_sched.cpp.o.d"
+  "ablate_terrain_sched"
+  "ablate_terrain_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_terrain_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

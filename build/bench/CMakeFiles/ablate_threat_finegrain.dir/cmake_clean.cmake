@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_threat_finegrain.dir/ablate_threat_finegrain.cpp.o"
+  "CMakeFiles/ablate_threat_finegrain.dir/ablate_threat_finegrain.cpp.o.d"
+  "ablate_threat_finegrain"
+  "ablate_threat_finegrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_threat_finegrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

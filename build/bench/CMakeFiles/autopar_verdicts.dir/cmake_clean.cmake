@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopar_verdicts.dir/autopar_verdicts.cpp.o"
+  "CMakeFiles/autopar_verdicts.dir/autopar_verdicts.cpp.o.d"
+  "autopar_verdicts"
+  "autopar_verdicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopar_verdicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_parallel.dir/host_parallel.cpp.o"
+  "CMakeFiles/host_parallel.dir/host_parallel.cpp.o.d"
+  "host_parallel"
+  "host_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mta_timeline.dir/mta_timeline.cpp.o"
+  "CMakeFiles/mta_timeline.dir/mta_timeline.cpp.o.d"
+  "mta_timeline"
+  "mta_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mta_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mta_utilization.dir/mta_utilization.cpp.o"
+  "CMakeFiles/mta_utilization.dir/mta_utilization.cpp.o.d"
+  "mta_utilization"
+  "mta_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mta_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

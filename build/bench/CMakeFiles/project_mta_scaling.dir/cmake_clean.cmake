@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/project_mta_scaling.dir/project_mta_scaling.cpp.o"
+  "CMakeFiles/project_mta_scaling.dir/project_mta_scaling.cpp.o.d"
+  "project_mta_scaling"
+  "project_mta_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/project_mta_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

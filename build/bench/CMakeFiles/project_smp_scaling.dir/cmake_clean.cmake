@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/project_smp_scaling.dir/project_smp_scaling.cpp.o"
+  "CMakeFiles/project_smp_scaling.dir/project_smp_scaling.cpp.o.d"
+  "project_smp_scaling"
+  "project_smp_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/project_smp_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

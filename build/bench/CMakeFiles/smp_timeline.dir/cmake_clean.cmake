@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smp_timeline.dir/smp_timeline.cpp.o"
+  "CMakeFiles/smp_timeline.dir/smp_timeline.cpp.o.d"
+  "smp_timeline"
+  "smp_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smp_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

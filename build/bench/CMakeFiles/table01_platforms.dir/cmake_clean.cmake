@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_platforms.dir/table01_platforms.cpp.o"
+  "CMakeFiles/table01_platforms.dir/table01_platforms.cpp.o.d"
+  "table01_platforms"
+  "table01_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

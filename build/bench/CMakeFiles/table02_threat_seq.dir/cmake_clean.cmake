@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_threat_seq.dir/table02_threat_seq.cpp.o"
+  "CMakeFiles/table02_threat_seq.dir/table02_threat_seq.cpp.o.d"
+  "table02_threat_seq"
+  "table02_threat_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_threat_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_fig1_threat_ppro.dir/table03_fig1_threat_ppro.cpp.o"
+  "CMakeFiles/table03_fig1_threat_ppro.dir/table03_fig1_threat_ppro.cpp.o.d"
+  "table03_fig1_threat_ppro"
+  "table03_fig1_threat_ppro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_fig1_threat_ppro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

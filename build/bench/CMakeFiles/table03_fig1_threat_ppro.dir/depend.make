@@ -1,0 +1,2 @@
+# Empty dependencies file for table03_fig1_threat_ppro.
+# This may be replaced when dependencies are built.

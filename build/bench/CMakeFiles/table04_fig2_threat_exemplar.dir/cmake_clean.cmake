@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_fig2_threat_exemplar.dir/table04_fig2_threat_exemplar.cpp.o"
+  "CMakeFiles/table04_fig2_threat_exemplar.dir/table04_fig2_threat_exemplar.cpp.o.d"
+  "table04_fig2_threat_exemplar"
+  "table04_fig2_threat_exemplar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_fig2_threat_exemplar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table04_fig2_threat_exemplar.
+# This may be replaced when dependencies are built.

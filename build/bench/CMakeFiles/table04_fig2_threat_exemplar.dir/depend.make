@@ -1,0 +1,2 @@
+# Empty dependencies file for table04_fig2_threat_exemplar.
+# This may be replaced when dependencies are built.

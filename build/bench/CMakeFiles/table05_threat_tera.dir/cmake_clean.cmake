@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_threat_tera.dir/table05_threat_tera.cpp.o"
+  "CMakeFiles/table05_threat_tera.dir/table05_threat_tera.cpp.o.d"
+  "table05_threat_tera"
+  "table05_threat_tera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_threat_tera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_threat_tera_chunks.dir/table06_threat_tera_chunks.cpp.o"
+  "CMakeFiles/table06_threat_tera_chunks.dir/table06_threat_tera_chunks.cpp.o.d"
+  "table06_threat_tera_chunks"
+  "table06_threat_tera_chunks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_threat_tera_chunks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

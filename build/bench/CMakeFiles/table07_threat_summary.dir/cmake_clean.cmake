@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table07_threat_summary.dir/table07_threat_summary.cpp.o"
+  "CMakeFiles/table07_threat_summary.dir/table07_threat_summary.cpp.o.d"
+  "table07_threat_summary"
+  "table07_threat_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_threat_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

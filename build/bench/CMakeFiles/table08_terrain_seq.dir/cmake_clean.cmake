@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table08_terrain_seq.dir/table08_terrain_seq.cpp.o"
+  "CMakeFiles/table08_terrain_seq.dir/table08_terrain_seq.cpp.o.d"
+  "table08_terrain_seq"
+  "table08_terrain_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table08_terrain_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table08_terrain_seq.
+# This may be replaced when dependencies are built.

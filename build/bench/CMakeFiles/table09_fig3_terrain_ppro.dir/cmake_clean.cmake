@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table09_fig3_terrain_ppro.dir/table09_fig3_terrain_ppro.cpp.o"
+  "CMakeFiles/table09_fig3_terrain_ppro.dir/table09_fig3_terrain_ppro.cpp.o.d"
+  "table09_fig3_terrain_ppro"
+  "table09_fig3_terrain_ppro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table09_fig3_terrain_ppro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table09_fig3_terrain_ppro.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_fig4_terrain_exemplar.dir/table10_fig4_terrain_exemplar.cpp.o"
+  "CMakeFiles/table10_fig4_terrain_exemplar.dir/table10_fig4_terrain_exemplar.cpp.o.d"
+  "table10_fig4_terrain_exemplar"
+  "table10_fig4_terrain_exemplar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_fig4_terrain_exemplar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

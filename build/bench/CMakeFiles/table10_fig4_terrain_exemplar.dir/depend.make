@@ -1,0 +1,2 @@
+# Empty dependencies file for table10_fig4_terrain_exemplar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_terrain_tera.dir/table11_terrain_tera.cpp.o"
+  "CMakeFiles/table11_terrain_tera.dir/table11_terrain_tera.cpp.o.d"
+  "table11_terrain_tera"
+  "table11_terrain_tera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_terrain_tera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

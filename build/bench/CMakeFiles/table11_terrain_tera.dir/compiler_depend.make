@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table11_terrain_tera.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table12_terrain_summary.dir/table12_terrain_summary.cpp.o"
+  "CMakeFiles/table12_terrain_summary.dir/table12_terrain_summary.cpp.o.d"
+  "table12_terrain_summary"
+  "table12_terrain_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table12_terrain_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libtc3i_bench_harness.a"
+  "../lib/libtc3i_bench_harness.pdb"
+  "CMakeFiles/tc3i_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/tc3i_bench_harness.dir/harness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc3i_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

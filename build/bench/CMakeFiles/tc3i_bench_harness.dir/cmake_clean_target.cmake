@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libtc3i_bench_harness.a"
+)

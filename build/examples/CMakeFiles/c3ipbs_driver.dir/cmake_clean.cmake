@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c3ipbs_driver.dir/c3ipbs_driver.cpp.o"
+  "CMakeFiles/c3ipbs_driver.dir/c3ipbs_driver.cpp.o.d"
+  "c3ipbs_driver"
+  "c3ipbs_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c3ipbs_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_report.dir/compiler_report.cpp.o"
+  "CMakeFiles/compiler_report.dir/compiler_report.cpp.o.d"
+  "compiler_report"
+  "compiler_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

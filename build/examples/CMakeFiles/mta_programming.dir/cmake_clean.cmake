@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mta_programming.dir/mta_programming.cpp.o"
+  "CMakeFiles/mta_programming.dir/mta_programming.cpp.o.d"
+  "mta_programming"
+  "mta_programming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mta_programming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terrain_masking_demo.dir/terrain_masking_demo.cpp.o"
+  "CMakeFiles/terrain_masking_demo.dir/terrain_masking_demo.cpp.o.d"
+  "terrain_masking_demo"
+  "terrain_masking_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terrain_masking_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

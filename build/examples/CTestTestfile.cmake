@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;19;tc3i_example_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_terrain_masking_demo "/root/repo/build/examples/terrain_masking_demo" "--size" "96" "--threats" "8")
+set_tests_properties(example_terrain_masking_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;20;tc3i_example_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mta_programming "/root/repo/build/examples/mta_programming")
+set_tests_properties(example_mta_programming PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;21;tc3i_example_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_compiler_report "/root/repo/build/examples/compiler_report")
+set_tests_properties(example_compiler_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;22;tc3i_example_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_c3ipbs_driver "/root/repo/build/examples/c3ipbs_driver" "--scale" "small" "--threads" "2")
+set_tests_properties(example_c3ipbs_driver PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;23;tc3i_example_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_make_dataset "/root/repo/build/examples/make_dataset" "--threats" "30" "--size" "64")
+set_tests_properties(example_make_dataset PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;24;tc3i_example_test;/root/repo/examples/CMakeLists.txt;0;")

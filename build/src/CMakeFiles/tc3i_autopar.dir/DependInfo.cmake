@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autopar/dependence.cpp" "src/CMakeFiles/tc3i_autopar.dir/autopar/dependence.cpp.o" "gcc" "src/CMakeFiles/tc3i_autopar.dir/autopar/dependence.cpp.o.d"
+  "/root/repo/src/autopar/expr.cpp" "src/CMakeFiles/tc3i_autopar.dir/autopar/expr.cpp.o" "gcc" "src/CMakeFiles/tc3i_autopar.dir/autopar/expr.cpp.o.d"
+  "/root/repo/src/autopar/ir.cpp" "src/CMakeFiles/tc3i_autopar.dir/autopar/ir.cpp.o" "gcc" "src/CMakeFiles/tc3i_autopar.dir/autopar/ir.cpp.o.d"
+  "/root/repo/src/autopar/parallelizer.cpp" "src/CMakeFiles/tc3i_autopar.dir/autopar/parallelizer.cpp.o" "gcc" "src/CMakeFiles/tc3i_autopar.dir/autopar/parallelizer.cpp.o.d"
+  "/root/repo/src/autopar/programs.cpp" "src/CMakeFiles/tc3i_autopar.dir/autopar/programs.cpp.o" "gcc" "src/CMakeFiles/tc3i_autopar.dir/autopar/programs.cpp.o.d"
+  "/root/repo/src/autopar/remedies.cpp" "src/CMakeFiles/tc3i_autopar.dir/autopar/remedies.cpp.o" "gcc" "src/CMakeFiles/tc3i_autopar.dir/autopar/remedies.cpp.o.d"
+  "/root/repo/src/autopar/report.cpp" "src/CMakeFiles/tc3i_autopar.dir/autopar/report.cpp.o" "gcc" "src/CMakeFiles/tc3i_autopar.dir/autopar/report.cpp.o.d"
+  "/root/repo/src/autopar/scalar_analysis.cpp" "src/CMakeFiles/tc3i_autopar.dir/autopar/scalar_analysis.cpp.o" "gcc" "src/CMakeFiles/tc3i_autopar.dir/autopar/scalar_analysis.cpp.o.d"
+  "/root/repo/src/autopar/transform.cpp" "src/CMakeFiles/tc3i_autopar.dir/autopar/transform.cpp.o" "gcc" "src/CMakeFiles/tc3i_autopar.dir/autopar/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tc3i_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

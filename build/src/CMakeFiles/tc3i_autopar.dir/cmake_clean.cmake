@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc3i_autopar.dir/autopar/dependence.cpp.o"
+  "CMakeFiles/tc3i_autopar.dir/autopar/dependence.cpp.o.d"
+  "CMakeFiles/tc3i_autopar.dir/autopar/expr.cpp.o"
+  "CMakeFiles/tc3i_autopar.dir/autopar/expr.cpp.o.d"
+  "CMakeFiles/tc3i_autopar.dir/autopar/ir.cpp.o"
+  "CMakeFiles/tc3i_autopar.dir/autopar/ir.cpp.o.d"
+  "CMakeFiles/tc3i_autopar.dir/autopar/parallelizer.cpp.o"
+  "CMakeFiles/tc3i_autopar.dir/autopar/parallelizer.cpp.o.d"
+  "CMakeFiles/tc3i_autopar.dir/autopar/programs.cpp.o"
+  "CMakeFiles/tc3i_autopar.dir/autopar/programs.cpp.o.d"
+  "CMakeFiles/tc3i_autopar.dir/autopar/remedies.cpp.o"
+  "CMakeFiles/tc3i_autopar.dir/autopar/remedies.cpp.o.d"
+  "CMakeFiles/tc3i_autopar.dir/autopar/report.cpp.o"
+  "CMakeFiles/tc3i_autopar.dir/autopar/report.cpp.o.d"
+  "CMakeFiles/tc3i_autopar.dir/autopar/scalar_analysis.cpp.o"
+  "CMakeFiles/tc3i_autopar.dir/autopar/scalar_analysis.cpp.o.d"
+  "CMakeFiles/tc3i_autopar.dir/autopar/transform.cpp.o"
+  "CMakeFiles/tc3i_autopar.dir/autopar/transform.cpp.o.d"
+  "libtc3i_autopar.a"
+  "libtc3i_autopar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc3i_autopar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/c3i/cost_model.cpp" "src/CMakeFiles/tc3i_c3i.dir/c3i/cost_model.cpp.o" "gcc" "src/CMakeFiles/tc3i_c3i.dir/c3i/cost_model.cpp.o.d"
+  "/root/repo/src/c3i/io.cpp" "src/CMakeFiles/tc3i_c3i.dir/c3i/io.cpp.o" "gcc" "src/CMakeFiles/tc3i_c3i.dir/c3i/io.cpp.o.d"
+  "/root/repo/src/c3i/scenario.cpp" "src/CMakeFiles/tc3i_c3i.dir/c3i/scenario.cpp.o" "gcc" "src/CMakeFiles/tc3i_c3i.dir/c3i/scenario.cpp.o.d"
+  "/root/repo/src/c3i/suite.cpp" "src/CMakeFiles/tc3i_c3i.dir/c3i/suite.cpp.o" "gcc" "src/CMakeFiles/tc3i_c3i.dir/c3i/suite.cpp.o.d"
+  "/root/repo/src/c3i/terrain/checker.cpp" "src/CMakeFiles/tc3i_c3i.dir/c3i/terrain/checker.cpp.o" "gcc" "src/CMakeFiles/tc3i_c3i.dir/c3i/terrain/checker.cpp.o.d"
+  "/root/repo/src/c3i/terrain/coarse.cpp" "src/CMakeFiles/tc3i_c3i.dir/c3i/terrain/coarse.cpp.o" "gcc" "src/CMakeFiles/tc3i_c3i.dir/c3i/terrain/coarse.cpp.o.d"
+  "/root/repo/src/c3i/terrain/finegrained.cpp" "src/CMakeFiles/tc3i_c3i.dir/c3i/terrain/finegrained.cpp.o" "gcc" "src/CMakeFiles/tc3i_c3i.dir/c3i/terrain/finegrained.cpp.o.d"
+  "/root/repo/src/c3i/terrain/masking_kernel.cpp" "src/CMakeFiles/tc3i_c3i.dir/c3i/terrain/masking_kernel.cpp.o" "gcc" "src/CMakeFiles/tc3i_c3i.dir/c3i/terrain/masking_kernel.cpp.o.d"
+  "/root/repo/src/c3i/terrain/scenario_gen.cpp" "src/CMakeFiles/tc3i_c3i.dir/c3i/terrain/scenario_gen.cpp.o" "gcc" "src/CMakeFiles/tc3i_c3i.dir/c3i/terrain/scenario_gen.cpp.o.d"
+  "/root/repo/src/c3i/terrain/sequential.cpp" "src/CMakeFiles/tc3i_c3i.dir/c3i/terrain/sequential.cpp.o" "gcc" "src/CMakeFiles/tc3i_c3i.dir/c3i/terrain/sequential.cpp.o.d"
+  "/root/repo/src/c3i/terrain/terrain.cpp" "src/CMakeFiles/tc3i_c3i.dir/c3i/terrain/terrain.cpp.o" "gcc" "src/CMakeFiles/tc3i_c3i.dir/c3i/terrain/terrain.cpp.o.d"
+  "/root/repo/src/c3i/terrain/trace_builder.cpp" "src/CMakeFiles/tc3i_c3i.dir/c3i/terrain/trace_builder.cpp.o" "gcc" "src/CMakeFiles/tc3i_c3i.dir/c3i/terrain/trace_builder.cpp.o.d"
+  "/root/repo/src/c3i/threat/checker.cpp" "src/CMakeFiles/tc3i_c3i.dir/c3i/threat/checker.cpp.o" "gcc" "src/CMakeFiles/tc3i_c3i.dir/c3i/threat/checker.cpp.o.d"
+  "/root/repo/src/c3i/threat/chunked.cpp" "src/CMakeFiles/tc3i_c3i.dir/c3i/threat/chunked.cpp.o" "gcc" "src/CMakeFiles/tc3i_c3i.dir/c3i/threat/chunked.cpp.o.d"
+  "/root/repo/src/c3i/threat/finegrained.cpp" "src/CMakeFiles/tc3i_c3i.dir/c3i/threat/finegrained.cpp.o" "gcc" "src/CMakeFiles/tc3i_c3i.dir/c3i/threat/finegrained.cpp.o.d"
+  "/root/repo/src/c3i/threat/physics.cpp" "src/CMakeFiles/tc3i_c3i.dir/c3i/threat/physics.cpp.o" "gcc" "src/CMakeFiles/tc3i_c3i.dir/c3i/threat/physics.cpp.o.d"
+  "/root/repo/src/c3i/threat/scenario_gen.cpp" "src/CMakeFiles/tc3i_c3i.dir/c3i/threat/scenario_gen.cpp.o" "gcc" "src/CMakeFiles/tc3i_c3i.dir/c3i/threat/scenario_gen.cpp.o.d"
+  "/root/repo/src/c3i/threat/sequential.cpp" "src/CMakeFiles/tc3i_c3i.dir/c3i/threat/sequential.cpp.o" "gcc" "src/CMakeFiles/tc3i_c3i.dir/c3i/threat/sequential.cpp.o.d"
+  "/root/repo/src/c3i/threat/trace_builder.cpp" "src/CMakeFiles/tc3i_c3i.dir/c3i/threat/trace_builder.cpp.o" "gcc" "src/CMakeFiles/tc3i_c3i.dir/c3i/threat/trace_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tc3i_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc3i_sthreads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc3i_mta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc3i_smp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc3i_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

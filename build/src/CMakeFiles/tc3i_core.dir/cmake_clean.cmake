@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc3i_core.dir/core/chart.cpp.o"
+  "CMakeFiles/tc3i_core.dir/core/chart.cpp.o.d"
+  "CMakeFiles/tc3i_core.dir/core/cli.cpp.o"
+  "CMakeFiles/tc3i_core.dir/core/cli.cpp.o.d"
+  "CMakeFiles/tc3i_core.dir/core/rng.cpp.o"
+  "CMakeFiles/tc3i_core.dir/core/rng.cpp.o.d"
+  "CMakeFiles/tc3i_core.dir/core/stats.cpp.o"
+  "CMakeFiles/tc3i_core.dir/core/stats.cpp.o.d"
+  "CMakeFiles/tc3i_core.dir/core/table.cpp.o"
+  "CMakeFiles/tc3i_core.dir/core/table.cpp.o.d"
+  "libtc3i_core.a"
+  "libtc3i_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc3i_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

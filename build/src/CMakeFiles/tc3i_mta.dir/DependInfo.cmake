@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mta/machine.cpp" "src/CMakeFiles/tc3i_mta.dir/mta/machine.cpp.o" "gcc" "src/CMakeFiles/tc3i_mta.dir/mta/machine.cpp.o.d"
+  "/root/repo/src/mta/processor.cpp" "src/CMakeFiles/tc3i_mta.dir/mta/processor.cpp.o" "gcc" "src/CMakeFiles/tc3i_mta.dir/mta/processor.cpp.o.d"
+  "/root/repo/src/mta/runtime.cpp" "src/CMakeFiles/tc3i_mta.dir/mta/runtime.cpp.o" "gcc" "src/CMakeFiles/tc3i_mta.dir/mta/runtime.cpp.o.d"
+  "/root/repo/src/mta/stream_program.cpp" "src/CMakeFiles/tc3i_mta.dir/mta/stream_program.cpp.o" "gcc" "src/CMakeFiles/tc3i_mta.dir/mta/stream_program.cpp.o.d"
+  "/root/repo/src/mta/sync_memory.cpp" "src/CMakeFiles/tc3i_mta.dir/mta/sync_memory.cpp.o" "gcc" "src/CMakeFiles/tc3i_mta.dir/mta/sync_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tc3i_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc3i_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

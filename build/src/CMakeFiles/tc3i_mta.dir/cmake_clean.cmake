@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc3i_mta.dir/mta/machine.cpp.o"
+  "CMakeFiles/tc3i_mta.dir/mta/machine.cpp.o.d"
+  "CMakeFiles/tc3i_mta.dir/mta/processor.cpp.o"
+  "CMakeFiles/tc3i_mta.dir/mta/processor.cpp.o.d"
+  "CMakeFiles/tc3i_mta.dir/mta/runtime.cpp.o"
+  "CMakeFiles/tc3i_mta.dir/mta/runtime.cpp.o.d"
+  "CMakeFiles/tc3i_mta.dir/mta/stream_program.cpp.o"
+  "CMakeFiles/tc3i_mta.dir/mta/stream_program.cpp.o.d"
+  "CMakeFiles/tc3i_mta.dir/mta/sync_memory.cpp.o"
+  "CMakeFiles/tc3i_mta.dir/mta/sync_memory.cpp.o.d"
+  "libtc3i_mta.a"
+  "libtc3i_mta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc3i_mta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tc3i_mta.
+# This may be replaced when dependencies are built.

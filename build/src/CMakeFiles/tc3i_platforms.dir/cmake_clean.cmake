@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc3i_platforms.dir/platforms/calibration.cpp.o"
+  "CMakeFiles/tc3i_platforms.dir/platforms/calibration.cpp.o.d"
+  "CMakeFiles/tc3i_platforms.dir/platforms/experiment.cpp.o"
+  "CMakeFiles/tc3i_platforms.dir/platforms/experiment.cpp.o.d"
+  "CMakeFiles/tc3i_platforms.dir/platforms/paper.cpp.o"
+  "CMakeFiles/tc3i_platforms.dir/platforms/paper.cpp.o.d"
+  "CMakeFiles/tc3i_platforms.dir/platforms/platform.cpp.o"
+  "CMakeFiles/tc3i_platforms.dir/platforms/platform.cpp.o.d"
+  "libtc3i_platforms.a"
+  "libtc3i_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc3i_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtc3i_platforms.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tc3i_platforms.
+# This may be replaced when dependencies are built.

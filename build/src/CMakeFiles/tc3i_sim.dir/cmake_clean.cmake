@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc3i_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/tc3i_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/tc3i_sim.dir/sim/fluid.cpp.o"
+  "CMakeFiles/tc3i_sim.dir/sim/fluid.cpp.o.d"
+  "CMakeFiles/tc3i_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/tc3i_sim.dir/sim/trace.cpp.o.d"
+  "libtc3i_sim.a"
+  "libtc3i_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc3i_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc3i_smp.dir/smp/config.cpp.o"
+  "CMakeFiles/tc3i_smp.dir/smp/config.cpp.o.d"
+  "CMakeFiles/tc3i_smp.dir/smp/machine.cpp.o"
+  "CMakeFiles/tc3i_smp.dir/smp/machine.cpp.o.d"
+  "CMakeFiles/tc3i_smp.dir/smp/workload.cpp.o"
+  "CMakeFiles/tc3i_smp.dir/smp/workload.cpp.o.d"
+  "libtc3i_smp.a"
+  "libtc3i_smp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc3i_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

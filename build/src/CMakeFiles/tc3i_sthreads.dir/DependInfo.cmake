@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sthreads/barrier.cpp" "src/CMakeFiles/tc3i_sthreads.dir/sthreads/barrier.cpp.o" "gcc" "src/CMakeFiles/tc3i_sthreads.dir/sthreads/barrier.cpp.o.d"
+  "/root/repo/src/sthreads/parallel_for.cpp" "src/CMakeFiles/tc3i_sthreads.dir/sthreads/parallel_for.cpp.o" "gcc" "src/CMakeFiles/tc3i_sthreads.dir/sthreads/parallel_for.cpp.o.d"
+  "/root/repo/src/sthreads/sync_var.cpp" "src/CMakeFiles/tc3i_sthreads.dir/sthreads/sync_var.cpp.o" "gcc" "src/CMakeFiles/tc3i_sthreads.dir/sthreads/sync_var.cpp.o.d"
+  "/root/repo/src/sthreads/task_queue.cpp" "src/CMakeFiles/tc3i_sthreads.dir/sthreads/task_queue.cpp.o" "gcc" "src/CMakeFiles/tc3i_sthreads.dir/sthreads/task_queue.cpp.o.d"
+  "/root/repo/src/sthreads/thread.cpp" "src/CMakeFiles/tc3i_sthreads.dir/sthreads/thread.cpp.o" "gcc" "src/CMakeFiles/tc3i_sthreads.dir/sthreads/thread.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tc3i_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

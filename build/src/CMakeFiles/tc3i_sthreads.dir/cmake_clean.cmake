@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc3i_sthreads.dir/sthreads/barrier.cpp.o"
+  "CMakeFiles/tc3i_sthreads.dir/sthreads/barrier.cpp.o.d"
+  "CMakeFiles/tc3i_sthreads.dir/sthreads/parallel_for.cpp.o"
+  "CMakeFiles/tc3i_sthreads.dir/sthreads/parallel_for.cpp.o.d"
+  "CMakeFiles/tc3i_sthreads.dir/sthreads/sync_var.cpp.o"
+  "CMakeFiles/tc3i_sthreads.dir/sthreads/sync_var.cpp.o.d"
+  "CMakeFiles/tc3i_sthreads.dir/sthreads/task_queue.cpp.o"
+  "CMakeFiles/tc3i_sthreads.dir/sthreads/task_queue.cpp.o.d"
+  "CMakeFiles/tc3i_sthreads.dir/sthreads/thread.cpp.o"
+  "CMakeFiles/tc3i_sthreads.dir/sthreads/thread.cpp.o.d"
+  "libtc3i_sthreads.a"
+  "libtc3i_sthreads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc3i_sthreads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

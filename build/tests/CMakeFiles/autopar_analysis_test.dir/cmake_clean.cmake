@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopar_analysis_test.dir/autopar_analysis_test.cpp.o"
+  "CMakeFiles/autopar_analysis_test.dir/autopar_analysis_test.cpp.o.d"
+  "autopar_analysis_test"
+  "autopar_analysis_test.pdb"
+  "autopar_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopar_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopar_dependence_test.dir/autopar_dependence_test.cpp.o"
+  "CMakeFiles/autopar_dependence_test.dir/autopar_dependence_test.cpp.o.d"
+  "autopar_dependence_test"
+  "autopar_dependence_test.pdb"
+  "autopar_dependence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopar_dependence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

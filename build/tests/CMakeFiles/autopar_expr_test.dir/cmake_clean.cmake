@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopar_expr_test.dir/autopar_expr_test.cpp.o"
+  "CMakeFiles/autopar_expr_test.dir/autopar_expr_test.cpp.o.d"
+  "autopar_expr_test"
+  "autopar_expr_test.pdb"
+  "autopar_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopar_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopar_remedies_test.dir/autopar_remedies_test.cpp.o"
+  "CMakeFiles/autopar_remedies_test.dir/autopar_remedies_test.cpp.o.d"
+  "autopar_remedies_test"
+  "autopar_remedies_test.pdb"
+  "autopar_remedies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopar_remedies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

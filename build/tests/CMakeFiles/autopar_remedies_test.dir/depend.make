@@ -1,0 +1,2 @@
+# Empty dependencies file for autopar_remedies_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopar_transform_test.dir/autopar_transform_test.cpp.o"
+  "CMakeFiles/autopar_transform_test.dir/autopar_transform_test.cpp.o.d"
+  "autopar_transform_test"
+  "autopar_transform_test.pdb"
+  "autopar_transform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopar_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_text_test.dir/core_text_test.cpp.o"
+  "CMakeFiles/core_text_test.dir/core_text_test.cpp.o.d"
+  "core_text_test"
+  "core_text_test.pdb"
+  "core_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

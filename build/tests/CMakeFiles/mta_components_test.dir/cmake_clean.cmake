@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mta_components_test.dir/mta_components_test.cpp.o"
+  "CMakeFiles/mta_components_test.dir/mta_components_test.cpp.o.d"
+  "mta_components_test"
+  "mta_components_test.pdb"
+  "mta_components_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mta_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mta_extensions_test.dir/mta_extensions_test.cpp.o"
+  "CMakeFiles/mta_extensions_test.dir/mta_extensions_test.cpp.o.d"
+  "mta_extensions_test"
+  "mta_extensions_test.pdb"
+  "mta_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mta_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mta_fuzz_test.dir/mta_fuzz_test.cpp.o"
+  "CMakeFiles/mta_fuzz_test.dir/mta_fuzz_test.cpp.o.d"
+  "mta_fuzz_test"
+  "mta_fuzz_test.pdb"
+  "mta_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mta_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

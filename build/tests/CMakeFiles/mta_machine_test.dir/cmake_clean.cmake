@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mta_machine_test.dir/mta_machine_test.cpp.o"
+  "CMakeFiles/mta_machine_test.dir/mta_machine_test.cpp.o.d"
+  "mta_machine_test"
+  "mta_machine_test.pdb"
+  "mta_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mta_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mta_runtime_test.dir/mta_runtime_test.cpp.o"
+  "CMakeFiles/mta_runtime_test.dir/mta_runtime_test.cpp.o.d"
+  "mta_runtime_test"
+  "mta_runtime_test.pdb"
+  "mta_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mta_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mta_sync_memory_test.dir/mta_sync_memory_test.cpp.o"
+  "CMakeFiles/mta_sync_memory_test.dir/mta_sync_memory_test.cpp.o.d"
+  "mta_sync_memory_test"
+  "mta_sync_memory_test.pdb"
+  "mta_sync_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mta_sync_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regression_pin_test.dir/regression_pin_test.cpp.o"
+  "CMakeFiles/regression_pin_test.dir/regression_pin_test.cpp.o.d"
+  "regression_pin_test"
+  "regression_pin_test.pdb"
+  "regression_pin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regression_pin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaled_scenarios_test.dir/scaled_scenarios_test.cpp.o"
+  "CMakeFiles/scaled_scenarios_test.dir/scaled_scenarios_test.cpp.o.d"
+  "scaled_scenarios_test"
+  "scaled_scenarios_test.pdb"
+  "scaled_scenarios_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaled_scenarios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

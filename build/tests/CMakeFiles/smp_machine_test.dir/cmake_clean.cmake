@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smp_machine_test.dir/smp_machine_test.cpp.o"
+  "CMakeFiles/smp_machine_test.dir/smp_machine_test.cpp.o.d"
+  "smp_machine_test"
+  "smp_machine_test.pdb"
+  "smp_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smp_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

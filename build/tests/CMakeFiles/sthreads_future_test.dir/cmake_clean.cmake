@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sthreads_future_test.dir/sthreads_future_test.cpp.o"
+  "CMakeFiles/sthreads_future_test.dir/sthreads_future_test.cpp.o.d"
+  "sthreads_future_test"
+  "sthreads_future_test.pdb"
+  "sthreads_future_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sthreads_future_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

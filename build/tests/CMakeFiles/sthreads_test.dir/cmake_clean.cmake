@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sthreads_test.dir/sthreads_test.cpp.o"
+  "CMakeFiles/sthreads_test.dir/sthreads_test.cpp.o.d"
+  "sthreads_test"
+  "sthreads_test.pdb"
+  "sthreads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sthreads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

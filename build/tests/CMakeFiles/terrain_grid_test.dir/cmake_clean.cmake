@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terrain_grid_test.dir/terrain_grid_test.cpp.o"
+  "CMakeFiles/terrain_grid_test.dir/terrain_grid_test.cpp.o.d"
+  "terrain_grid_test"
+  "terrain_grid_test.pdb"
+  "terrain_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terrain_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

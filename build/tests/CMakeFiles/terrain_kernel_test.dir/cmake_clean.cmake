@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terrain_kernel_test.dir/terrain_kernel_test.cpp.o"
+  "CMakeFiles/terrain_kernel_test.dir/terrain_kernel_test.cpp.o.d"
+  "terrain_kernel_test"
+  "terrain_kernel_test.pdb"
+  "terrain_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terrain_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terrain_variants_test.dir/terrain_variants_test.cpp.o"
+  "CMakeFiles/terrain_variants_test.dir/terrain_variants_test.cpp.o.d"
+  "terrain_variants_test"
+  "terrain_variants_test.pdb"
+  "terrain_variants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terrain_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/threat_physics_test.cpp" "tests/CMakeFiles/threat_physics_test.dir/threat_physics_test.cpp.o" "gcc" "tests/CMakeFiles/threat_physics_test.dir/threat_physics_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tc3i_c3i.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc3i_sthreads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc3i_mta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc3i_smp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc3i_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc3i_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

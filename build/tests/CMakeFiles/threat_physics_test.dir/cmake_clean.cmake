@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threat_physics_test.dir/threat_physics_test.cpp.o"
+  "CMakeFiles/threat_physics_test.dir/threat_physics_test.cpp.o.d"
+  "threat_physics_test"
+  "threat_physics_test.pdb"
+  "threat_physics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threat_physics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threat_variants_test.dir/threat_variants_test.cpp.o"
+  "CMakeFiles/threat_variants_test.dir/threat_variants_test.cpp.o.d"
+  "threat_variants_test"
+  "threat_variants_test.pdb"
+  "threat_variants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threat_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
