@@ -58,7 +58,8 @@ double finegrain_smp_seconds(const platforms::Testbed& tb,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tc3i::bench::Session session("ablate_finegrain_smp", argc, argv);
   const auto& tb = bench::testbed();
 
   TextTable table(

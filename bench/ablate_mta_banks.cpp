@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "core/table.hpp"
+#include "harness.hpp"
 #include "mta/machine.hpp"
 #include "platforms/platform.hpp"
 
@@ -41,7 +42,8 @@ std::uint64_t run_strided(int stride, bool banks, bool hashed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tc3i::bench::Session session("ablate_mta_banks", argc, argv);
   TextTable table(
       "64 streams sweeping memory: cycles vs access stride and bank model");
   table.header({"Stride (words)", "Ideal interleave", "64 banks, hashed",

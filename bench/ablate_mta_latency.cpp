@@ -23,7 +23,8 @@ double chunked_time(const platforms::Testbed& tb, mta::MtaConfig cfg,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tc3i::bench::Session session("ablate_mta_latency", argc, argv);
   const auto& tb = bench::testbed();
 
   {

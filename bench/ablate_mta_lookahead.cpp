@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "core/table.hpp"
+#include "harness.hpp"
 #include "mta/machine.hpp"
 #include "platforms/platform.hpp"
 
@@ -34,7 +35,8 @@ mta::MtaRunResult run_kernel(int streams, int lookahead) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tc3i::bench::Session session("ablate_mta_lookahead", argc, argv);
   {
     TextTable table(
         "Single-stream cycles for a memory-rich kernel vs lookahead "

@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "core/table.hpp"
+#include "harness.hpp"
 #include "mta/machine.hpp"
 #include "mta/runtime.hpp"
 #include "platforms/platform.hpp"
@@ -53,7 +54,8 @@ std::uint64_t fanout_cycles(int workers, Mode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tc3i::bench::Session session("ablate_mta_spawn_tree", argc, argv);
   TextTable table(
       "Cycles to fork N trivial workers and join them (2 processors)");
   table.header({"Workers", "Serial fork+join", "Tree fork, serial join",

@@ -6,7 +6,8 @@
 
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  tc3i::bench::Session session("ablate_terrain_blocks", argc, argv);
   using namespace tc3i;
   const auto& tb = bench::testbed();
 

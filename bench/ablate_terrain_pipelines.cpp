@@ -11,7 +11,8 @@
 
 using namespace tc3i;
 
-int main() {
+int main(int argc, char** argv) {
+  tc3i::bench::Session session("ablate_terrain_pipelines", argc, argv);
   const auto& tb = bench::testbed();
 
   TextTable table(

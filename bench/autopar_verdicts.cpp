@@ -6,8 +6,10 @@
 #include "autopar/programs.hpp"
 #include "autopar/remedies.hpp"
 #include "autopar/report.hpp"
+#include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  tc3i::bench::Session session("autopar_verdicts", argc, argv);
   using namespace tc3i::autopar;
   const Parallelizer p;
 

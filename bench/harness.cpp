@@ -1,8 +1,27 @@
 #include "harness.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
+#include "core/cli.hpp"
 #include "core/contracts.hpp"
 
 namespace tc3i::bench {
+
+Session::Session(std::string bench_name, int argc, const char* const* argv) {
+  CliParser cli(bench_name);
+  obs::RunSession::add_cli_flags(cli);
+  if (!cli.parse(argc, argv)) {
+    // parse() already printed usage; --help is a clean exit, a bad flag
+    // is not.
+    for (int i = 1; i < argc; ++i)
+      if (std::strcmp(argv[i], "--help") == 0) std::exit(0);
+    std::exit(2);
+  }
+  run_ = std::make_unique<obs::RunSession>(std::move(bench_name), cli);
+}
+
+Session::~Session() = default;
 
 const platforms::Testbed& testbed() {
   static const platforms::Testbed tb = platforms::build_testbed();
@@ -15,6 +34,8 @@ void add_comparison_row(TextTable& table, const std::string& label,
   table.row({label, TextTable::num(paper_seconds, 0),
              TextTable::num(measured_seconds, 1),
              TextTable::num(measured_seconds / paper_seconds, 2)});
+  if (obs::RunSession* s = obs::RunSession::active())
+    s->report().add_row(label, paper_seconds, measured_seconds);
 }
 
 void print_speedup_figure(

@@ -1,16 +1,37 @@
 // Shared harness for the table/figure bench binaries: lazily-built
-// testbed, paper-vs-measured row formatting, and simple shape checks.
+// testbed, paper-vs-measured row formatting, per-binary observability
+// session, and simple shape checks.
 #pragma once
 
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/chart.hpp"
 #include "core/table.hpp"
+#include "obs/session.hpp"
 #include "platforms/experiment.hpp"
 #include "platforms/paper.hpp"
 
 namespace tc3i::bench {
+
+/// Standard per-binary wrapper: parses the shared observability flags
+/// (--trace-out / --report-out / --counters) and owns the obs::RunSession
+/// for the process. Construct it first thing in main(); outputs are
+/// written when it goes out of scope. Exits the process on --help or on
+/// a flag parse error.
+class Session {
+ public:
+  Session(std::string bench_name, int argc, const char* const* argv);
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  ~Session();
+
+  [[nodiscard]] obs::RunSession& obs() { return *run_; }
+
+ private:
+  std::unique_ptr<obs::RunSession> run_;
+};
 
 /// The calibrated testbed, built once per process.
 [[nodiscard]] const platforms::Testbed& testbed();

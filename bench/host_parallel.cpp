@@ -14,6 +14,7 @@
 #include "c3i/threat/scenario_gen.hpp"
 #include "c3i/threat/sequential.hpp"
 #include "core/table.hpp"
+#include "harness.hpp"
 #include "sthreads/thread.hpp"
 
 using namespace tc3i;
@@ -30,7 +31,8 @@ double seconds(F&& fn) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tc3i::bench::Session session("host_parallel", argc, argv);
   const unsigned hw = sthreads::Thread::hardware_concurrency();
   const int threads = static_cast<int>(std::min(hw, 8u));
   std::cout << "Host has " << hw << " hardware threads; using " << threads

@@ -34,7 +34,8 @@ void plot(const std::string& title, const mta::MtaRunResult& result,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tc3i::bench::Session session("mta_timeline", argc, argv);
   const auto& tb = bench::testbed();
   constexpr std::uint64_t kBucket = 10'000;
 

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "core/table.hpp"
+#include "harness.hpp"
 #include "mta/machine.hpp"
 #include "mta/runtime.hpp"
 #include "platforms/platform.hpp"
@@ -37,7 +38,8 @@ double utilization(int streams, std::uint64_t alu, std::uint64_t mem,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tc3i::bench::Session session("mta_utilization", argc, argv);
   TextTable table(
       "Single-processor utilization vs concurrent streams (Tera MTA model)");
   table.header({"Streams", "ALU-only kernel", "20% memory kernel"});

@@ -35,7 +35,8 @@ double run(const platforms::Testbed& tb, int procs, bool scalable_network,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tc3i::bench::Session session("project_mta_scaling", argc, argv);
   const auto& tb = bench::testbed();
   // Enough chunks for 16 processors x ~100 streams each would need
   // thousands of threats; the scaled scenario has 256, so we sweep with

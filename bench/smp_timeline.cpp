@@ -39,7 +39,8 @@ void plot(const std::string& title, const smp::RunResult& result) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tc3i::bench::Session session("smp_timeline", argc, argv);
   const auto& tb = bench::testbed();
 
   {

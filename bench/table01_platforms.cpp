@@ -4,7 +4,8 @@
 
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  tc3i::bench::Session session("table01_platforms", argc, argv);
   using namespace tc3i;
   const auto& tb = bench::testbed();
 

@@ -8,7 +8,8 @@
 
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  tc3i::bench::Session session("table02_threat_seq", argc, argv);
   using namespace tc3i;
   const auto& tb = bench::testbed();
 

@@ -5,7 +5,8 @@
 
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  tc3i::bench::Session session("table03_fig1_threat_ppro", argc, argv);
   using namespace tc3i;
   const auto& tb = bench::testbed();
   const double seq = platforms::threat_seq_seconds(tb, tb.ppro);

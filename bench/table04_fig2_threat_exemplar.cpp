@@ -5,7 +5,8 @@
 
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  tc3i::bench::Session session("table04_fig2_threat_exemplar", argc, argv);
   using namespace tc3i;
   const auto& tb = bench::testbed();
   const double seq = platforms::threat_seq_seconds(tb, tb.exemplar);

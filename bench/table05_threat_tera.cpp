@@ -5,7 +5,8 @@
 
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  tc3i::bench::Session session("table05_threat_tera", argc, argv);
   using namespace tc3i;
   const auto& tb = bench::testbed();
 
@@ -26,6 +27,11 @@ int main() {
                             1),
              TextTable::num(t1 / t2, 1)});
   table.render(std::cout);
+
+  session.obs().report().add_row("threat_tera_1proc",
+                                 platforms::paper::kThreatTera1Proc, t1);
+  session.obs().report().add_row("threat_tera_2proc",
+                                 platforms::paper::kThreatTera2Proc, t2);
 
   const double seq = platforms::mta_threat_seq_seconds(tb);
   std::cout << "\nMultithreaded vs sequential on one MTA processor: paper "

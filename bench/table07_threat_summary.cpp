@@ -8,7 +8,8 @@
 #include "autopar/programs.hpp"
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  tc3i::bench::Session session("table07_threat_summary", argc, argv);
   using namespace tc3i;
   const auto& tb = bench::testbed();
 

@@ -5,7 +5,8 @@
 
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  tc3i::bench::Session session("table08_terrain_seq", argc, argv);
   using namespace tc3i;
   const auto& tb = bench::testbed();
 

@@ -7,7 +7,8 @@
 
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  tc3i::bench::Session session("table09_fig3_terrain_ppro", argc, argv);
   using namespace tc3i;
   const auto& tb = bench::testbed();
   const double seq = platforms::terrain_seq_seconds(tb, tb.ppro);

@@ -5,7 +5,8 @@
 
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  tc3i::bench::Session session("table10_fig4_terrain_exemplar", argc, argv);
   using namespace tc3i;
   const auto& tb = bench::testbed();
   const double seq = platforms::terrain_seq_seconds(tb, tb.exemplar);

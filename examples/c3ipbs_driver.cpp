@@ -10,6 +10,7 @@
 #include "c3i/suite.hpp"
 #include "core/cli.hpp"
 #include "core/table.hpp"
+#include "obs/session.hpp"
 
 using namespace tc3i;
 
@@ -20,7 +21,9 @@ int main(int argc, char** argv) {
   cli.add_flag("variant", "all", "variant name, or 'all'");
   cli.add_flag("threads", "4", "host threads for parallel variants");
   cli.add_flag("scale", "medium", "'small' or 'medium'");
+  obs::RunSession::add_cli_flags(cli);
   if (!cli.parse(argc, argv)) return 1;
+  obs::RunSession obs_session("c3ipbs_driver", cli);
 
   const c3i::Scale scale =
       cli.get("scale") == "small" ? c3i::Scale::Small : c3i::Scale::Medium;

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure with strict warnings, build, run the full
+# test suite, then smoke-run one instrumented bench and validate its JSON
+# outputs. Usage: scripts/check.sh [build-dir]  (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== configure (-Wall -Wextra -Werror) =="
+cmake -B "$BUILD_DIR" -S . -DTC3I_WERROR=ON >/dev/null
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j >/dev/null
+
+echo "== ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" >/dev/null
+echo "tests passed"
+
+echo "== instrumented smoke run =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+"$BUILD_DIR"/bench/table05_threat_tera \
+    --trace-out "$SMOKE_DIR/t.json" \
+    --report-out "$SMOKE_DIR/r.json" >/dev/null
+"$BUILD_DIR"/tools/json_check "$SMOKE_DIR/t.json" "$SMOKE_DIR/r.json"
+
+# The trace must carry all four simulator event categories and the report
+# must carry comparison rows plus a populated counter snapshot.
+for cat in issue memory sync spawn; do
+  grep -q "\"cat\":\"$cat\"" "$SMOKE_DIR/t.json" ||
+    { echo "FAIL: trace missing category '$cat'"; exit 1; }
+done
+grep -q '"label":' "$SMOKE_DIR/r.json" ||
+  { echo "FAIL: report has no comparison rows"; exit 1; }
+[ "$(grep -o '"mta\.[a-z0-9_.]*":' "$SMOKE_DIR/r.json" | sort -u | wc -l)" -ge 10 ] ||
+  { echo "FAIL: report has fewer than 10 named counters"; exit 1; }
+[ -s "$SMOKE_DIR/t.csv" ] ||
+  { echo "FAIL: sibling CSV timeline missing"; exit 1; }
+
+echo "ALL CHECKS PASSED"

@@ -38,11 +38,12 @@ bool CliParser::parse(int argc, const char* const* argv) {
       value = arg.substr(eq + 1);
     } else {
       name = arg;
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "flag --%s is missing a value\n", name.c_str());
-        return false;
-      }
-      value = argv[++i];
+      // A flag at the end of the line or followed by another flag is a
+      // bare boolean switch: `--counters --trace-out t.json` works.
+      if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0)
+        value = "true";
+      else
+        value = argv[++i];
     }
     auto it = flags_.find(name);
     if (it == flags_.end()) {

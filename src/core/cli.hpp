@@ -1,6 +1,7 @@
 // Minimal command-line flag parsing for the bench and example binaries.
-// Flags are --name=value or --name value; unknown flags are an error so that
-// typos in experiment scripts fail loudly.
+// Flags are --name=value or --name value; a bare --name (at end of line or
+// followed by another flag) reads as the boolean "true". Unknown flags are
+// an error so that typos in experiment scripts fail loudly.
 #pragma once
 
 #include <cstdint>

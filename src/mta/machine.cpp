@@ -6,6 +6,7 @@
 
 #include "core/contracts.hpp"
 #include "core/rng.hpp"
+#include "obs/trace_sink.hpp"
 
 namespace tc3i::mta {
 
@@ -37,6 +38,27 @@ Machine::Machine(MtaConfig config)
     procs_.emplace_back(p, config_.streams_per_processor);
   if (config_.memory_banks > 0)
     bank_free_at_.resize(static_cast<std::size_t>(config_.memory_banks), 0.0);
+
+  obs::CounterRegistry& reg = obs::default_registry();
+  obs_.issue_total = &reg.counter("mta.issue.total");
+  obs_.issue_compute = &reg.counter("mta.issue.compute");
+  obs_.issue_memory = &reg.counter("mta.issue.memory");
+  obs_.issue_sync = &reg.counter("mta.issue.sync");
+  obs_.issue_spawn = &reg.counter("mta.issue.spawn");
+  obs_.network_ops = &reg.counter("mta.memory.network_ops");
+  obs_.sync_blocks = &reg.counter("mta.sync.blocks");
+  obs_.sync_handoffs = &reg.counter("mta.sync.handoffs");
+  obs_.spawns_hw = &reg.counter("mta.spawn.hardware");
+  obs_.spawns_sw = &reg.counter("mta.spawn.software");
+  obs_.spawns_virtualized = &reg.counter("mta.spawn.virtualized");
+  obs_.streams_completed = &reg.counter("mta.streams.completed");
+  obs_.runs = &reg.counter("mta.runs");
+  obs_.peak_live = &reg.gauge("mta.streams.peak_live");
+  obs_.run_utilization = &reg.histogram("mta.run.processor_utilization");
+  obs_.run_wall_seconds = &reg.histogram("mta.run.wall_seconds");
+  obs_.sink = obs::global_sink();
+  if (obs_.sink != nullptr)
+    obs_.pid = obs_.sink->register_track(config_.name);
 }
 
 int Machine::least_loaded_processor() const {
@@ -55,6 +77,12 @@ void Machine::add_stream(StreamProgram* program) {
   // runtime spawns: they wait for a slot.
   const int proc = least_loaded_processor();
   if (!procs_[static_cast<std::size_t>(proc)].has_free_slot()) {
+    obs_.spawns_virtualized->add();
+    // Blocking on the hardware stream resource is a synchronization wait:
+    // the spawn parks until a running stream quits and frees its slot.
+    if (obs_.sink != nullptr)
+      obs_.sink->instant(obs::Category::Sync, "stream_virtualized", 0.0,
+                         obs_.pid, static_cast<std::uint64_t>(pending_.size()));
     pending_.push(PendingSpawn{program, false});
     return;
   }
@@ -79,6 +107,15 @@ void Machine::activate(StreamProgram* program, bool software,
   const std::uint64_t spawn_cost = static_cast<std::uint64_t>(
       software ? config_.sw_spawn_cycles : config_.hw_spawn_cycles);
   wakes_.push(Wake{now + spawn_cost, sid});
+
+  (software ? obs_.spawns_sw : obs_.spawns_hw)->add();
+  if (obs_.sink != nullptr) {
+    obs_.sink->instant(obs::Category::Spawn,
+                       software ? "spawn_sw" : "spawn_hw", ts_us(now),
+                       obs_.pid, static_cast<std::uint64_t>(sid));
+    obs_.sink->begin(obs::Category::Spawn, "stream", ts_us(now), obs_.pid,
+                     static_cast<std::uint64_t>(sid));
+  }
 }
 
 std::uint64_t Machine::network_service(std::uint64_t now, Address addr) {
@@ -130,6 +167,10 @@ void Machine::process_handoffs(std::uint64_t now) {
     Stream& s = streams_[static_cast<std::size_t>(h.stream)];
     TC3I_ASSERT(!s.dead);
     if (h.was_load) s.program->deliver(h.value);
+    ++sync_handoffs_;
+    if (obs_.sink != nullptr)
+      obs_.sink->instant(obs::Category::Sync, "sync_unblock", ts_us(now),
+                         obs_.pid, static_cast<std::uint64_t>(h.stream));
     // The queued operation completes now: one more trip through the network.
     complete_memory_op(h.stream, now, h.addr);
   }
@@ -141,6 +182,10 @@ void Machine::finish_stream(StreamId sid, std::uint64_t now) {
   s.dead = true;
   --live_streams_;
   ++completed_;
+  obs_.streams_completed->add();
+  if (obs_.sink != nullptr)
+    obs_.sink->end(obs::Category::Spawn, "stream", ts_us(now), obs_.pid,
+                   static_cast<std::uint64_t>(sid));
   procs_[static_cast<std::size_t>(s.proc)].release_slot();
   if (!pending_.empty()) {
     const PendingSpawn ps = pending_.front();
@@ -163,23 +208,26 @@ void Machine::issue(StreamId sid, std::uint64_t now) {
   const std::uint64_t spacing =
       now + static_cast<std::uint64_t>(config_.issue_spacing_cycles);
 
+  // The per-processor issue counters already tally every instruction
+  // (pop_ready() increments them); instructions_ is derived from their sum
+  // at the end of run() to keep this switch store-free beyond its tallies.
   switch (s.cur.op) {
     case Instr::Op::Compute: {
-      ++instructions_;
+      ++issued_compute_;
       TC3I_ASSERT(s.cur.count > 0);
       if (--s.cur.count == 0) s.has_cur = false;
       wakes_.push(Wake{spacing, sid});
       break;
     }
     case Instr::Op::Load: {
-      ++instructions_;
+      ++issued_memory_;
       TC3I_ASSERT(s.cur.count > 0);
       if (--s.cur.count == 0) s.has_cur = false;
       complete_memory_op(sid, now, s.cur.addr);
       break;
     }
     case Instr::Op::Store: {
-      ++instructions_;
+      ++issued_memory_;
       memory_.store(s.cur.addr, s.cur.value);
       TC3I_ASSERT(s.cur.count > 0);
       if (--s.cur.count == 0) s.has_cur = false;
@@ -187,28 +235,40 @@ void Machine::issue(StreamId sid, std::uint64_t now) {
       break;
     }
     case Instr::Op::SyncLoad: {
-      ++instructions_;
+      ++issued_sync_;
       s.has_cur = false;
       const SyncAttempt a = memory_.try_sync_load(s.cur.addr, sid);
       if (a.succeeded) {
         s.program->deliver(a.value);
         complete_memory_op(sid, now, s.cur.addr);
+      } else {
+        ++sync_blocks_;
+        if (obs_.sink != nullptr)
+          obs_.sink->instant(obs::Category::Sync, "sync_block", ts_us(now),
+                             obs_.pid, static_cast<std::uint64_t>(sid));
       }
       // On failure the stream waits in memory (no issue slots consumed).
       process_handoffs(now);
       break;
     }
     case Instr::Op::SyncStore: {
-      ++instructions_;
+      ++issued_sync_;
       s.has_cur = false;
       const SyncAttempt a = memory_.try_sync_store(s.cur.addr, s.cur.value, sid);
-      if (a.succeeded) complete_memory_op(sid, now, s.cur.addr);
+      if (a.succeeded) {
+        complete_memory_op(sid, now, s.cur.addr);
+      } else {
+        ++sync_blocks_;
+        if (obs_.sink != nullptr)
+          obs_.sink->instant(obs::Category::Sync, "sync_block", ts_us(now),
+                             obs_.pid, static_cast<std::uint64_t>(sid));
+      }
       process_handoffs(now);
       break;
     }
     case Instr::Op::Spawn: {
-      ++instructions_;
       ++spawns_;
+      ++issued_spawn_;
       StreamProgram* target = s.cur.spawn;
       const bool software = s.cur.software_spawn;
       s.has_cur = false;
@@ -216,15 +276,20 @@ void Machine::issue(StreamId sid, std::uint64_t now) {
       bool slot_free = false;
       for (const auto& p : procs_)
         if (p.has_free_slot()) slot_free = true;
-      if (slot_free)
+      if (slot_free) {
         activate(target, software, now);
-      else
+      } else {
+        obs_.spawns_virtualized->add();
+        if (obs_.sink != nullptr)
+          obs_.sink->instant(obs::Category::Sync, "stream_virtualized",
+                             ts_us(now), obs_.pid,
+                             static_cast<std::uint64_t>(sid));
         pending_.push(PendingSpawn{target, software});
+      }
       wakes_.push(Wake{spacing, sid});
       break;
     }
     case Instr::Op::Quit: {
-      ++instructions_;
       s.has_cur = false;
       finish_stream(sid, now);
       break;
@@ -235,12 +300,46 @@ void Machine::issue(StreamId sid, std::uint64_t now) {
 MtaRunResult Machine::run(std::uint64_t max_cycles) {
   TC3I_EXPECTS(!ran_);
   ran_ = true;
+  obs_.runs->add();
+  obs::Scope wall_timer(*obs_.run_wall_seconds);
 
   std::uint64_t now = 0;
+  // Hoisted so the issue loop branches on a register-resident local instead
+  // of reloading the member every iteration (issue() may alias obs_).
+  const bool tracing = obs_.sink != nullptr;
   const std::uint64_t bucket = config_.timeline_bucket_cycles;
   std::vector<std::uint64_t> bucket_issues;
+
+  // Per-bucket counter tracks for the trace (issue utilization and memory
+  // traffic); defaults to 4096-cycle buckets when no timeline is requested.
+  const std::uint64_t trace_bucket = bucket > 0 ? bucket : 4096;
+  std::uint64_t trace_next = trace_bucket;
+  std::uint64_t trace_last_instr = 0;
+  std::uint64_t trace_last_mem = 0;
+  const auto emit_trace_buckets = [&](std::uint64_t upto, bool final) {
+    if (obs_.sink == nullptr) return;
+    std::uint64_t instr_now = 0;
+    for (const auto& p : procs_) instr_now += p.issues();
+    while (trace_next <= upto || (final && trace_last_instr < instr_now)) {
+      const std::uint64_t at = std::min(trace_next, upto);
+      const double slots = static_cast<double>(trace_bucket) *
+                           static_cast<double>(config_.num_processors);
+      obs_.sink->counter(
+          obs::Category::Issue, "issue_utilization", ts_us(at), obs_.pid,
+          static_cast<double>(instr_now - trace_last_instr) / slots);
+      obs_.sink->counter(
+          obs::Category::Memory, "memory_ops_per_bucket", ts_us(at), obs_.pid,
+          static_cast<double>(memory_ops_ - trace_last_mem));
+      trace_last_instr = instr_now;
+      trace_last_mem = memory_ops_;
+      if (trace_next > upto) break;
+      trace_next += trace_bucket;
+    }
+  };
+
   while (live_streams_ > 0 || !pending_.empty()) {
     TC3I_ASSERT(now < max_cycles && "MTA simulation exceeded max_cycles");
+    if (tracing) emit_trace_buckets(now, /*final=*/false);
 
     while (!wakes_.empty() && wakes_.top().cycle <= now) {
       const Wake w = wakes_.top();
@@ -273,6 +372,12 @@ MtaRunResult Machine::run(std::uint64_t max_cycles) {
     }
   }
 
+  std::uint64_t used = 0;
+  for (const auto& p : procs_) used += p.issues();
+  instructions_ = used;
+
+  emit_trace_buckets(now, /*final=*/true);
+
   MtaRunResult result;
   result.cycles = now;
   result.seconds = static_cast<double>(now) / config_.clock_hz;
@@ -281,8 +386,6 @@ MtaRunResult Machine::run(std::uint64_t max_cycles) {
   result.spawns = spawns_;
   result.streams_completed = completed_;
   result.peak_live_streams = peak_live_;
-  std::uint64_t used = 0;
-  for (const auto& p : procs_) used += p.issues();
   result.processor_utilization =
       now > 0 ? static_cast<double>(used) /
                     (static_cast<double>(now) *
@@ -292,6 +395,17 @@ MtaRunResult Machine::run(std::uint64_t max_cycles) {
       now > 0 ? static_cast<double>(memory_ops_) /
                     (config_.network_ops_per_cycle * static_cast<double>(now))
               : 0.0;
+  obs_.issue_total->add(instructions_);
+  obs_.issue_compute->add(issued_compute_);
+  obs_.issue_memory->add(issued_memory_);
+  obs_.issue_sync->add(issued_sync_);
+  obs_.issue_spawn->add(issued_spawn_);
+  obs_.network_ops->add(memory_ops_);
+  obs_.sync_blocks->add(sync_blocks_);
+  obs_.sync_handoffs->add(sync_handoffs_);
+  memory_.flush_counters();
+  obs_.peak_live->set(static_cast<double>(peak_live_));
+  obs_.run_utilization->record(result.processor_utilization);
   if (bucket > 0) {
     result.utilization_timeline.reserve(bucket_issues.size());
     const double slots_per_bucket =

@@ -31,6 +31,11 @@
 #include "mta/processor.hpp"
 #include "mta/stream_program.hpp"
 #include "mta/sync_memory.hpp"
+#include "obs/counters.hpp"
+
+namespace tc3i::obs {
+class TraceSink;
+}
 
 namespace tc3i::mta {
 
@@ -131,6 +136,37 @@ class Machine {
     bool software;
   };
 
+  /// Always-on counters (obs::default_registry(), "mta." prefix) plus the
+  /// optional trace sink captured from obs::global_sink() at construction.
+  /// Per-instruction paths only bump plain tally members; the registry
+  /// counters are published once at the end of run() so instrumentation
+  /// costs nothing in the issue loop.
+  struct Obs {
+    obs::Counter* issue_total = nullptr;
+    obs::Counter* issue_compute = nullptr;
+    obs::Counter* issue_memory = nullptr;
+    obs::Counter* issue_sync = nullptr;
+    obs::Counter* issue_spawn = nullptr;
+    obs::Counter* network_ops = nullptr;
+    obs::Counter* sync_blocks = nullptr;
+    obs::Counter* sync_handoffs = nullptr;
+    obs::Counter* spawns_hw = nullptr;
+    obs::Counter* spawns_sw = nullptr;
+    obs::Counter* spawns_virtualized = nullptr;
+    obs::Counter* streams_completed = nullptr;
+    obs::Counter* runs = nullptr;
+    obs::Gauge* peak_live = nullptr;
+    obs::Histogram* run_utilization = nullptr;
+    obs::Histogram* run_wall_seconds = nullptr;
+    obs::TraceSink* sink = nullptr;
+    std::uint32_t pid = 0;
+  };
+
+  /// Converts a machine cycle to trace microseconds.
+  [[nodiscard]] double ts_us(std::uint64_t cycle) const {
+    return static_cast<double>(cycle) / config_.clock_hz * 1e6;
+  }
+
   int least_loaded_processor() const;
   void activate(StreamProgram* program, bool software, std::uint64_t now);
   void issue(StreamId sid, std::uint64_t now);
@@ -148,12 +184,20 @@ class Machine {
   double network_free_at_ = 0.0;
   std::vector<double> bank_free_at_;  // sized memory_banks when enabled
 
+  Obs obs_;
   int live_streams_ = 0;
   std::uint64_t instructions_ = 0;
   std::uint64_t memory_ops_ = 0;
   std::uint64_t spawns_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t peak_live_ = 0;
+  // Plain per-class issue tallies, published to the registry at run() end.
+  std::uint64_t issued_compute_ = 0;
+  std::uint64_t issued_memory_ = 0;
+  std::uint64_t issued_sync_ = 0;
+  std::uint64_t issued_spawn_ = 0;
+  std::uint64_t sync_blocks_ = 0;
+  std::uint64_t sync_handoffs_ = 0;
   bool ran_ = false;
 };
 

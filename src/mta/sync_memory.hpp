@@ -19,6 +19,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/counters.hpp"
+
 namespace tc3i::mta {
 
 using Address = std::uint64_t;
@@ -80,6 +82,12 @@ class SyncMemory {
   /// Counts of operations performed (for utilization reporting).
   [[nodiscard]] std::uint64_t sync_ops() const { return sync_ops_; }
 
+  /// Publishes tallies accumulated since the last flush into the
+  /// "mta.syncmem." registry counters. The hot paths only bump plain
+  /// members; the machine calls this once at the end of a run so the
+  /// always-on counters cost nothing per operation.
+  void flush_counters();
+
  private:
   struct Cell {
     Word value = 0;
@@ -99,6 +107,17 @@ class SyncMemory {
   std::vector<Handoff> pending_handoffs_;
   std::size_t blocked_count_ = 0;
   std::uint64_t sync_ops_ = 0;
+  std::uint64_t failed_attempts_ = 0;
+  std::uint64_t handoffs_total_ = 0;
+  // High-water marks of what flush_counters() already published.
+  std::uint64_t flushed_ops_ = 0;
+  std::uint64_t flushed_failed_ = 0;
+  std::uint64_t flushed_handoffs_ = 0;
+  // Always-on counters ("mta.syncmem." in obs::default_registry()),
+  // updated only by flush_counters() to keep the per-op paths atomic-free.
+  obs::Counter* c_ops_ = nullptr;
+  obs::Counter* c_retries_ = nullptr;
+  obs::Counter* c_handoffs_ = nullptr;
 };
 
 }  // namespace tc3i::mta

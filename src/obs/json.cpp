@@ -1,0 +1,303 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "core/contracts.hpp"
+
+namespace tc3i::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+// --- JsonWriter --------------------------------------------------------------
+
+void JsonWriter::separator() {
+  if (!stack_.empty() && stack_.back() == Frame::Object) {
+    TC3I_EXPECTS(have_key_ && "JSON object values need a key() first");
+    have_key_ = false;
+    return;  // key() already emitted "key": and any comma
+  }
+  if (needs_comma_) out_ << ',';
+}
+
+void JsonWriter::begin_object() {
+  separator();
+  out_ << '{';
+  stack_.push_back(Frame::Object);
+  needs_comma_ = false;
+}
+
+void JsonWriter::end_object() {
+  TC3I_EXPECTS(!stack_.empty() && stack_.back() == Frame::Object && !have_key_);
+  stack_.pop_back();
+  out_ << '}';
+  needs_comma_ = true;
+}
+
+void JsonWriter::begin_array() {
+  separator();
+  out_ << '[';
+  stack_.push_back(Frame::Array);
+  needs_comma_ = false;
+}
+
+void JsonWriter::end_array() {
+  TC3I_EXPECTS(!stack_.empty() && stack_.back() == Frame::Array);
+  stack_.pop_back();
+  out_ << ']';
+  needs_comma_ = true;
+}
+
+void JsonWriter::key(std::string_view k) {
+  TC3I_EXPECTS(!stack_.empty() && stack_.back() == Frame::Object && !have_key_);
+  if (needs_comma_) out_ << ',';
+  out_ << json_escape(k) << ':';
+  have_key_ = true;
+  needs_comma_ = false;
+}
+
+void JsonWriter::value(std::string_view v) {
+  separator();
+  out_ << json_escape(v);
+  needs_comma_ = true;
+}
+
+void JsonWriter::value(double v) {
+  separator();
+  if (!std::isfinite(v)) {
+    out_ << "null";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out_ << buf;
+  }
+  needs_comma_ = true;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  separator();
+  out_ << v;
+  needs_comma_ = true;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  separator();
+  out_ << v;
+  needs_comma_ = true;
+}
+
+void JsonWriter::value(bool v) {
+  separator();
+  out_ << (v ? "true" : "false");
+  needs_comma_ = true;
+}
+
+void JsonWriter::null() {
+  separator();
+  out_ << "null";
+  needs_comma_ = true;
+}
+
+// --- json_validate -----------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<std::string> run() {
+    skip_ws();
+    if (!value()) return error_;
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing data after JSON value");
+    return error_;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    if (!error_) {
+      error_ = what + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r'))
+      ++pos_;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("invalid literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (eof() || peek() != '"') return fail("expected string");
+    ++pos_;
+    while (!eof() && peek() != '"') {
+      if (static_cast<unsigned char>(peek()) < 0x20)
+        return fail("unescaped control character in string");
+      if (peek() == '\\') {
+        ++pos_;
+        if (eof()) return fail("truncated escape");
+        const char e = peek();
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(peek())))
+              return fail("bad \\u escape");
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return fail("bad escape character");
+        }
+      }
+      ++pos_;
+    }
+    if (eof()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+      return fail("bad number");
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("bad fraction");
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("bad exponent");
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool value() {
+    if (++depth_ > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (eof()) return fail("unexpected end of input");
+    bool ok = false;
+    switch (peek()) {
+      case '{': ok = object(); break;
+      case '[': ok = array(); break;
+      case '"': ok = string(); break;
+      case 't': ok = literal("true"); break;
+      case 'f': ok = literal("false"); break;
+      case 'n': ok = literal("null"); break;
+      default: ok = number(); break;
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (eof() || peek() != ':') return fail("expected ':' in object");
+      ++pos_;
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::optional<std::string> error_;
+};
+
+}  // namespace
+
+std::optional<std::string> json_validate(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace tc3i::obs

@@ -1,0 +1,67 @@
+// Minimal JSON emission and validation for the observability layer.
+//
+// JsonWriter is a streaming writer (objects, arrays, scalars) with correct
+// string escaping and non-finite-number handling; json_validate is a strict
+// recursive-descent syntax checker used by tests and tools/json_check to
+// confirm that exported traces and reports are well-formed without pulling
+// in a JSON library dependency.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tc3i::obs {
+
+/// Escapes `s` as a JSON string literal, including the surrounding quotes.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Streaming JSON writer. Structural sanity (matched begin/end, keys only
+/// inside objects) is contract-checked.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits a key inside an object; the next value call supplies its value.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(double v);  ///< non-finite values are emitted as null
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  // Conveniences: key + value in one call.
+  template <typename T>
+  void field(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  enum class Frame : std::uint8_t { Object, Array };
+
+  void separator();
+
+  std::ostream& out_;
+  std::vector<Frame> stack_;
+  bool needs_comma_ = false;
+  bool have_key_ = false;
+};
+
+/// Validates that `text` is one complete JSON value. Returns std::nullopt
+/// on success, else a human-readable error with byte offset.
+[[nodiscard]] std::optional<std::string> json_validate(std::string_view text);
+
+}  // namespace tc3i::obs

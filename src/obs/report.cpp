@@ -1,0 +1,119 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/contracts.hpp"
+#include "obs/json.hpp"
+
+namespace tc3i::obs {
+
+RunReport::RunReport(std::string bench_name) : bench_(std::move(bench_name)) {
+  TC3I_EXPECTS(!bench_.empty());
+}
+
+void RunReport::set_config(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : config_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  config_.emplace_back(key, value);
+}
+
+void RunReport::set_config(const std::string& key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  set_config(key, std::string(buf));
+}
+
+void RunReport::add_row(const std::string& label, double paper_seconds,
+                        double measured_seconds) {
+  rows_.push_back(Row{label, paper_seconds, measured_seconds});
+}
+
+void RunReport::add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+void RunReport::write_json(std::ostream& out,
+                           const CounterRegistry& registry) const {
+  const std::vector<MetricSnapshot> metrics = registry.snapshot();
+
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("bench", bench_);
+  w.field("schema_version", std::uint64_t{1});
+
+  w.key("config");
+  w.begin_object();
+  for (const auto& [k, v] : config_) w.field(k, std::string_view(v));
+  w.end_object();
+
+  w.key("rows");
+  w.begin_array();
+  for (const Row& r : rows_) {
+    w.begin_object();
+    w.field("label", r.label);
+    w.field("paper", r.paper_seconds);
+    w.field("measured", r.measured_seconds);
+    w.field("ratio",
+            r.paper_seconds > 0.0 ? r.measured_seconds / r.paper_seconds : 0.0);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("counters");
+  w.begin_object();
+  for (const MetricSnapshot& m : metrics)
+    if (m.kind == MetricSnapshot::Kind::Counter) w.field(m.name, m.count);
+  w.end_object();
+
+  w.key("gauges");
+  w.begin_object();
+  for (const MetricSnapshot& m : metrics)
+    if (m.kind == MetricSnapshot::Kind::Gauge) w.field(m.name, m.value);
+  w.end_object();
+
+  w.key("histograms");
+  w.begin_object();
+  for (const MetricSnapshot& m : metrics) {
+    if (m.kind != MetricSnapshot::Kind::Histogram) continue;
+    w.key(m.name);
+    w.begin_object();
+    w.field("count", m.count);
+    w.field("sum", m.value);
+    w.field("p50", m.p50);
+    w.field("p90", m.p90);
+    w.field("p99", m.p99);
+    w.field("max", m.max);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("notes");
+  w.begin_array();
+  for (const std::string& n : notes_) w.value(std::string_view(n));
+  w.end_array();
+
+  w.end_object();
+  out << '\n';
+}
+
+bool RunReport::write_json_file(const std::string& path,
+                                const CounterRegistry& registry,
+                                std::string* error) const {
+  TC3I_EXPECTS(!path.empty());
+  std::error_code ec;
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  write_json(out, registry);
+  return static_cast<bool>(out);
+}
+
+}  // namespace tc3i::obs

@@ -1,0 +1,68 @@
+// Machine-readable run reports.
+//
+// A RunReport collects everything a bench binary prints as a table —
+// paper-vs-measured rows, configuration, free-form notes — plus a snapshot
+// of the counter registry, and serializes it as JSON (schema below) so
+// result trajectories can be produced and diffed mechanically.
+//
+// Schema (schema_version 1):
+//   {
+//     "bench": "<name>", "schema_version": 1,
+//     "config": { "<key>": "<value>", ... },
+//     "rows": [ { "label": ..., "paper": s, "measured": s, "ratio": r } ],
+//     "counters": { "<name>": u64, ... },
+//     "gauges": { "<name>": double, ... },
+//     "histograms": { "<name>": {"count","sum","p50","p90","p99","max"} },
+//     "notes": [ "...", ... ]
+//   }
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/counters.hpp"
+
+namespace tc3i::obs {
+
+class RunReport {
+ public:
+  explicit RunReport(std::string bench_name);
+
+  [[nodiscard]] const std::string& bench_name() const { return bench_; }
+
+  void set_config(const std::string& key, const std::string& value);
+  void set_config(const std::string& key, double value);
+
+  /// Adds one paper-vs-measured comparison row (seconds; ratio derived).
+  void add_row(const std::string& label, double paper_seconds,
+               double measured_seconds);
+
+  void add_note(std::string note);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+  /// Serializes the report with a snapshot of `registry` taken now.
+  void write_json(std::ostream& out, const CounterRegistry& registry) const;
+
+  /// Writes to `path`, creating parent directories. Returns false with
+  /// `*error` set on I/O failure.
+  [[nodiscard]] bool write_json_file(const std::string& path,
+                                     const CounterRegistry& registry,
+                                     std::string* error) const;
+
+ private:
+  struct Row {
+    std::string label;
+    double paper_seconds;
+    double measured_seconds;
+  };
+
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<Row> rows_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace tc3i::obs

@@ -1,0 +1,117 @@
+#include "obs/session.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/contracts.hpp"
+
+namespace tc3i::obs {
+
+namespace {
+
+RunSession* g_active = nullptr;
+
+/// "foo/trace.json" -> "foo/trace.csv"; non-.json paths get ".csv" appended.
+std::string sibling_csv_path(const std::string& json_path) {
+  std::filesystem::path p(json_path);
+  if (p.extension() == ".json") {
+    p.replace_extension(".csv");
+    return p.string();
+  }
+  return json_path + ".csv";
+}
+
+}  // namespace
+
+void RunSession::add_cli_flags(CliParser& cli) {
+  cli.add_flag("trace-out", "",
+               "write a Chrome trace_event JSON (and sibling .csv timeline) "
+               "of simulator events to this path");
+  cli.add_flag("report-out", "",
+               "write a machine-readable RunReport JSON (rows, config, "
+               "counters) to this path");
+  cli.add_flag("counters", "false",
+               "dump the instrumentation counter registry to stdout at exit");
+}
+
+RunSession::RunSession(std::string name, const CliParser& cli)
+    : name_(std::move(name)),
+      trace_path_(cli.get("trace-out")),
+      report_path_(cli.get("report-out")),
+      dump_counters_(cli.get_bool("counters")),
+      report_(name_) {
+  TC3I_EXPECTS(g_active == nullptr && "only one RunSession may be active");
+  // A bare `--trace-out` / `--report-out` parses as the boolean sentinel
+  // "true" (CliParser bare-flag rule); these flags need real paths.
+  if (trace_path_ == "true" || report_path_ == "true") {
+    std::fprintf(stderr,
+                 "error: --trace-out and --report-out require a file path\n");
+    std::exit(2);
+  }
+  if (!trace_path_.empty()) {
+    sink_ = std::make_unique<TraceSink>();
+    set_global_sink(sink_.get());
+  }
+  g_active = this;
+}
+
+RunSession::~RunSession() {
+  finish();
+  if (g_active == this) g_active = nullptr;
+  if (sink_ != nullptr && global_sink() == sink_.get())
+    set_global_sink(nullptr);
+}
+
+RunSession* RunSession::active() { return g_active; }
+
+void RunSession::finish() {
+  if (finished_) return;
+  finished_ = true;
+
+  if (sink_ != nullptr && !trace_path_.empty()) {
+    std::error_code ec;
+    const auto parent = std::filesystem::path(trace_path_).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+    const std::string csv = sibling_csv_path(trace_path_);
+    std::string error;
+    if (sink_->write_files(trace_path_, csv, &error)) {
+      std::printf("[obs] trace: %s (%zu events; open in chrome://tracing or "
+                  "ui.perfetto.dev), csv: %s\n",
+                  trace_path_.c_str(), sink_->size(), csv.c_str());
+    } else {
+      std::fprintf(stderr, "[obs] trace write failed: %s\n", error.c_str());
+    }
+  }
+
+  if (!report_path_.empty()) {
+    std::string error;
+    if (report_.write_json_file(report_path_, default_registry(), &error)) {
+      std::printf("[obs] report: %s\n", report_path_.c_str());
+    } else {
+      std::fprintf(stderr, "[obs] report write failed: %s\n", error.c_str());
+    }
+  }
+
+  if (dump_counters_) {
+    std::printf("[obs] counters (%s):\n", name_.c_str());
+    for (const MetricSnapshot& m : default_registry().snapshot()) {
+      switch (m.kind) {
+        case MetricSnapshot::Kind::Counter:
+          std::printf("  %-44s %llu\n", m.name.c_str(),
+                      static_cast<unsigned long long>(m.count));
+          break;
+        case MetricSnapshot::Kind::Gauge:
+          std::printf("  %-44s %g\n", m.name.c_str(), m.value);
+          break;
+        case MetricSnapshot::Kind::Histogram:
+          std::printf("  %-44s n=%llu sum=%g p50=%g p99=%g max=%g\n",
+                      m.name.c_str(), static_cast<unsigned long long>(m.count),
+                      m.value, m.p50, m.p99, m.max);
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace tc3i::obs

@@ -1,0 +1,57 @@
+// Per-binary observability session: owns the trace sink and run report and
+// wires them to the standard flag set every instrumented binary exposes:
+//
+//   --trace-out <path>    write Chrome trace JSON (+ sibling .csv timeline)
+//   --report-out <path>   write the RunReport JSON
+//   --counters true       dump the counter registry to stdout at exit
+//
+// Construction installs the global trace sink (when --trace-out is given);
+// destruction (or finish()) writes all requested outputs. Exactly one
+// session may be active at a time; RunSession::active() lets shared helper
+// code (e.g. the bench harness row formatter) feed the report without
+// threading a pointer through every call site.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/cli.hpp"
+#include "obs/report.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace tc3i::obs {
+
+class RunSession {
+ public:
+  /// Registers --trace-out / --report-out / --counters on `cli`.
+  static void add_cli_flags(CliParser& cli);
+
+  /// Reads the flags registered by add_cli_flags from a parsed `cli`.
+  RunSession(std::string name, const CliParser& cli);
+
+  RunSession(const RunSession&) = delete;
+  RunSession& operator=(const RunSession&) = delete;
+  ~RunSession();
+
+  /// The active session, or null. Set for the session's whole lifetime.
+  [[nodiscard]] static RunSession* active();
+
+  [[nodiscard]] RunReport& report() { return report_; }
+  /// Non-null iff --trace-out was given.
+  [[nodiscard]] TraceSink* sink() { return sink_.get(); }
+
+  /// Writes trace/report/counter outputs now (idempotent; the destructor
+  /// calls it). Prints one line per file written.
+  void finish();
+
+ private:
+  std::string name_;
+  std::string trace_path_;
+  std::string report_path_;
+  bool dump_counters_ = false;
+  bool finished_ = false;
+  std::unique_ptr<TraceSink> sink_;
+  RunReport report_;
+};
+
+}  // namespace tc3i::obs

@@ -4,11 +4,29 @@
 #include <utility>
 
 #include "core/contracts.hpp"
+#include "obs/counters.hpp"
 
 namespace tc3i::sim {
 
+namespace {
+
+obs::Counter& scheduled_counter() {
+  static obs::Counter& c = obs::default_registry().counter(
+      "sim.eventq.scheduled");
+  return c;
+}
+
+obs::Counter& processed_counter() {
+  static obs::Counter& c = obs::default_registry().counter(
+      "sim.eventq.processed");
+  return c;
+}
+
+}  // namespace
+
 void EventQueue::schedule_at(Cycles at, Callback fn) {
   TC3I_EXPECTS(at >= now_);
+  scheduled_counter().add();
   heap_.push(Event{at, next_seq_++, std::move(fn)});
 }
 
@@ -28,6 +46,7 @@ Cycles EventQueue::run_until(Cycles until) {
     heap_.pop();
     now_ = ev.at;
     ++processed_;
+    processed_counter().add();
     ev.fn();
   }
   return now_;
@@ -39,6 +58,7 @@ bool EventQueue::step() {
   heap_.pop();
   now_ = ev.at;
   ++processed_;
+  processed_counter().add();
   ev.fn();
   return true;
 }

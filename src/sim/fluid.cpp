@@ -4,12 +4,30 @@
 #include <numeric>
 
 #include "core/contracts.hpp"
+#include "obs/counters.hpp"
 
 namespace tc3i::sim {
+
+namespace {
+
+struct WaterFillCounters {
+  obs::Counter& calls;
+  obs::Counter& saturated;
+};
+
+WaterFillCounters& water_fill_counters() {
+  static WaterFillCounters c{
+      obs::default_registry().counter("sim.fluid.water_fill.calls"),
+      obs::default_registry().counter("sim.fluid.water_fill.saturated")};
+  return c;
+}
+
+}  // namespace
 
 std::vector<double> water_fill(double total_capacity,
                                std::span<const double> private_caps) {
   TC3I_EXPECTS(total_capacity >= 0.0);
+  water_fill_counters().calls.add();
   std::vector<double> rates(private_caps.size(), 0.0);
   if (private_caps.empty()) return rates;
 
@@ -35,6 +53,7 @@ std::vector<double> water_fill(double total_capacity,
     if (!granted_any) {
       // Every remaining flow is capacity-limited: split evenly.
       for (std::size_t i : open) rates[i] = fair;
+      water_fill_counters().saturated.add();
       break;
     }
   }

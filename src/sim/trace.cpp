@@ -56,6 +56,12 @@ Bytes WorkloadTrace::total_bytes() const {
 
 std::string WorkloadTrace::validate() const {
   for (std::size_t ti = 0; ti < threads.size(); ++ti) {
+    // Track which lock ids this thread currently holds: a release must
+    // match a held id, and re-acquiring a held id would self-deadlock
+    // (the machine's locks are not recursive). A lock-id-agnostic depth
+    // counter would accept e.g. acquire(0)/release(1), which the engine
+    // then rejects at runtime with an owner assertion.
+    std::vector<bool> held(static_cast<std::size_t>(num_locks), false);
     int depth = 0;
     for (const auto& p : threads[ti].phases()) {
       switch (p.kind) {
@@ -69,11 +75,25 @@ std::string WorkloadTrace::validate() const {
                << " out of range [0, " << num_locks << ")";
             return os.str();
           }
-          depth += (p.kind == Phase::Kind::Acquire) ? 1 : -1;
-          if (depth < 0) {
-            std::ostringstream os;
-            os << "thread " << ti << ": release without matching acquire";
-            return os.str();
+          const auto li = static_cast<std::size_t>(p.lock_id);
+          if (p.kind == Phase::Kind::Acquire) {
+            if (held[li]) {
+              std::ostringstream os;
+              os << "thread " << ti << ": acquire of lock " << p.lock_id
+                 << " already held (self-deadlock)";
+              return os.str();
+            }
+            held[li] = true;
+            ++depth;
+          } else {
+            if (!held[li]) {
+              std::ostringstream os;
+              os << "thread " << ti << ": release of lock " << p.lock_id
+                 << " without matching acquire";
+              return os.str();
+            }
+            held[li] = false;
+            --depth;
           }
           break;
         }

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/contracts.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/fluid.hpp"
 
 namespace tc3i::smp {
@@ -45,9 +46,10 @@ struct LockState {
 
 class Engine {
  public:
-  Engine(const SmpConfig& cfg, int num_workers, int num_locks,
-         const std::vector<ThreadTrace>* pool_tasks)
+  Engine(const SmpConfig& cfg, const ObsHooks& obs, int num_workers,
+         int num_locks, const std::vector<ThreadTrace>* pool_tasks)
       : cfg_(cfg),
+        obs_(obs),
         workers_(static_cast<std::size_t>(num_workers)),
         locks_(static_cast<std::size_t>(num_locks)),
         pool_(pool_tasks) {}
@@ -64,6 +66,10 @@ class Engine {
           cfg_.spawn_seconds() * static_cast<double>(i + 1);
       if (delay > 0.0)
         workers_[i].jobs.push_front(Job{Job::Kind::Sleep, delay, -1});
+      obs_.threads_spawned->add();
+      if (obs_.sink != nullptr)
+        obs_.sink->instant(obs::Category::Spawn, "thread_spawn", delay * 1e6,
+                           obs_.pid, i);
     }
   }
 
@@ -128,7 +134,13 @@ class Engine {
       while (w.status == Worker::Status::Run) {
         if (w.jobs.empty()) {
           refill(w, now);
-          if (w.status == Worker::Status::Done) break;
+          if (w.status == Worker::Status::Done) {
+            obs_.threads_finished->add();
+            if (obs_.sink != nullptr)
+              obs_.sink->end(obs::Category::Sched, "worker", now * 1e6,
+                             obs_.pid, static_cast<std::uint64_t>(idx));
+            break;
+          }
         }
         Job& job = w.jobs.front();
         switch (job.kind) {
@@ -143,10 +155,19 @@ class Engine {
             LockState& lk = locks_[static_cast<std::size_t>(job.lock_id)];
             if (lk.owner < 0) {
               lk.owner = idx;
+              obs_.lock_acquires->add();
+              if (obs_.sink != nullptr)
+                obs_.sink->instant(obs::Category::Sync, "lock_acquire",
+                                   now * 1e6, obs_.pid,
+                                   static_cast<std::uint64_t>(idx));
               w.jobs.pop_front();
             } else {
               lk.waiters.push_back(idx);
               w.status = Worker::Status::Blocked;
+              obs_.lock_contended->add();
+              if (obs_.sink != nullptr)
+                obs_.sink->begin(obs::Category::Sync, "lock_wait", now * 1e6,
+                                 obs_.pid, static_cast<std::uint64_t>(idx));
             }
             break;
           }
@@ -154,6 +175,11 @@ class Engine {
             LockState& lk = locks_[static_cast<std::size_t>(job.lock_id)];
             TC3I_ASSERT(lk.owner == idx);
             w.jobs.pop_front();
+            obs_.lock_releases->add();
+            if (obs_.sink != nullptr)
+              obs_.sink->instant(obs::Category::Sync, "lock_release",
+                                 now * 1e6, obs_.pid,
+                                 static_cast<std::uint64_t>(idx));
             if (lk.waiters.empty()) {
               lk.owner = -1;
             } else {
@@ -166,6 +192,14 @@ class Engine {
                           nw.jobs.front().kind == Job::Kind::Grab);
               nw.jobs.pop_front();
               nw.status = Worker::Status::Run;
+              obs_.lock_acquires->add();
+              if (obs_.sink != nullptr) {
+                obs_.sink->end(obs::Category::Sync, "lock_wait", now * 1e6,
+                               obs_.pid, static_cast<std::uint64_t>(next));
+                obs_.sink->instant(obs::Category::Sync, "lock_acquire",
+                                   now * 1e6, obs_.pid,
+                                   static_cast<std::uint64_t>(next));
+              }
               work.push_back(next);
             }
             break;
@@ -177,6 +211,7 @@ class Engine {
   }
 
   const SmpConfig& cfg_;
+  const ObsHooks& obs_;
   std::vector<Worker> workers_;
   std::vector<LockState> locks_;
   const std::vector<ThreadTrace>* pool_ = nullptr;
@@ -188,6 +223,10 @@ RunResult Engine::run() {
   double ops_done = 0.0;
   double bytes_done = 0.0;
   std::vector<TimelineSample> timeline;
+
+  if (obs_.sink != nullptr)
+    for (std::size_t i = 0; i < workers_.size(); ++i)
+      obs_.sink->begin(obs::Category::Sched, "worker", 0.0, obs_.pid, i);
 
   for (std::size_t i = 0; i < workers_.size(); ++i)
     settle(static_cast<int>(i), now);
@@ -253,7 +292,7 @@ RunResult Engine::run() {
     }
     TC3I_ASSERT(std::isfinite(dt));
 
-    if (cfg_.record_timeline) {
+    if (cfg_.record_timeline || obs_.sink != nullptr) {
       TimelineSample sample;
       sample.start = now;
       sample.duration = dt;
@@ -268,7 +307,14 @@ RunResult Engine::run() {
         }
       }
       sample.bus_fraction = bus_rate / cfg_.mem_bw_total;
-      timeline.push_back(sample);
+      if (obs_.sink != nullptr) {
+        obs_.sink->counter(obs::Category::Memory, "bus_fraction", now * 1e6,
+                           obs_.pid, sample.bus_fraction);
+        obs_.sink->counter(obs::Category::Sched, "running_threads", now * 1e6,
+                           obs_.pid,
+                           static_cast<double>(sample.running_threads));
+      }
+      if (cfg_.record_timeline) timeline.push_back(sample);
     }
 
     // Advance everything by dt; jobs whose completion defined dt snap to 0.
@@ -310,6 +356,12 @@ RunResult Engine::run() {
     result.thread_finish.push_back(w.finish);
   }
   result.timeline = std::move(timeline);
+
+  obs_.ops_executed->add(result.ops_executed);
+  obs_.bytes_transferred->add(result.bytes_transferred);
+  obs_.run_elapsed_seconds->record(result.elapsed);
+  obs_.lock_wait_seconds->record(result.lock_wait_total);
+  obs_.last_bus_utilization->set(result.bus_utilization);
   return result;
 }
 
@@ -319,10 +371,28 @@ Machine::Machine(SmpConfig config) : config_(std::move(config)) {
   const std::string err = config_.validate();
   if (!err.empty())
     contract_failure("SmpConfig", err.c_str(), __FILE__, __LINE__);
+
+  obs::CounterRegistry& reg = obs::default_registry();
+  obs_.runs = &reg.counter("smp.runs");
+  obs_.threads_spawned = &reg.counter("smp.threads.spawned");
+  obs_.threads_finished = &reg.counter("smp.threads.finished");
+  obs_.lock_acquires = &reg.counter("smp.lock.acquires");
+  obs_.lock_contended = &reg.counter("smp.lock.contended");
+  obs_.lock_releases = &reg.counter("smp.lock.releases");
+  obs_.ops_executed = &reg.counter("smp.ops_executed");
+  obs_.bytes_transferred = &reg.counter("smp.bytes_transferred");
+  obs_.run_elapsed_seconds = &reg.histogram("smp.run.elapsed_seconds");
+  obs_.lock_wait_seconds = &reg.histogram("smp.run.lock_wait_seconds");
+  obs_.last_bus_utilization = &reg.gauge("smp.last.bus_utilization");
+  obs_.sink = obs::global_sink();
+  if (obs_.sink != nullptr)
+    obs_.pid = obs_.sink->register_track(
+        config_.name.empty() ? "smp" : config_.name);
 }
 
 RunResult Machine::run_sequential(const sim::ThreadTrace& trace) const {
-  Engine engine(config_, 1, 0, nullptr);
+  obs_.runs->add();
+  Engine engine(config_, obs_, 1, 0, nullptr);
   engine.assign(0, trace);
   return engine.run();
 }
@@ -332,7 +402,8 @@ RunResult Machine::run(const sim::WorkloadTrace& workload) const {
   if (!err.empty())
     contract_failure("WorkloadTrace", err.c_str(), __FILE__, __LINE__);
   TC3I_EXPECTS(!workload.threads.empty());
-  Engine engine(config_, static_cast<int>(workload.threads.size()),
+  obs_.runs->add();
+  Engine engine(config_, obs_, static_cast<int>(workload.threads.size()),
                 workload.num_locks, nullptr);
   for (std::size_t i = 0; i < workload.threads.size(); ++i)
     engine.assign(static_cast<int>(i), workload.threads[i]);
@@ -344,7 +415,8 @@ RunResult Machine::run_pool(const PoolWorkload& workload) const {
   const std::string err = workload.validate();
   if (!err.empty())
     contract_failure("PoolWorkload", err.c_str(), __FILE__, __LINE__);
-  Engine engine(config_, workload.num_workers, workload.num_locks,
+  obs_.runs->add();
+  Engine engine(config_, obs_, workload.num_workers, workload.num_locks,
                 &workload.tasks);
   engine.add_spawn_stagger();
   return engine.run();

@@ -17,11 +17,35 @@
 #include <vector>
 
 #include "core/units.hpp"
+#include "obs/counters.hpp"
 #include "sim/trace.hpp"
 #include "smp/config.hpp"
 #include "smp/workload.hpp"
 
+namespace tc3i::obs {
+class TraceSink;
+}
+
 namespace tc3i::smp {
+
+/// Instrumentation hooks shared by Machine and its internal engine:
+/// always-on counters ("smp." prefix in obs::default_registry()) plus the
+/// optional trace sink captured from obs::global_sink() at construction.
+struct ObsHooks {
+  obs::Counter* runs = nullptr;
+  obs::Counter* threads_spawned = nullptr;
+  obs::Counter* threads_finished = nullptr;
+  obs::Counter* lock_acquires = nullptr;
+  obs::Counter* lock_contended = nullptr;
+  obs::Counter* lock_releases = nullptr;
+  obs::Counter* ops_executed = nullptr;
+  obs::Counter* bytes_transferred = nullptr;
+  obs::Histogram* run_elapsed_seconds = nullptr;
+  obs::Histogram* lock_wait_seconds = nullptr;
+  obs::Gauge* last_bus_utilization = nullptr;
+  obs::TraceSink* sink = nullptr;
+  std::uint32_t pid = 0;
+};
 
 /// One piecewise-constant interval of machine activity (recorded when
 /// SmpConfig::record_timeline is set).
@@ -70,6 +94,7 @@ class Machine {
 
  private:
   SmpConfig config_;
+  ObsHooks obs_;
 };
 
 }  // namespace tc3i::smp

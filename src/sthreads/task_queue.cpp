@@ -1,10 +1,14 @@
 #include "sthreads/task_queue.hpp"
 
 #include "core/contracts.hpp"
+#include "obs/counters.hpp"
 
 namespace tc3i::sthreads {
 
 void TaskQueue::push(Task task) {
+  static obs::Counter& pushed =
+      obs::default_registry().counter("sthreads.taskqueue.pushed");
+  pushed.add();
   {
     std::lock_guard<std::mutex> lock(mu_);
     TC3I_EXPECTS(!closed_);
@@ -14,11 +18,14 @@ void TaskQueue::push(Task task) {
 }
 
 std::optional<TaskQueue::Task> TaskQueue::pop() {
+  static obs::Counter& popped =
+      obs::default_registry().counter("sthreads.taskqueue.popped");
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [&] { return closed_ || !tasks_.empty(); });
   if (tasks_.empty()) return std::nullopt;
   Task t = std::move(tasks_.front());
   tasks_.pop_front();
+  popped.add();
   return t;
 }
 

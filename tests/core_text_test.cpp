@@ -97,11 +97,22 @@ TEST(CliParser, UnknownFlagFailsParse) {
   EXPECT_FALSE(cli.parse(2, argv));
 }
 
-TEST(CliParser, MissingValueFailsParse) {
+TEST(CliParser, BareFlagReadsAsBooleanTrue) {
   CliParser cli("test");
-  cli.add_flag("k", "1", "");
+  cli.add_flag("k", "false", "");
+  cli.add_flag("v", "0", "");
+  const char* argv[] = {"prog", "--k", "--v", "7"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_TRUE(cli.get_bool("k"));
+  EXPECT_EQ(cli.get_int("v"), 7);
+}
+
+TEST(CliParser, TrailingBareFlagReadsAsBooleanTrue) {
+  CliParser cli("test");
+  cli.add_flag("k", "false", "");
   const char* argv[] = {"prog", "--k"};
-  EXPECT_FALSE(cli.parse(2, argv));
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_bool("k"));
 }
 
 TEST(CliParser, HelpReturnsFalseAndUsageListsFlags) {

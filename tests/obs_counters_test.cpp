@@ -1,0 +1,177 @@
+#include "obs/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace tc3i::obs {
+namespace {
+
+TEST(Counter, AddValueReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ConcurrentAddsDoNotLoseIncrements) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.25);
+  g.set(-1.5);
+  EXPECT_EQ(g.value(), -1.5);
+}
+
+TEST(Histogram, CountSumMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50), 0.0);
+  h.record(2.0);
+  h.record(8.0);
+  h.record(4.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 14.0);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+}
+
+TEST(Histogram, PercentilesWithinBucketError) {
+  // 8 sub-buckets per octave bounds the relative error of a percentile
+  // estimate by one bucket width (2^(1/8) - 1 ~= 9% of the value).
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  EXPECT_NEAR(h.percentile(50), 500.0, 0.10 * 500.0);
+  EXPECT_NEAR(h.percentile(90), 900.0, 0.10 * 900.0);
+  EXPECT_NEAR(h.percentile(99), 990.0, 0.10 * 990.0);
+  // Extremes clamp to the exact observed min/max.
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 1000.0);
+}
+
+TEST(Histogram, TinyAndHugeValuesClampToEndBuckets) {
+  Histogram h;
+  h.record(1e-300);
+  h.record(1e300);
+  h.record(0.0);
+  h.record(-5.0);  // non-positive values land in bucket 0
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.max(), 1e300);
+}
+
+TEST(Histogram, Reset) {
+  Histogram h;
+  h.record(7.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0.0);
+}
+
+TEST(CounterRegistry, GetOrCreateReturnsStableAddresses) {
+  CounterRegistry reg;
+  Counter& a = reg.counter("mta.issue.total");
+  Counter& b = reg.counter("mta.issue.total");
+  EXPECT_EQ(&a, &b);
+  EXPECT_TRUE(reg.contains("mta.issue.total"));
+  EXPECT_FALSE(reg.contains("mta.issue"));
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(CounterRegistry, DistinctNamesAreDistinctMetrics) {
+  CounterRegistry reg;
+  reg.counter("a.x").add(1);
+  reg.counter("a.y").add(2);
+  reg.gauge("a.z").set(9.0);
+  reg.histogram("a.h").record(1.0);
+  EXPECT_EQ(reg.size(), 4u);
+  EXPECT_EQ(reg.counter("a.x").value(), 1u);
+  EXPECT_EQ(reg.counter("a.y").value(), 2u);
+}
+
+TEST(CounterRegistryDeathTest, KindMismatchIsRejected) {
+  CounterRegistry reg;
+  (void)reg.counter("dual.use");
+  EXPECT_DEATH((void)reg.gauge("dual.use"), "kind");
+  EXPECT_DEATH((void)reg.histogram("dual.use"), "kind");
+}
+
+TEST(CounterRegistryDeathTest, MalformedNamesAreRejected) {
+  CounterRegistry reg;
+  EXPECT_DEATH((void)reg.counter(""), "name");
+  EXPECT_DEATH((void)reg.counter("Upper.case"), "name");
+  EXPECT_DEATH((void)reg.counter(".leading"), "name");
+  EXPECT_DEATH((void)reg.counter("trailing."), "name");
+  EXPECT_DEATH((void)reg.counter("dou..ble"), "name");
+  EXPECT_DEATH((void)reg.counter("spa ce"), "name");
+}
+
+TEST(CounterRegistry, ResetValuesKeepsEntriesAndReferences) {
+  CounterRegistry reg;
+  Counter& c = reg.counter("keep.me");
+  Gauge& g = reg.gauge("keep.gauge");
+  Histogram& h = reg.histogram("keep.hist");
+  c.add(5);
+  g.set(2.0);
+  h.record(3.0);
+  reg.reset_values();
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  // References stay valid: writing after reset works.
+  c.add(1);
+  EXPECT_EQ(reg.counter("keep.me").value(), 1u);
+}
+
+TEST(CounterRegistry, SnapshotIsNameSortedAndTyped) {
+  CounterRegistry reg;
+  reg.counter("b.count").add(3);
+  reg.gauge("a.gauge").set(1.5);
+  reg.histogram("c.hist").record(2.0);
+  const std::vector<MetricSnapshot> snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a.gauge");
+  EXPECT_EQ(snap[0].kind, MetricSnapshot::Kind::Gauge);
+  EXPECT_EQ(snap[0].value, 1.5);
+  EXPECT_EQ(snap[1].name, "b.count");
+  EXPECT_EQ(snap[1].kind, MetricSnapshot::Kind::Counter);
+  EXPECT_EQ(snap[1].count, 3u);
+  EXPECT_EQ(snap[2].name, "c.hist");
+  EXPECT_EQ(snap[2].kind, MetricSnapshot::Kind::Histogram);
+  EXPECT_EQ(snap[2].count, 1u);
+}
+
+TEST(DefaultRegistry, IsProcessGlobalSingleton) {
+  CounterRegistry& a = default_registry();
+  CounterRegistry& b = default_registry();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Scope, RecordsElapsedSecondsIntoHistogram) {
+  Histogram h;
+  { Scope timer(h); }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.max(), 0.0);
+  EXPECT_LT(h.max(), 60.0);  // sanity: well under a minute
+}
+
+}  // namespace
+}  // namespace tc3i::obs

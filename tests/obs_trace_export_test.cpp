@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <string>
+
+#include "mta/machine.hpp"
+#include "mta/stream_program.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace tc3i::obs {
+namespace {
+
+TEST(JsonWriter, EscapesAndFormats) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("s", std::string("a\"b\\c\nd"));
+  w.field("i", std::int64_t{-3});
+  w.field("u", std::uint64_t{7});
+  w.field("d", 0.5);
+  w.field("b", true);
+  w.key("n");
+  w.null();
+  w.end_object();
+  EXPECT_EQ(os.str(),
+            "{\"s\":\"a\\\"b\\\\c\\nd\",\"i\":-3,\"u\":7,\"d\":0.5,"
+            "\"b\":true,\"n\":null}");
+  EXPECT_FALSE(json_validate(os.str()).has_value());
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(os.str(), "[null,null]");
+}
+
+TEST(JsonValidate, RejectsMalformedDocuments) {
+  EXPECT_TRUE(json_validate("").has_value());
+  EXPECT_TRUE(json_validate("{").has_value());
+  EXPECT_TRUE(json_validate("{}extra").has_value());
+  EXPECT_TRUE(json_validate("{'single':1}").has_value());
+  EXPECT_TRUE(json_validate("[1,]").has_value());
+  EXPECT_FALSE(json_validate("{\"a\":[1,2.5,\"x\",null,true]}").has_value());
+}
+
+TEST(TraceSink, RecordsTypedEventsPerTrack) {
+  TraceSink sink;
+  const std::uint32_t pid = sink.register_track("machine-a");
+  EXPECT_EQ(pid, 1u);
+  sink.instant(Category::Spawn, "spawn_hw", 1.0, pid, 3);
+  sink.begin(Category::Sync, "lock_wait", 2.0, pid, 3);
+  sink.end(Category::Sync, "lock_wait", 5.0, pid, 3);
+  sink.complete(Category::Sched, "phase", 1.0, 4.0, pid, 0);
+  sink.counter(Category::Issue, "issue_utilization", 6.0, pid, 0.75);
+  EXPECT_EQ(sink.size(), 5u);
+  EXPECT_EQ(sink.events()[1].ph, 'B');
+  EXPECT_EQ(sink.events()[2].ph, 'E');
+  EXPECT_EQ(sink.events()[4].value, 0.75);
+}
+
+TEST(TraceSink, ChromeJsonIsValidAndMonotonicallyTimestamped) {
+  TraceSink sink;
+  const std::uint32_t pid = sink.register_track("m");
+  // Emit deliberately out of order: export must stable-sort by timestamp.
+  sink.instant(Category::Memory, "late", 30.0, pid, 0);
+  sink.instant(Category::Issue, "early", 10.0, pid, 0);
+  sink.counter(Category::Sync, "mid", 20.0, pid, 1.0);
+  std::ostringstream os;
+  sink.write_chrome_json(os);
+  const std::string json = os.str();
+  ASSERT_FALSE(json_validate(json).has_value()) << *json_validate(json);
+
+  // Timestamps of non-metadata events appear in non-decreasing order.
+  double last_ts = -1.0;
+  std::size_t found = 0;
+  for (std::size_t pos = json.find("\"ts\":"); pos != std::string::npos;
+       pos = json.find("\"ts\":", pos + 1)) {
+    const double ts = std::stod(json.substr(pos + 5));
+    EXPECT_GE(ts, last_ts);
+    last_ts = ts;
+    ++found;
+  }
+  EXPECT_GE(found, 3u);
+  // All four fields Chrome needs are present somewhere.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"issue\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+}
+
+TEST(TraceSink, CsvTimelineHasHeaderAndOneLinePerEvent) {
+  TraceSink sink;
+  const std::uint32_t pid = sink.register_track("m");
+  sink.instant(Category::Spawn, "a", 1.0, pid, 0);
+  sink.counter(Category::Issue, "b", 2.0, pid, 0.5);
+  std::ostringstream os;
+  sink.write_csv(os);
+  std::istringstream lines(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "ts_us,category,phase,name,pid,tid,value,dur_us");
+  int data_lines = 0;
+  while (std::getline(lines, line))
+    if (!line.empty()) ++data_lines;
+  EXPECT_EQ(data_lines, 2);
+}
+
+TEST(RunReport, JsonContainsRowsConfigAndRegistrySnapshot) {
+  CounterRegistry reg;
+  reg.counter("test.ops").add(11);
+  reg.gauge("test.level").set(0.5);
+  reg.histogram("test.lat").record(2.0);
+
+  RunReport report("unit_bench");
+  report.set_config("chunks", 256.0);
+  report.set_config("variant", "chunked");
+  report.add_row("one_proc", 82.0, 80.0);
+  report.add_note("synthetic");
+  EXPECT_EQ(report.num_rows(), 1u);
+
+  std::ostringstream os;
+  report.write_json(os, reg);
+  const std::string json = os.str();
+  ASSERT_FALSE(json_validate(json).has_value()) << *json_validate(json);
+  EXPECT_NE(json.find("\"bench\":\"unit_bench\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"one_proc\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.ops\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"test.level\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"notes\":[\"synthetic\"]"), std::string::npos);
+}
+
+// Regression: the per-bucket utilization timeline must integrate back to
+// the scalar processor_utilization (bucket sums count every issued
+// instruction exactly once).
+TEST(MtaTimeline, BucketSumsMatchProcessorUtilization) {
+  mta::MtaConfig cfg;
+  cfg.num_processors = 2;
+  cfg.timeline_bucket_cycles = 64;
+  mta::Machine machine(std::move(cfg));
+  mta::ProgramPool pool;
+  for (int s = 0; s < 8; ++s) {
+    mta::VectorProgram* p = pool.make_vector();
+    p->compute(200);
+    p->load(16, 40);
+    p->compute(100);
+    machine.add_stream(p);
+  }
+  const mta::MtaRunResult r = machine.run();
+  ASSERT_FALSE(r.utilization_timeline.empty());
+  ASSERT_GT(r.cycles, 0u);
+
+  // sum(bucket_util * bucket_slots) == total issues == util * total_slots.
+  const double bucket_slots =
+      64.0 * static_cast<double>(machine.config().num_processors);
+  const double issues_from_timeline =
+      std::accumulate(r.utilization_timeline.begin(),
+                      r.utilization_timeline.end(), 0.0) *
+      bucket_slots;
+  const double issues_from_util =
+      r.processor_utilization * static_cast<double>(r.cycles) *
+      static_cast<double>(machine.config().num_processors);
+  EXPECT_NEAR(issues_from_timeline, issues_from_util, 0.5);
+  EXPECT_NEAR(issues_from_timeline,
+              static_cast<double>(r.instructions_issued), 0.5);
+}
+
+}  // namespace
+}  // namespace tc3i::obs

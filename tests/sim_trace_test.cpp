@@ -96,5 +96,50 @@ TEST(WorkloadTrace, NestedLocksBalance) {
   EXPECT_EQ(w.validate(), "");
 }
 
+TEST(WorkloadTrace, DetectsMismatchedLockIdPair) {
+  // Depth balances (one acquire, one release) but the ids differ: the
+  // engine would hit its owner assertion at runtime, so validate() must
+  // reject it up front.
+  WorkloadTrace w;
+  w.num_locks = 2;
+  ThreadTrace t;
+  t.acquire(0);
+  t.release(1);
+  t.acquire(1);
+  t.release(0);
+  w.threads = {t};
+  EXPECT_NE(w.validate().find("without matching acquire"), std::string::npos);
+}
+
+TEST(WorkloadTrace, DetectsRecursiveAcquireOfHeldLock) {
+  WorkloadTrace w;
+  w.num_locks = 1;
+  ThreadTrace t;
+  t.acquire(0);
+  t.acquire(0);
+  t.release(0);
+  t.release(0);
+  w.threads = {t};
+  EXPECT_NE(w.validate().find("self-deadlock"), std::string::npos);
+}
+
+TEST(WorkloadTrace, ImbalanceReportsOffendingThread) {
+  WorkloadTrace w;
+  w.num_locks = 2;
+  ThreadTrace ok;
+  ok.acquire(1);
+  ok.compute(1, 0);
+  ok.release(1);
+  ThreadTrace bad;
+  bad.acquire(0);
+  bad.release(0);
+  bad.acquire(1);
+  bad.release(0);  // wrong id: releases 0, holds 1
+  w.threads = {ok, bad};
+  const std::string err = w.validate();
+  EXPECT_NE(err.find("thread 1"), std::string::npos);
+  EXPECT_NE(err.find("release of lock 0"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tc3i::sim

@@ -1,0 +1,39 @@
+// Strict JSON syntax checker for exported traces and reports.
+//
+//   json_check file.json [more.json ...]
+//
+// Exits 0 when every file parses as one complete JSON value, 1 otherwise
+// (printing the first error with its byte offset). Used by scripts/check.sh
+// to validate --trace-out / --report-out output without a JSON library.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: json_check <file.json> [...]\n");
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      ++failures;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    if (const auto err = tc3i::obs::json_validate(text)) {
+      std::fprintf(stderr, "%s: %s\n", argv[i], err->c_str());
+      ++failures;
+    } else {
+      std::printf("%s: ok (%zu bytes)\n", argv[i], text.size());
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
