@@ -72,20 +72,35 @@ int main(int argc, char** argv) {
     const smp::SmpConfig* cfg;
     int procs;
   };
-  for (const Row& row : {Row{"Pentium Pro (4p)", &tb.ppro, 4},
-                         Row{"Exemplar (16p)", &tb.exemplar, 16}}) {
-    const double seq = platforms::terrain_seq_seconds(tb, *row.cfg);
-    const double coarse =
-        platforms::terrain_coarse_seconds(tb, *row.cfg, row.procs, row.procs);
-    const double fine = finegrain_smp_seconds(tb, *row.cfg, row.procs);
-    table.row({row.name, TextTable::num(seq, 0), TextTable::num(coarse, 1),
+  const std::vector<Row> rows = {Row{"Pentium Pro (4p)", &tb.ppro, 4},
+                                 Row{"Exemplar (16p)", &tb.exemplar, 16}};
+  // Three points per platform (sequential, coarse, fine) plus the MTA
+  // reference run quoted in the closing note.
+  const std::vector<double> swept = sim::run_sweep(
+      rows.size() * 3 + 1, session.jobs(), [&](std::size_t i) {
+        if (i == rows.size() * 3)
+          return platforms::mta_terrain_fine_seconds(tb, 1);
+        const Row& row = rows[i / 3];
+        switch (i % 3) {
+          case 0: return platforms::terrain_seq_seconds(tb, *row.cfg);
+          case 1:
+            return platforms::terrain_coarse_seconds(tb, *row.cfg, row.procs,
+                                                     row.procs);
+          default: return finegrain_smp_seconds(tb, *row.cfg, row.procs);
+        }
+      });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double seq = swept[i * 3];
+    const double coarse = swept[i * 3 + 1];
+    const double fine = swept[i * 3 + 2];
+    table.row({rows[i].name, TextTable::num(seq, 0), TextTable::num(coarse, 1),
                TextTable::num(fine, 0),
                TextTable::num(fine / coarse, 1) + "x slower"});
   }
   table.render(std::cout);
 
   std::cout << "\nThe same schedule on the simulated MTA (Table 11) runs in "
-            << TextTable::num(platforms::mta_terrain_fine_seconds(tb, 1), 1)
+            << TextTable::num(swept[rows.size() * 3], 1)
             << " s on ONE processor: 2-cycle spawns and 1-issue "
                "synchronization\nmake ~"
             << 250 * 60 * 5

@@ -44,14 +44,28 @@ std::uint64_t run_strided(int stride, bool banks, bool hashed) {
 
 int main(int argc, char** argv) {
   tc3i::bench::Session session("ablate_mta_banks", argc, argv);
+  const std::vector<int> strides = {1, 7, 64, 128, 4096};
+  // Three configurations per stride: ideal interleave, hashed banks,
+  // unhashed banks.
+  const std::vector<std::uint64_t> swept =
+      sim::run_sweep(strides.size() * 3, session.jobs(), [&](std::size_t i) {
+        const int stride = strides[i / 3];
+        switch (i % 3) {
+          case 0: return run_strided(stride, false, false);
+          case 1: return run_strided(stride, true, true);
+          default: return run_strided(stride, true, false);
+        }
+      });
+
   TextTable table(
       "64 streams sweeping memory: cycles vs access stride and bank model");
   table.header({"Stride (words)", "Ideal interleave", "64 banks, hashed",
                 "64 banks, unhashed", "Unhashed penalty"});
-  for (const int stride : {1, 7, 64, 128, 4096}) {
-    const auto ideal = run_strided(stride, false, false);
-    const auto hashed = run_strided(stride, true, true);
-    const auto unhashed = run_strided(stride, true, false);
+  for (std::size_t s = 0; s < strides.size(); ++s) {
+    const int stride = strides[s];
+    const auto ideal = swept[s * 3];
+    const auto hashed = swept[s * 3 + 1];
+    const auto unhashed = swept[s * 3 + 2];
     table.row({std::to_string(stride), std::to_string(ideal),
                std::to_string(hashed), std::to_string(unhashed),
                TextTable::num(static_cast<double>(unhashed) /

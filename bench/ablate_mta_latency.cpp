@@ -27,18 +27,25 @@ int main(int argc, char** argv) {
   tc3i::bench::Session session("ablate_mta_latency", argc, argv);
   const auto& tb = bench::testbed();
 
+  const std::vector<int> chunk_counts = {8, 16, 32, 64, 128, 256};
+
   {
+    const std::vector<int> spacings = {11, 21, 42};
+    const std::vector<double> swept = sim::run_sweep(
+        chunk_counts.size() * spacings.size(), session.jobs(),
+        [&](std::size_t i) {
+          mta::MtaConfig cfg = platforms::make_mta_config(1);
+          cfg.issue_spacing_cycles = spacings[i % spacings.size()];
+          return chunked_time(tb, cfg, chunk_counts[i / spacings.size()]);
+        });
     TextTable table(
         "Threat Analysis chunk sweep (1 proc) vs issue spacing "
         "(21 = the MTA-1 pipeline depth)");
     table.header({"Chunks", "spacing 11", "spacing 21", "spacing 42"});
-    for (const int chunks : {8, 16, 32, 64, 128, 256}) {
-      std::vector<std::string> row{std::to_string(chunks)};
-      for (const int spacing : {11, 21, 42}) {
-        mta::MtaConfig cfg = platforms::make_mta_config(1);
-        cfg.issue_spacing_cycles = spacing;
-        row.push_back(TextTable::num(chunked_time(tb, cfg, chunks), 1));
-      }
+    for (std::size_t c = 0; c < chunk_counts.size(); ++c) {
+      std::vector<std::string> row{std::to_string(chunk_counts[c])};
+      for (std::size_t s = 0; s < spacings.size(); ++s)
+        row.push_back(TextTable::num(swept[c * spacings.size() + s], 1));
       table.row(std::move(row));
     }
     table.render(std::cout);
@@ -47,17 +54,22 @@ int main(int argc, char** argv) {
   }
 
   {
+    const std::vector<int> latencies = {35, 70, 140};
+    const std::vector<double> swept = sim::run_sweep(
+        chunk_counts.size() * latencies.size(), session.jobs(),
+        [&](std::size_t i) {
+          mta::MtaConfig cfg = platforms::make_mta_config(1);
+          cfg.memory_latency_cycles = latencies[i % latencies.size()];
+          return chunked_time(tb, cfg, chunk_counts[i / latencies.size()]);
+        });
     TextTable table(
         "Threat Analysis chunk sweep (1 proc) vs memory latency "
         "(70 = the modeled MTA-1 round trip)");
     table.header({"Chunks", "latency 35", "latency 70", "latency 140"});
-    for (const int chunks : {8, 16, 32, 64, 128, 256}) {
-      std::vector<std::string> row{std::to_string(chunks)};
-      for (const int latency : {35, 70, 140}) {
-        mta::MtaConfig cfg = platforms::make_mta_config(1);
-        cfg.memory_latency_cycles = latency;
-        row.push_back(TextTable::num(chunked_time(tb, cfg, chunks), 1));
-      }
+    for (std::size_t c = 0; c < chunk_counts.size(); ++c) {
+      std::vector<std::string> row{std::to_string(chunk_counts[c])};
+      for (std::size_t l = 0; l < latencies.size(); ++l)
+        row.push_back(TextTable::num(swept[c * latencies.size() + l], 1));
       table.row(std::move(row));
     }
     table.render(std::cout);

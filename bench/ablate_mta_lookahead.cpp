@@ -38,15 +38,20 @@ mta::MtaRunResult run_kernel(int streams, int lookahead) {
 int main(int argc, char** argv) {
   tc3i::bench::Session session("ablate_mta_lookahead", argc, argv);
   {
+    const std::vector<int> lookaheads = {0, 1, 2, 4, 8};
+    const std::vector<std::uint64_t> cycles =
+        sim::run_sweep(lookaheads.size(), session.jobs(), [&](std::size_t i) {
+          return run_kernel(1, lookaheads[i]).cycles;
+        });
     TextTable table(
         "Single-stream cycles for a memory-rich kernel vs lookahead "
         "(300 x [3 ALU + 1 load])");
     table.header({"Lookahead", "Cycles", "vs lookahead 0"});
-    const double base = static_cast<double>(run_kernel(1, 0).cycles);
-    for (const int la : {0, 1, 2, 4, 8}) {
-      const auto r = run_kernel(1, la);
-      table.row({std::to_string(la), std::to_string(r.cycles),
-                 TextTable::num(base / static_cast<double>(r.cycles), 2) + "x"});
+    const double base = static_cast<double>(cycles[0]);
+    for (std::size_t i = 0; i < lookaheads.size(); ++i) {
+      table.row({std::to_string(lookaheads[i]), std::to_string(cycles[i]),
+                 TextTable::num(base / static_cast<double>(cycles[i]), 2) +
+                     "x"});
     }
     table.render(std::cout);
     std::cout << "Expected: with enough lookahead the 70-cycle latency hides "
@@ -55,14 +60,22 @@ int main(int argc, char** argv) {
   }
 
   {
+    const std::vector<int> stream_counts = {8, 16, 24, 32, 48, 64, 96};
+    const std::vector<int> lookaheads = {0, 2, 8};
+    const std::vector<double> util = sim::run_sweep(
+        stream_counts.size() * lookaheads.size(), session.jobs(),
+        [&](std::size_t i) {
+          return run_kernel(stream_counts[i / lookaheads.size()],
+                            lookaheads[i % lookaheads.size()])
+              .processor_utilization;
+        });
     TextTable table("Processor utilization vs streams, by lookahead");
     table.header({"Streams", "lookahead 0", "lookahead 2", "lookahead 8"});
-    for (const int n : {8, 16, 24, 32, 48, 64, 96}) {
-      std::vector<std::string> row{std::to_string(n)};
-      for (const int la : {0, 2, 8})
+    for (std::size_t s = 0; s < stream_counts.size(); ++s) {
+      std::vector<std::string> row{std::to_string(stream_counts[s])};
+      for (std::size_t l = 0; l < lookaheads.size(); ++l)
         row.push_back(
-            TextTable::num(100.0 * run_kernel(n, la).processor_utilization, 1) +
-            "%");
+            TextTable::num(100.0 * util[s * lookaheads.size() + l], 1) + "%");
       table.row(std::move(row));
     }
     table.render(std::cout);

@@ -56,14 +56,24 @@ std::uint64_t fanout_cycles(int workers, Mode mode) {
 
 int main(int argc, char** argv) {
   tc3i::bench::Session session("ablate_mta_spawn_tree", argc, argv);
+  const std::vector<int> worker_counts = {16, 64, 128, 256, 512};
+  const std::vector<Mode> modes = {Mode::Serial, Mode::SpawnTree,
+                                   Mode::ForkJoinTree};
+  const std::vector<std::uint64_t> swept = sim::run_sweep(
+      worker_counts.size() * modes.size(), session.jobs(), [&](std::size_t i) {
+        return fanout_cycles(worker_counts[i / modes.size()],
+                             modes[i % modes.size()]);
+      });
+
   TextTable table(
       "Cycles to fork N trivial workers and join them (2 processors)");
   table.header({"Workers", "Serial fork+join", "Tree fork, serial join",
                 "Tree fork+join", "Serial/tree"});
-  for (const int n : {16, 64, 128, 256, 512}) {
-    const auto serial = fanout_cycles(n, Mode::Serial);
-    const auto spawn_tree = fanout_cycles(n, Mode::SpawnTree);
-    const auto fork_join = fanout_cycles(n, Mode::ForkJoinTree);
+  for (std::size_t w = 0; w < worker_counts.size(); ++w) {
+    const int n = worker_counts[w];
+    const auto serial = swept[w * modes.size()];
+    const auto spawn_tree = swept[w * modes.size() + 1];
+    const auto fork_join = swept[w * modes.size() + 2];
     table.row({std::to_string(n), std::to_string(serial),
                std::to_string(spawn_tree), std::to_string(fork_join),
                TextTable::num(static_cast<double>(serial) /

@@ -11,13 +11,20 @@ int main(int argc, char** argv) {
   using namespace tc3i;
   const auto& tb = bench::testbed();
 
+  const std::vector<int> blockings = {1, 2, 4, 10, 20, 40};
+  const std::vector<double> swept =
+      sim::run_sweep(blockings.size(), session.jobs(), [&](std::size_t i) {
+        return platforms::terrain_coarse_seconds(tb, tb.exemplar, 16, 16,
+                                                 blockings[i]);
+      });
+
   TextTable table(
       "Coarse Terrain Masking on 16-processor Exemplar vs blocking factor");
   table.header({"Blocks per side", "Locks", "16-proc time (s)"});
-  for (const int b : {1, 2, 4, 10, 20, 40}) {
-    const double t = platforms::terrain_coarse_seconds(tb, tb.exemplar, 16, 16, b);
+  for (std::size_t i = 0; i < blockings.size(); ++i) {
+    const int b = blockings[i];
     table.row({std::to_string(b), std::to_string(b * b),
-               TextTable::num(t, 1)});
+               TextTable::num(swept[i], 1)});
   }
   table.render(std::cout);
   std::cout << "\nExpected shape: a single whole-terrain lock serializes the "

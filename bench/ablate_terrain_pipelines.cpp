@@ -15,16 +15,25 @@ int main(int argc, char** argv) {
   tc3i::bench::Session session("ablate_terrain_pipelines", argc, argv);
   const auto& tb = bench::testbed();
 
+  const std::vector<std::size_t> pipeline_counts = {1, 2, 4, 6, 10, 16};
+  // Two points per pipeline count: 1 processor, then 2.
+  const std::vector<double> pipeline_swept = sim::run_sweep(
+      pipeline_counts.size() * 2, session.jobs(), [&](std::size_t i) {
+        c3i::terrain::MtaFineParams params;
+        params.pipelines = pipeline_counts[i / 2];
+        return platforms::mta_terrain_fine_seconds(
+            tb, i % 2 == 0 ? 1 : 2, params);
+      });
+
   TextTable table(
       "Fine-grained Terrain Masking on the Tera MTA vs pipeline count "
       "(paper: 48 s / 34 s, speedup 1.4)");
   table.header({"Pipelines", "1 proc (s)", "2 procs (s)", "2-proc speedup",
                 "temp arrays"});
-  for (const std::size_t pipelines : {1u, 2u, 4u, 6u, 10u, 16u}) {
-    c3i::terrain::MtaFineParams params;
-    params.pipelines = pipelines;
-    const double t1 = platforms::mta_terrain_fine_seconds(tb, 1, params);
-    const double t2 = platforms::mta_terrain_fine_seconds(tb, 2, params);
+  for (std::size_t i = 0; i < pipeline_counts.size(); ++i) {
+    const std::size_t pipelines = pipeline_counts[i];
+    const double t1 = pipeline_swept[i * 2];
+    const double t2 = pipeline_swept[i * 2 + 1];
     table.row({std::to_string(pipelines), TextTable::num(t1, 1),
                TextTable::num(t2, 1), TextTable::num(t1 / t2, 2),
                std::to_string(pipelines)});
@@ -36,16 +45,22 @@ int main(int argc, char** argv) {
                "middle ground between Program 4's memory cost and a single "
                "serialized pipeline.\n";
 
+  const std::vector<std::size_t> cell_counts = {4, 8, 12, 24, 48, 96};
+  const std::vector<double> cell_swept = sim::run_sweep(
+      cell_counts.size() * 2, session.jobs(), [&](std::size_t i) {
+        c3i::terrain::MtaFineParams params;
+        params.ring_cells_per_stream = cell_counts[i / 2];
+        return platforms::mta_terrain_fine_seconds(
+            tb, i % 2 == 0 ? 1 : 2, params);
+      });
+
   TextTable chunk_table(
       "Ring worker granularity (cells/stream) at 4 pipelines");
   chunk_table.header({"Cells per ring stream", "1 proc (s)", "2 procs (s)"});
-  for (const std::size_t cells : {4u, 8u, 12u, 24u, 48u, 96u}) {
-    c3i::terrain::MtaFineParams params;
-    params.ring_cells_per_stream = cells;
-    chunk_table.row(
-        {std::to_string(cells),
-         TextTable::num(platforms::mta_terrain_fine_seconds(tb, 1, params), 1),
-         TextTable::num(platforms::mta_terrain_fine_seconds(tb, 2, params), 1)});
+  for (std::size_t i = 0; i < cell_counts.size(); ++i) {
+    chunk_table.row({std::to_string(cell_counts[i]),
+                     TextTable::num(cell_swept[i * 2], 1),
+                     TextTable::num(cell_swept[i * 2 + 1], 1)});
   }
   chunk_table.render(std::cout);
   std::cout << "\nExpected: too-small chunks drown in spawn/join sync; "

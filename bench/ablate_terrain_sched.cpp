@@ -11,14 +11,25 @@ int main(int argc, char** argv) {
   using namespace tc3i;
   const auto& tb = bench::testbed();
 
+  const std::vector<int> procs = {2, 4, 8, 12, 16};
+  // Two points per processor count: dynamic queue, then static assignment.
+  const std::vector<double> swept =
+      sim::run_sweep(procs.size() * 2, session.jobs(), [&](std::size_t i) {
+        const int p = procs[i / 2];
+        return i % 2 == 0
+                   ? platforms::terrain_coarse_seconds(tb, tb.exemplar, p, p)
+                   : platforms::terrain_coarse_static_seconds(tb, tb.exemplar,
+                                                              p, p);
+      });
+
   TextTable table(
       "Coarse Terrain Masking on Exemplar: dynamic queue vs static "
       "round-robin assignment");
   table.header({"Processors", "Dynamic (s)", "Static (s)", "Static penalty"});
-  for (const int p : {2, 4, 8, 12, 16}) {
-    const double dyn = platforms::terrain_coarse_seconds(tb, tb.exemplar, p, p);
-    const double sta =
-        platforms::terrain_coarse_static_seconds(tb, tb.exemplar, p, p);
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    const int p = procs[i];
+    const double dyn = swept[i * 2];
+    const double sta = swept[i * 2 + 1];
     table.row({std::to_string(p), TextTable::num(dyn, 1),
                TextTable::num(sta, 1),
                "+" + TextTable::num(100.0 * (sta / dyn - 1.0), 1) + "%"});

@@ -17,10 +17,16 @@ int main(int argc, char** argv) {
       "Threat Analysis on Tera MTA: chunked (Program 2) vs fine-grained "
       "(sync-variable fetch-add, one stream per threat)");
   table.header({"Variant", "1 proc (s)", "2 procs (s)", "2-proc speedup"});
-  const double c1 = platforms::mta_threat_chunked_seconds(tb, 256, 1);
-  const double c2 = platforms::mta_threat_chunked_seconds(tb, 256, 2);
-  const double f1 = platforms::mta_threat_finegrained_seconds(tb, 1);
-  const double f2 = platforms::mta_threat_finegrained_seconds(tb, 2);
+  const std::vector<double> swept = sim::run_sweep(
+      {[&] { return platforms::mta_threat_chunked_seconds(tb, 256, 1); },
+       [&] { return platforms::mta_threat_chunked_seconds(tb, 256, 2); },
+       [&] { return platforms::mta_threat_finegrained_seconds(tb, 1); },
+       [&] { return platforms::mta_threat_finegrained_seconds(tb, 2); }},
+      session.jobs());
+  const double c1 = swept[0];
+  const double c2 = swept[1];
+  const double f1 = swept[2];
+  const double f2 = swept[3];
   table.row({"chunked x256", TextTable::num(c1, 1), TextTable::num(c2, 1),
              TextTable::num(c1 / c2, 2)});
   table.row({"fine-grained", TextTable::num(f1, 1), TextTable::num(f2, 1),

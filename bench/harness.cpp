@@ -5,6 +5,7 @@
 
 #include "core/cli.hpp"
 #include "core/contracts.hpp"
+#include "platforms/testbed_cache.hpp"
 
 namespace tc3i::bench {
 
@@ -24,7 +25,9 @@ Session::Session(std::string bench_name, int argc, const char* const* argv) {
 Session::~Session() = default;
 
 const platforms::Testbed& testbed() {
-  static const platforms::Testbed tb = platforms::build_testbed();
+  // Kernel profiles come from the disk cache when available (identical
+  // testbed either way; see platforms/testbed_cache.hpp).
+  static const platforms::Testbed tb = platforms::load_or_build_testbed();
   return tb;
 }
 

@@ -12,6 +12,7 @@
 #include "obs/session.hpp"
 #include "platforms/experiment.hpp"
 #include "platforms/paper.hpp"
+#include "sim/sweep.hpp"
 
 namespace tc3i::bench {
 
@@ -28,6 +29,8 @@ class Session {
   ~Session();
 
   [[nodiscard]] obs::RunSession& obs() { return *run_; }
+  /// Resolved --jobs value (see obs::RunSession::jobs()).
+  [[nodiscard]] int jobs() const { return run_->jobs(); }
 
  private:
   std::unique_ptr<obs::RunSession> run_;

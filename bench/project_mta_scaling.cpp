@@ -45,15 +45,23 @@ int main(int argc, char** argv) {
   // for hundreds of threads" caveat at machine scale.
   constexpr int kChunks = 256;
 
+  const std::vector<int> proc_counts = {1, 2, 4, 8, 16};
+  // Two points per processor count: prototype network, then scalable.
+  const std::vector<double> swept = sim::run_sweep(
+      proc_counts.size() * 2, session.jobs(), [&](std::size_t i) {
+        return run(tb, proc_counts[i / 2], i % 2 == 1, kChunks);
+      });
+
   TextTable table(
       "Projected multithreaded Threat Analysis (256 chunks) on larger MTAs");
   table.header({"Processors", "Prototype net (s)", "speedup",
                 "Scalable net (s)", "speedup"});
-  const double base_proto = run(tb, 1, false, kChunks);
-  const double base_scal = run(tb, 1, true, kChunks);
-  for (const int p : {1, 2, 4, 8, 16}) {
-    const double proto = run(tb, p, false, kChunks);
-    const double scal = run(tb, p, true, kChunks);
+  const double base_proto = swept[0];
+  const double base_scal = swept[1];
+  for (std::size_t i = 0; i < proc_counts.size(); ++i) {
+    const int p = proc_counts[i];
+    const double proto = swept[i * 2];
+    const double scal = swept[i * 2 + 1];
     table.row({std::to_string(p), TextTable::num(proto, 1),
                TextTable::num(base_proto / proto, 2) + "x",
                TextTable::num(scal, 1),

@@ -20,11 +20,24 @@ int main(int argc, char** argv) {
       "(rates per processor held fixed)");
   table.header({"Processors", "Threat Analysis (s)", "speedup",
                 "Terrain Masking (s)", "speedup"});
-  const double ta_base = platforms::threat_seq_seconds(tb, tb.exemplar);
-  const double tm_base = platforms::terrain_seq_seconds(tb, tb.exemplar);
-  for (const int p : {1, 2, 4, 8, 16, 32, 64}) {
-    const double ta = platforms::threat_chunked_seconds(tb, tb.exemplar, p, p);
-    const double tm = platforms::terrain_coarse_seconds(tb, tb.exemplar, p, p);
+  const std::vector<int> proc_counts = {1, 2, 4, 8, 16, 32, 64};
+  // Points 0/1 are the sequential baselines; then two points (threat,
+  // terrain) per processor count.
+  const std::vector<double> swept = sim::run_sweep(
+      proc_counts.size() * 2 + 2, session.jobs(), [&](std::size_t i) {
+        if (i == 0) return platforms::threat_seq_seconds(tb, tb.exemplar);
+        if (i == 1) return platforms::terrain_seq_seconds(tb, tb.exemplar);
+        const int p = proc_counts[(i - 2) / 2];
+        return i % 2 == 0
+                   ? platforms::threat_chunked_seconds(tb, tb.exemplar, p, p)
+                   : platforms::terrain_coarse_seconds(tb, tb.exemplar, p, p);
+      });
+  const double ta_base = swept[0];
+  const double tm_base = swept[1];
+  for (std::size_t i = 0; i < proc_counts.size(); ++i) {
+    const int p = proc_counts[i];
+    const double ta = swept[i * 2 + 2];
+    const double tm = swept[i * 2 + 3];
     table.row({std::to_string(p), TextTable::num(ta, 1),
                TextTable::num(ta_base / ta, 1) + "x", TextTable::num(tm, 1),
                TextTable::num(tm_base / tm, 1) + "x"});

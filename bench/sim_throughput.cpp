@@ -1,0 +1,281 @@
+// Simulator-throughput benchmark: how many simulated cycles and issued
+// instructions per host second the MTA simulation core sustains on fixed
+// synthetic workloads (no testbed, no kernel profiling — the scenarios are
+// deterministic and cheap to build, so this binary measures only the
+// simulator).
+//
+// Four scenarios cover the regimes the fast path optimizes:
+//   saturated    256 ready streams on 2 processors (the table 5/6 hot
+//                loop: every cycle issues, wheel drains every cycle);
+//   memory_bound 128 memory-heavy streams queueing on the shared network;
+//   solo         one long compute/memory stream (the compute-run
+//                fast-forward path);
+//   spawn_churn  tree fork/join of 512 short workers (spawn arbitration
+//                and slot virtualization).
+//
+// Each scenario runs `--reps` times (default 3); the median wall time
+// produces two RunReport rows per scenario ("<name>.cycles_per_sec" and
+// "<name>.instr_per_sec", stored in the "measured" field with paper = 1).
+// With --report-out this becomes BENCH_sim_throughput.json; scripts/check.sh
+// compares a fresh run against the committed bench/BENCH_sim_throughput.json
+// via --baseline/--min-ratio (exit 1 when any metric falls below
+// min-ratio x baseline).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cli.hpp"
+#include "core/table.hpp"
+#include "mta/machine.hpp"
+#include "mta/runtime.hpp"
+#include "mta/stream_program.hpp"
+#include "obs/session.hpp"
+
+using namespace tc3i;
+
+namespace {
+
+struct Scenario {
+  std::string name;
+  mta::MtaConfig cfg;
+  std::function<void(mta::Machine&, mta::ProgramPool&)> build;
+};
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> out;
+
+  {
+    Scenario s;
+    s.name = "saturated";
+    s.cfg.num_processors = 2;
+    s.build = [](mta::Machine& m, mta::ProgramPool& pool) {
+      for (int i = 0; i < 256; ++i) {
+        mta::VectorProgram* p = pool.make_vector();
+        for (int r = 0; r < 400; ++r) {
+          p->compute(16);
+          p->load(static_cast<mta::Address>(i * 512 + r));
+          p->store(static_cast<mta::Address>(i * 512 + r + 256), 1);
+        }
+        m.add_stream(p);
+      }
+    };
+    out.push_back(std::move(s));
+  }
+
+  {
+    Scenario s;
+    s.name = "memory_bound";
+    s.cfg.num_processors = 2;
+    s.build = [](mta::Machine& m, mta::ProgramPool& pool) {
+      for (int i = 0; i < 128; ++i) {
+        mta::VectorProgram* p = pool.make_vector();
+        for (int r = 0; r < 600; ++r) {
+          p->compute(2);
+          p->load(static_cast<mta::Address>(i * 1024 + r));
+        }
+        m.add_stream(p);
+      }
+    };
+    out.push_back(std::move(s));
+  }
+
+  {
+    Scenario s;
+    s.name = "solo";
+    s.cfg.num_processors = 1;
+    s.build = [](mta::Machine& m, mta::ProgramPool& pool) {
+      // The fast-forward path retires compute runs analytically, so its
+      // cost scales with program *entries*, not instructions — use many
+      // entries to get a wall time large enough to compare across runs.
+      mta::VectorProgram* p = pool.make_vector();
+      for (int r = 0; r < 50000; ++r) {
+        p->compute(400);
+        p->load(static_cast<mta::Address>(r & 0xffff));
+      }
+      m.add_stream(p);
+    };
+    out.push_back(std::move(s));
+  }
+
+  {
+    Scenario s;
+    s.name = "spawn_churn";
+    s.cfg.num_processors = 2;
+    s.build = [](mta::Machine& m, mta::ProgramPool& pool) {
+      // Four sequential fork/join rounds of 512 workers each: more than
+      // 512 at once would leave every hardware slot held by a blocked
+      // internal spawner and deadlock the machine (256 slots total).
+      mta::VectorProgram* parent = pool.make_vector();
+      for (int round = 0; round < 4; ++round) {
+        std::vector<mta::VectorProgram*> workers;
+        for (int i = 0; i < 512; ++i) {
+          mta::VectorProgram* w = pool.make_vector();
+          w->compute(20);
+          w->store(static_cast<mta::Address>(4096 + round * 512 + i), 1);
+          workers.push_back(w);
+        }
+        mta::emit_tree_fork_join(pool, *parent, workers,
+                                 /*cell_base=*/16384 + round * 4096,
+                                 /*fanout=*/4, /*software=*/false);
+      }
+      m.add_stream(parent);
+    };
+    out.push_back(std::move(s));
+  }
+
+  return out;
+}
+
+struct Measurement {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  double median_seconds = 0.0;
+};
+
+Measurement measure(const Scenario& s, int reps) {
+  Measurement out;
+  std::vector<double> times;
+  for (int rep = 0; rep < reps; ++rep) {
+    mta::Machine machine(s.cfg);
+    mta::ProgramPool pool;
+    s.build(machine, pool);
+    const auto start = std::chrono::steady_clock::now();
+    const mta::MtaRunResult r = machine.run();
+    const auto stop = std::chrono::steady_clock::now();
+    times.push_back(std::chrono::duration<double>(stop - start).count());
+    out.cycles = r.cycles;
+    out.instructions = r.instructions_issued;
+  }
+  std::sort(times.begin(), times.end());
+  out.median_seconds = times[times.size() / 2];
+  return out;
+}
+
+/// Pulls {label -> measured} out of a RunReport JSON (schema_version 1)
+/// with plain string scanning — enough for the self-check, no JSON
+/// library needed.
+std::vector<std::pair<std::string, double>> parse_baseline_rows(
+    const std::string& text) {
+  std::vector<std::pair<std::string, double>> rows;
+  std::size_t pos = 0;
+  const std::string label_key = "\"label\":\"";
+  const std::string measured_key = "\"measured\":";
+  while ((pos = text.find(label_key, pos)) != std::string::npos) {
+    pos += label_key.size();
+    const std::size_t label_end = text.find('"', pos);
+    if (label_end == std::string::npos) break;
+    const std::string label = text.substr(pos, label_end - pos);
+    const std::size_t mpos = text.find(measured_key, label_end);
+    if (mpos == std::string::npos) break;
+    const double value =
+        std::strtod(text.c_str() + mpos + measured_key.size(), nullptr);
+    rows.emplace_back(label, value);
+    pos = mpos;
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "sim_throughput: simulated cycles and instructions per host second "
+      "on fixed synthetic MTA scenarios");
+  obs::RunSession::add_cli_flags(cli);
+  cli.add_flag("reps", "3", "repetitions per scenario (median wall time)");
+  cli.add_flag("baseline", "",
+               "committed BENCH_sim_throughput.json to compare against");
+  cli.add_flag("min-ratio", "0.7",
+               "fail (exit 1) when any metric drops below this fraction of "
+               "the baseline");
+  if (!cli.parse(argc, argv)) {
+    for (int i = 1; i < argc; ++i)
+      if (std::string(argv[i]) == "--help") return 0;
+    return 2;
+  }
+  obs::RunSession run("sim_throughput", cli);
+  const int reps = static_cast<int>(cli.get_int("reps"));
+  if (reps < 1) {
+    std::fprintf(stderr, "error: --reps must be >= 1\n");
+    return 2;
+  }
+
+  TextTable table("Simulator throughput (median of " + std::to_string(reps) +
+                  " reps)");
+  table.header({"Scenario", "Sim cycles", "Instructions", "Wall (ms)",
+                "Mcycles/s", "Minstr/s"});
+  run.report().set_config("reps", static_cast<double>(reps));
+
+  for (const Scenario& s : scenarios()) {
+    const Measurement m = measure(s, reps);
+    const double cps = static_cast<double>(m.cycles) / m.median_seconds;
+    const double ips = static_cast<double>(m.instructions) / m.median_seconds;
+    table.row({s.name, std::to_string(m.cycles),
+               std::to_string(m.instructions),
+               TextTable::num(m.median_seconds * 1e3, 2),
+               TextTable::num(cps / 1e6, 1), TextTable::num(ips / 1e6, 1)});
+    run.report().add_row(s.name + ".cycles_per_sec", 1.0, cps);
+    run.report().add_row(s.name + ".instr_per_sec", 1.0, ips);
+  }
+  table.render(std::cout);
+
+  const std::string baseline_path = cli.get("baseline");
+  int exit_code = 0;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open baseline '%s'\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const auto baseline = parse_baseline_rows(buf.str());
+    if (baseline.empty()) {
+      std::fprintf(stderr, "error: baseline '%s' has no rows\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    const double min_ratio = cli.get_double("min-ratio");
+    std::printf("\nBaseline check against %s (min ratio %.2f):\n",
+                baseline_path.c_str(), min_ratio);
+    // Serialize our own report and re-parse it so both sides of the
+    // comparison go through the same row extraction.
+    std::vector<std::pair<std::string, double>> current;
+    {
+      std::ostringstream os;
+      run.report().write_json(os, obs::default_registry());
+      current = parse_baseline_rows(os.str());
+    }
+    for (const auto& [label, value] : current) {
+      const auto it =
+          std::find_if(baseline.begin(), baseline.end(),
+                       [&](const auto& b) { return b.first == label; });
+      if (it == baseline.end()) {
+        std::printf("  %-28s (no baseline row, skipped)\n", label.c_str());
+        continue;
+      }
+      const double ratio = value / it->second;
+      const bool ok = ratio >= min_ratio;
+      std::printf("  %-28s %8.1f M/s vs %8.1f M/s  ratio %.2f  %s\n",
+                  label.c_str(), value / 1e6, it->second / 1e6, ratio,
+                  ok ? "ok" : "REGRESSION");
+      if (!ok) exit_code = 1;
+    }
+    if (exit_code != 0)
+      std::fprintf(stderr,
+                   "FAIL: simulator throughput regressed more than %.0f%% "
+                   "vs %s\n",
+                   100.0 * (1.0 - min_ratio), baseline_path.c_str());
+  }
+
+  run.finish();
+  return exit_code;
+}

@@ -13,18 +13,23 @@ int main(int argc, char** argv) {
   using namespace tc3i;
   const auto& tb = bench::testbed();
 
+  const std::vector<double> t = sim::run_sweep(
+      {[&] { return platforms::threat_seq_seconds(tb, tb.alpha); },
+       [&] { return platforms::threat_seq_seconds(tb, tb.ppro); },
+       [&] { return platforms::threat_seq_seconds(tb, tb.exemplar); },
+       [&] { return platforms::mta_threat_seq_seconds(tb); }},
+      session.jobs());
+
   TextTable table("Table 2: sequential Threat Analysis (seconds, 5 scenarios)");
   table.header({"Platform", "Paper", "Measured", "Ratio"});
   bench::add_comparison_row(table, "Alpha", platforms::paper::kThreatSeqAlpha,
-                            platforms::threat_seq_seconds(tb, tb.alpha));
+                            t[0]);
   bench::add_comparison_row(table, "Pentium Pro",
-                            platforms::paper::kThreatSeqPPro,
-                            platforms::threat_seq_seconds(tb, tb.ppro));
+                            platforms::paper::kThreatSeqPPro, t[1]);
   bench::add_comparison_row(table, "Exemplar",
-                            platforms::paper::kThreatSeqExemplar,
-                            platforms::threat_seq_seconds(tb, tb.exemplar));
+                            platforms::paper::kThreatSeqExemplar, t[2]);
   bench::add_comparison_row(table, "Tera", platforms::paper::kThreatSeqTera,
-                            platforms::mta_threat_seq_seconds(tb));
+                            t[3]);
   table.render(std::cout);
   std::cout << "\nShape check: the Tera MTA is by far the slowest platform "
                "for single-threaded execution\n(paper: ~14x slower than the "

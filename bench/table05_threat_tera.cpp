@@ -10,8 +10,13 @@ int main(int argc, char** argv) {
   using namespace tc3i;
   const auto& tb = bench::testbed();
 
-  const double t1 = platforms::mta_threat_chunked_seconds(tb, 256, 1);
-  const double t2 = platforms::mta_threat_chunked_seconds(tb, 256, 2);
+  const std::vector<double> swept = sim::run_sweep(
+      {[&] { return platforms::mta_threat_chunked_seconds(tb, 256, 1); },
+       [&] { return platforms::mta_threat_chunked_seconds(tb, 256, 2); },
+       [&] { return platforms::mta_threat_seq_seconds(tb); }},
+      session.jobs());
+  const double t1 = swept[0];
+  const double t2 = swept[1];
 
   TextTable table(
       "Table 5: multithreaded Threat Analysis on dual-processor Tera MTA "
@@ -33,7 +38,7 @@ int main(int argc, char** argv) {
   session.obs().report().add_row("threat_tera_2proc",
                                  platforms::paper::kThreatTera2Proc, t2);
 
-  const double seq = platforms::mta_threat_seq_seconds(tb);
+  const double seq = swept[2];
   std::cout << "\nMultithreaded vs sequential on one MTA processor: paper "
             << TextTable::num(2584.0 / 82.0, 1) << "x, measured "
             << TextTable::num(seq / t1, 1) << "x\n";

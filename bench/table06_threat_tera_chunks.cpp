@@ -11,14 +11,21 @@ int main(int argc, char** argv) {
   using namespace tc3i;
   const auto& tb = bench::testbed();
 
+  const auto& rows = platforms::paper::threat_tera_chunk_rows();
+  const std::vector<double> swept =
+      sim::run_sweep(rows.size(), session.jobs(), [&](std::size_t i) {
+        return platforms::mta_threat_chunked_seconds(tb, rows[i].chunks, 2);
+      });
+
   TextTable table(
       "Table 6: Threat Analysis on Tera MTA vs number of chunks (2 procs)");
   table.header({"Chunks", "Paper (s)", "Measured (s)", "Ratio"});
   double prev = 0.0;
   bool monotone = true;
-  for (const auto& row : platforms::paper::threat_tera_chunk_rows()) {
-    const double t = platforms::mta_threat_chunked_seconds(tb, row.chunks, 2);
-    bench::add_comparison_row(table, std::to_string(row.chunks), row.seconds, t);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double t = swept[i];
+    bench::add_comparison_row(table, std::to_string(rows[i].chunks),
+                              rows[i].seconds, t);
     if (prev != 0.0 && t > prev * 1.02) monotone = false;
     prev = t;
   }

@@ -10,19 +10,24 @@ int main(int argc, char** argv) {
   using namespace tc3i;
   const auto& tb = bench::testbed();
 
+  const std::vector<double> t = sim::run_sweep(
+      {[&] { return platforms::terrain_seq_seconds(tb, tb.alpha); },
+       [&] { return platforms::terrain_seq_seconds(tb, tb.ppro); },
+       [&] { return platforms::terrain_seq_seconds(tb, tb.exemplar); },
+       [&] { return platforms::mta_terrain_seq_seconds(tb); }},
+      session.jobs());
+
   TextTable table(
       "Table 8: sequential Terrain Masking (seconds, 5 scenarios)");
   table.header({"Platform", "Paper", "Measured", "Ratio"});
   bench::add_comparison_row(table, "Alpha", platforms::paper::kTerrainSeqAlpha,
-                            platforms::terrain_seq_seconds(tb, tb.alpha));
+                            t[0]);
   bench::add_comparison_row(table, "Pentium Pro",
-                            platforms::paper::kTerrainSeqPPro,
-                            platforms::terrain_seq_seconds(tb, tb.ppro));
+                            platforms::paper::kTerrainSeqPPro, t[1]);
   bench::add_comparison_row(table, "Exemplar",
-                            platforms::paper::kTerrainSeqExemplar,
-                            platforms::terrain_seq_seconds(tb, tb.exemplar));
+                            platforms::paper::kTerrainSeqExemplar, t[2]);
   bench::add_comparison_row(table, "Tera", platforms::paper::kTerrainSeqTera,
-                            platforms::mta_terrain_seq_seconds(tb));
+                            t[3]);
   table.render(std::cout);
   std::cout << "\nShape check: Tera/Alpha ratio should be ~6 (vs ~14 for the "
                "compute-bound Threat Analysis).\n";

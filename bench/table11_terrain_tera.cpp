@@ -11,8 +11,13 @@ int main(int argc, char** argv) {
   using namespace tc3i;
   const auto& tb = bench::testbed();
 
-  const double t1 = platforms::mta_terrain_fine_seconds(tb, 1);
-  const double t2 = platforms::mta_terrain_fine_seconds(tb, 2);
+  const std::vector<double> swept = sim::run_sweep(
+      {[&] { return platforms::mta_terrain_fine_seconds(tb, 1); },
+       [&] { return platforms::mta_terrain_fine_seconds(tb, 2); },
+       [&] { return platforms::mta_terrain_seq_seconds(tb); }},
+      session.jobs());
+  const double t1 = swept[0];
+  const double t2 = swept[1];
 
   TextTable table(
       "Table 11: fine-grained multithreaded Terrain Masking on Tera MTA");
@@ -28,7 +33,7 @@ int main(int argc, char** argv) {
              TextTable::num(t1 / t2, 1)});
   table.render(std::cout);
 
-  const double seq = platforms::mta_terrain_seq_seconds(tb);
+  const double seq = swept[2];
   std::cout << "\nMultithreaded vs sequential on one MTA processor: paper "
             << TextTable::num(978.0 / 48.0, 1) << "x, measured "
             << TextTable::num(seq / t1, 1) << "x\n";

@@ -38,4 +38,13 @@ grep -q '"label":' "$SMOKE_DIR/r.json" ||
 [ -s "$SMOKE_DIR/t.csv" ] ||
   { echo "FAIL: sibling CSV timeline missing"; exit 1; }
 
+echo "== perf smoke (sim_throughput vs committed baseline) =="
+# Fails (exit 1) when any throughput metric drops below 70% of the
+# committed bench/BENCH_sim_throughput.json (--min-ratio default 0.7,
+# i.e. a >30% regression).
+"$BUILD_DIR"/bench/sim_throughput \
+    --report-out "$SMOKE_DIR/sim_throughput.json" \
+    --baseline bench/BENCH_sim_throughput.json
+"$BUILD_DIR"/tools/json_check "$SMOKE_DIR/sim_throughput.json"
+
 echo "ALL CHECKS PASSED"

@@ -56,6 +56,12 @@ bool CliParser::parse(int argc, const char* const* argv) {
   return true;
 }
 
+bool CliParser::is_set(const std::string& name) const {
+  auto it = flags_.find(name);
+  TC3I_EXPECTS(it != flags_.end());
+  return it->second.value.has_value();
+}
+
 std::string CliParser::get(const std::string& name) const {
   auto it = flags_.find(name);
   TC3I_EXPECTS(it != flags_.end());

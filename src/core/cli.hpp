@@ -23,6 +23,11 @@ class CliParser {
   /// Parses argv. Returns false (after printing usage) on --help or error.
   [[nodiscard]] bool parse(int argc, const char* const* argv);
 
+  /// True when the flag was explicitly given on the command line (as
+  /// opposed to falling back to its default). Lets callers distinguish
+  /// "user asked for --jobs 4" from "defaulted to 4".
+  [[nodiscard]] bool is_set(const std::string& name) const;
+
   [[nodiscard]] std::string get(const std::string& name) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;
   [[nodiscard]] double get_double(const std::string& name) const;

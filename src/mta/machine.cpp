@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include "core/contracts.hpp"
@@ -9,6 +10,16 @@
 #include "obs/trace_sink.hpp"
 
 namespace tc3i::mta {
+
+namespace {
+
+bool slow_sim_env() {
+  const char* env = std::getenv("TC3I_SLOW_SIM");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+}  // namespace
 
 std::string MtaConfig::validate() const {
   std::ostringstream os;
@@ -33,11 +44,20 @@ Machine::Machine(MtaConfig config)
   const std::string err = config_.validate();
   if (!err.empty())
     contract_failure("MtaConfig", err.c_str(), __FILE__, __LINE__);
+  slow_ = config_.slow_reference || slow_sim_env();
   procs_.reserve(static_cast<std::size_t>(config_.num_processors));
   for (int p = 0; p < config_.num_processors; ++p)
     procs_.emplace_back(p, config_.streams_per_processor);
   if (config_.memory_banks > 0)
-    bank_free_at_.resize(static_cast<std::size_t>(config_.memory_banks), 0.0);
+    bank_free_fp_.resize(static_cast<std::size_t>(config_.memory_banks), 0);
+  // Round-to-nearest keeps the fixed-point service interval within 2^-21
+  // cycles of 1/rate; the drift over a saturated run is far below one part
+  // in 10^6 of the cycle count.
+  service_fp_ = static_cast<std::uint64_t>(
+      std::llround(std::ldexp(1.0 / config_.network_ops_per_cycle, kFpBits)));
+  TC3I_ASSERT(service_fp_ >= 1);
+  load_tracker_.init(config_.num_processors, config_.streams_per_processor);
+  free_slots_ = config_.num_processors * config_.streams_per_processor;
 
   obs::CounterRegistry& reg = obs::default_registry();
   obs_.issue_total = &reg.counter("mta.issue.total");
@@ -61,13 +81,19 @@ Machine::Machine(MtaConfig config)
     obs_.pid = obs_.sink->register_track(config_.name);
 }
 
-int Machine::least_loaded_processor() const {
-  int best = 0;
-  for (int p = 1; p < static_cast<int>(procs_.size()); ++p)
-    if (procs_[static_cast<std::size_t>(p)].live_streams() <
-        procs_[static_cast<std::size_t>(best)].live_streams())
-      best = p;
-  return best;
+void Machine::push_wake(std::uint64_t at, StreamId sid) {
+  if (slow_) {
+    heap_.push(Wake{at, sid});
+  } else {
+    if (at < pushed_min_) pushed_min_ = at;
+    wheel_.push(at, sid);
+  }
+}
+
+void Machine::make_stream_ready(StreamId sid) {
+  const Stream& s = streams_[static_cast<std::size_t>(sid)];
+  procs_[static_cast<std::size_t>(s.proc)].make_ready(sid);
+  ++ready_count_;
 }
 
 void Machine::add_stream(StreamProgram* program) {
@@ -75,8 +101,7 @@ void Machine::add_stream(StreamProgram* program) {
   TC3I_EXPECTS(!ran_);
   // Initial streams that exceed hardware slots are virtualized like
   // runtime spawns: they wait for a slot.
-  const int proc = least_loaded_processor();
-  if (!procs_[static_cast<std::size_t>(proc)].has_free_slot()) {
+  if (free_slots_ == 0) {
     obs_.spawns_virtualized->add();
     // Blocking on the hardware stream resource is a synchronization wait:
     // the spawn parks until a running stream quits and frees its slot.
@@ -91,14 +116,18 @@ void Machine::add_stream(StreamProgram* program) {
 
 void Machine::activate(StreamProgram* program, bool software,
                        std::uint64_t now) {
-  const int proc = least_loaded_processor();
+  TC3I_ASSERT(free_slots_ > 0);
+  const int proc = load_tracker_.least_loaded();
   Processor& p = procs_[static_cast<std::size_t>(proc)];
   TC3I_ASSERT(p.has_free_slot());
   p.occupy_slot();
+  load_tracker_.change(proc, +1);
+  --free_slots_;
 
   const auto sid = static_cast<StreamId>(streams_.size());
   Stream s;
   s.program = program;
+  s.vec = program->as_vector();
   s.proc = proc;
   streams_.push_back(s);
   ++live_streams_;
@@ -106,7 +135,7 @@ void Machine::activate(StreamProgram* program, bool software,
 
   const std::uint64_t spawn_cost = static_cast<std::uint64_t>(
       software ? config_.sw_spawn_cycles : config_.hw_spawn_cycles);
-  wakes_.push(Wake{now + spawn_cost, sid});
+  push_wake(now + spawn_cost, sid);
 
   (software ? obs_.spawns_sw : obs_.spawns_hw)->add();
   if (obs_.sink != nullptr) {
@@ -119,7 +148,8 @@ void Machine::activate(StreamProgram* program, bool software,
 }
 
 std::uint64_t Machine::network_service(std::uint64_t now, Address addr) {
-  double start = std::max(static_cast<double>(now) + 1.0, network_free_at_);
+  std::uint64_t start_fp =
+      std::max((now + 1) << kFpBits, network_free_fp_);
   if (config_.memory_banks > 0) {
     // Interleaved banks: the op also waits for its bank to free up. The
     // real machine hashed addresses so strided code spreads across banks.
@@ -129,13 +159,19 @@ std::uint64_t Machine::network_service(std::uint64_t now, Address addr) {
     }
     const auto bank = static_cast<std::size_t>(
         key % static_cast<std::uint64_t>(config_.memory_banks));
-    start = std::max(start, bank_free_at_[bank]);
-    bank_free_at_[bank] = start + static_cast<double>(config_.bank_busy_cycles);
+    start_fp = std::max(start_fp, bank_free_fp_[bank]);
+    bank_free_fp_[bank] =
+        start_fp +
+        (static_cast<std::uint64_t>(config_.bank_busy_cycles) << kFpBits);
   }
-  network_free_at_ = start + 1.0 / config_.network_ops_per_cycle;
+  network_free_fp_ = start_fp + service_fp_;
   ++memory_ops_;
-  return static_cast<std::uint64_t>(
-      std::ceil(start + static_cast<double>(config_.memory_latency_cycles)));
+  // ceil(start + memory_latency) in fixed point.
+  return (start_fp +
+          (static_cast<std::uint64_t>(config_.memory_latency_cycles)
+           << kFpBits) +
+          (kFpOne - 1)) >>
+         kFpBits;
 }
 
 void Machine::complete_memory_op(StreamId sid, std::uint64_t now,
@@ -146,7 +182,7 @@ void Machine::complete_memory_op(StreamId sid, std::uint64_t now,
   const auto lookahead = static_cast<std::size_t>(config_.lookahead);
   if (lookahead == 0) {
     // Fully dependent code: the stream waits for this operation.
-    wakes_.push(Wake{std::max(done, spacing), sid});
+    push_wake(std::max(done, spacing), sid);
     return;
   }
   // Explicit-dependence lookahead: the stream keeps issuing while at most
@@ -159,7 +195,7 @@ void Machine::complete_memory_op(StreamId sid, std::uint64_t now,
   std::uint64_t wake = spacing;
   if (outstanding.size() > lookahead)
     wake = std::max(wake, outstanding[outstanding.size() - 1 - lookahead]);
-  wakes_.push(Wake{wake, sid});
+  push_wake(wake, sid);
 }
 
 void Machine::process_handoffs(std::uint64_t now) {
@@ -187,6 +223,8 @@ void Machine::finish_stream(StreamId sid, std::uint64_t now) {
     obs_.sink->end(obs::Category::Spawn, "stream", ts_us(now), obs_.pid,
                    static_cast<std::uint64_t>(sid));
   procs_[static_cast<std::size_t>(s.proc)].release_slot();
+  load_tracker_.change(s.proc, -1);
+  ++free_slots_;
   if (!pending_.empty()) {
     const PendingSpawn ps = pending_.front();
     pending_.pop();
@@ -197,13 +235,7 @@ void Machine::finish_stream(StreamId sid, std::uint64_t now) {
 void Machine::issue(StreamId sid, std::uint64_t now) {
   Stream& s = streams_[static_cast<std::size_t>(sid)];
   TC3I_ASSERT(!s.dead);
-  if (!s.has_cur) {
-    if (!s.program->next(s.cur)) {
-      s.cur.op = Instr::Op::Quit;
-      s.cur.count = 1;
-    }
-    s.has_cur = true;
-  }
+  if (!s.has_cur) fetch_next(s);
 
   const std::uint64_t spacing =
       now + static_cast<std::uint64_t>(config_.issue_spacing_cycles);
@@ -216,7 +248,7 @@ void Machine::issue(StreamId sid, std::uint64_t now) {
       ++issued_compute_;
       TC3I_ASSERT(s.cur.count > 0);
       if (--s.cur.count == 0) s.has_cur = false;
-      wakes_.push(Wake{spacing, sid});
+      push_wake(spacing, sid);
       break;
     }
     case Instr::Op::Load: {
@@ -273,10 +305,7 @@ void Machine::issue(StreamId sid, std::uint64_t now) {
       const bool software = s.cur.software_spawn;
       s.has_cur = false;
       TC3I_ASSERT(target != nullptr);
-      bool slot_free = false;
-      for (const auto& p : procs_)
-        if (p.has_free_slot()) slot_free = true;
-      if (slot_free) {
+      if (free_slots_ > 0) {
         activate(target, software, now);
       } else {
         obs_.spawns_virtualized->add();
@@ -286,7 +315,7 @@ void Machine::issue(StreamId sid, std::uint64_t now) {
                              static_cast<std::uint64_t>(sid));
         pending_.push(PendingSpawn{target, software});
       }
-      wakes_.push(Wake{spacing, sid});
+      push_wake(spacing, sid);
       break;
     }
     case Instr::Op::Quit: {
@@ -294,6 +323,96 @@ void Machine::issue(StreamId sid, std::uint64_t now) {
       finish_stream(sid, now);
       break;
     }
+  }
+}
+
+std::uint64_t Machine::run_solo(std::uint64_t now, std::uint64_t max_cycles) {
+  // Exactly one stream is ready machine-wide and the wheel is drained to
+  // `now`, so no other stream can issue before the wheel's next due cycle.
+  // Within that window this stream's instructions can be retired without
+  // bouncing each one through the wake queue — and entire Compute runs
+  // collapse to arithmetic. The wheel is not touched while in here (memory
+  // ops complete inline), so `next_due` is loop-invariant.
+  Processor* proc = nullptr;
+  for (auto& p : procs_)
+    if (p.has_ready()) proc = &p;
+  TC3I_ASSERT(proc != nullptr);
+  Processor& p = *proc;
+  const StreamId sid = p.front_ready();
+  Stream& s = streams_[static_cast<std::size_t>(sid)];
+  const auto spacing =
+      static_cast<std::uint64_t>(config_.issue_spacing_cycles);
+  const std::uint64_t next_due = wheel_.next_due();  // kNone when empty
+  const bool la0 = config_.lookahead == 0;
+
+  // The first issue consumes the ready-queue entry (counting one issue);
+  // later ones are credited analytically.
+  bool popped = false;
+  const auto charge = [&](std::uint64_t n) {
+    if (!popped) {
+      (void)p.pop_ready();
+      --ready_count_;
+      popped = true;
+      --n;
+    }
+    if (n > 0) p.add_issues(n);
+  };
+
+  while (true) {
+    TC3I_ASSERT(now < max_cycles && "MTA simulation exceeded max_cycles");
+    if (!s.has_cur) fetch_next(s);
+
+    if (s.cur.op == Instr::Op::Compute) {
+      // Issues land at now, now+S, ...; every issue after the first is
+      // only sole-ready if it comes strictly before the next foreign wake.
+      std::uint64_t k = s.cur.count;
+      if (next_due != sim::TimerWheel<StreamId>::kNone)
+        k = std::min(k, 1 + (next_due - 1 - now) / spacing);
+      charge(k);
+      issued_compute_ += k;
+      s.cur.count -= k;
+      if (s.cur.count == 0) s.has_cur = false;
+      const std::uint64_t last = now + (k - 1) * spacing;
+      const std::uint64_t wake = last + spacing;
+      if (s.cur.count > 0 ||
+          (next_due != sim::TimerWheel<StreamId>::kNone && next_due <= wake)) {
+        // A foreign wake lands before (or at) our next issue: queue our
+        // wake and let the generic loop arbitrate.
+        push_wake(wake, sid);
+        return last + 1;
+      }
+      now = wake;
+      continue;
+    }
+
+    if (la0 && (s.cur.op == Instr::Op::Load || s.cur.op == Instr::Op::Store)) {
+      charge(1);
+      ++issued_memory_;
+      if (s.cur.op == Instr::Op::Store) memory_.store(s.cur.addr, s.cur.value);
+      TC3I_ASSERT(s.cur.count > 0);
+      if (--s.cur.count == 0) s.has_cur = false;
+      const std::uint64_t done = network_service(now, s.cur.addr);
+      const std::uint64_t wake = std::max(done, now + spacing);
+      if (next_due != sim::TimerWheel<StreamId>::kNone && next_due <= wake) {
+        push_wake(wake, sid);
+        return now + 1;
+      }
+      now = wake;
+      continue;
+    }
+
+    // Sync ops, spawns, quits and lookahead>0 memory ops take the generic
+    // path for one instruction, then the generic loop resumes (they can
+    // wake other streams or change stream structure).
+    if (!popped) {
+      (void)p.pop_ready();
+      --ready_count_;
+      popped = true;
+    } else {
+      p.add_issues(1);
+    }
+    issue(sid, now);
+    return now + 1;
   }
 }
 
@@ -337,38 +456,113 @@ MtaRunResult Machine::run(std::uint64_t max_cycles) {
     }
   };
 
-  while (live_streams_ > 0 || !pending_.empty()) {
-    TC3I_ASSERT(now < max_cycles && "MTA simulation exceeded max_cycles");
-    if (tracing) emit_trace_buckets(now, /*final=*/false);
+  if (slow_) {
+    // Reference loop: the pre-timing-wheel simulator, kept verbatim for
+    // golden-equivalence testing. Binary-heap wake queue, every instruction
+    // re-enters issue(), cycles advance one at a time between wakes.
+    while (live_streams_ > 0 || !pending_.empty()) {
+      TC3I_ASSERT(now < max_cycles && "MTA simulation exceeded max_cycles");
+      if (tracing) emit_trace_buckets(now, /*final=*/false);
 
-    while (!wakes_.empty() && wakes_.top().cycle <= now) {
-      const Wake w = wakes_.top();
-      wakes_.pop();
-      const Stream& s = streams_[static_cast<std::size_t>(w.stream)];
-      procs_[static_cast<std::size_t>(s.proc)].make_ready(w.stream);
-    }
+      while (!heap_.empty() && heap_.top().cycle <= now) {
+        const Wake w = heap_.top();
+        heap_.pop();
+        make_stream_ready(w.stream);
+      }
 
-    bool any_ready = false;
-    for (auto& p : procs_) {
-      if (p.has_ready()) {
-        any_ready = true;
-        issue(p.pop_ready(), now);
-        if (bucket > 0) {
-          const std::size_t b = static_cast<std::size_t>(now / bucket);
-          if (b >= bucket_issues.size()) bucket_issues.resize(b + 1, 0);
-          ++bucket_issues[b];
+      bool any_ready = false;
+      for (auto& p : procs_) {
+        if (p.has_ready()) {
+          any_ready = true;
+          --ready_count_;
+          issue(p.pop_ready(), now);
+          if (bucket > 0) {
+            const std::size_t b = static_cast<std::size_t>(now / bucket);
+            if (b >= bucket_issues.size()) bucket_issues.resize(b + 1, 0);
+            ++bucket_issues[b];
+          }
         }
       }
-    }
 
-    if (any_ready) {
-      ++now;
-    } else if (!wakes_.empty()) {
-      now = std::max(now + 1, wakes_.top().cycle);
-    } else {
-      // No stream can ever become ready again: every remaining stream is
-      // blocked on a full/empty bit that nobody will flip.
-      TC3I_ASSERT(live_streams_ == 0 && pending_.empty());
+      if (any_ready) {
+        ++now;
+      } else if (!heap_.empty()) {
+        now = std::max(now + 1, heap_.top().cycle);
+      } else {
+        // No stream can ever become ready again: every remaining stream is
+        // blocked on a full/empty bit that nobody will flip.
+        TC3I_ASSERT(live_streams_ == 0 && pending_.empty());
+      }
+    }
+  } else {
+    const auto spacing =
+        static_cast<std::uint64_t>(config_.issue_spacing_cycles);
+    while (live_streams_ > 0 || !pending_.empty()) {
+      TC3I_ASSERT(now < max_cycles && "MTA simulation exceeded max_cycles");
+      if (tracing) emit_trace_buckets(now, /*final=*/false);
+
+      wheel_.drain_due(now, [this](std::uint64_t, StreamId sid) {
+        make_stream_ready(sid);
+      });
+
+      // Solo fast-forward: with one ready stream machine-wide (and no
+      // tracing or timeline sampling observing individual cycles), whole
+      // instruction runs retire analytically.
+      if (ready_count_ == 1 && !tracing && bucket == 0) {
+        now = run_solo(now, max_cycles);
+        continue;
+      }
+
+      // Window batching: a stream issuing at cycle c re-wakes no earlier
+      // than c + spacing, so between drains the only wakes that can land
+      // inside the window come from spawns (spawn cost < spacing). Issue
+      // up to min(next_due, now + spacing) cycles on the existing ready
+      // queues without re-draining the wheel, shrinking the window
+      // whenever an issued instruction pushes an earlier wake. (Tracing
+      // samples per cycle, so it takes the one-cycle window.)
+      std::uint64_t limit = now + 1;
+      if (!tracing) {
+        limit = now + spacing;
+        const std::uint64_t nd = wheel_.next_due();
+        if (nd < limit) limit = nd;
+        if (limit <= now) limit = now + 1;
+      }
+
+      bool any_ready = true;
+      while (any_ready && now < limit) {
+        TC3I_ASSERT(now < max_cycles && "MTA simulation exceeded max_cycles");
+        any_ready = false;
+        pushed_min_ = sim::TimerWheel<StreamId>::kNone;
+        for (auto& p : procs_) {
+          if (p.has_ready()) {
+            any_ready = true;
+            --ready_count_;
+            issue(p.pop_ready(), now);
+            if (bucket > 0) {
+              const std::size_t b = static_cast<std::size_t>(now / bucket);
+              if (b >= bucket_issues.size()) bucket_issues.resize(b + 1, 0);
+              ++bucket_issues[b];
+            }
+          }
+        }
+        if (any_ready) {
+          // A wake due at d must be delivered at the start of cycle
+          // max(d, now + 1); end the window there if that is sooner.
+          const std::uint64_t due = std::max(pushed_min_, now + 1);
+          if (due < limit) limit = due;
+          ++now;
+        }
+      }
+
+      if (!any_ready) {
+        if (!wheel_.empty()) {
+          now = std::max(now + 1, wheel_.next_due());
+        } else {
+          // No stream can ever become ready again: every remaining stream
+          // is blocked on a full/empty bit that nobody will flip.
+          TC3I_ASSERT(live_streams_ == 0 && pending_.empty());
+        }
+      }
     }
   }
 

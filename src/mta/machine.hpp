@@ -24,6 +24,7 @@
 #include <deque>
 #include <memory>
 #include <queue>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,7 @@
 #include "mta/stream_program.hpp"
 #include "mta/sync_memory.hpp"
 #include "obs/counters.hpp"
+#include "sim/timer_wheel.hpp"
 
 namespace tc3i::obs {
 class TraceSink;
@@ -74,6 +76,13 @@ struct MtaConfig {
   /// this many cycles (MtaRunResult::utilization_timeline) — used to
   /// visualize latency masking and barrier valleys.
   std::uint64_t timeline_bucket_cycles = 0;
+  /// Runs the pre-timing-wheel reference simulation loop (binary-heap wake
+  /// queue, strictly one cycle at a time, no compute-run fast-forwarding).
+  /// Slower but kept as the golden reference: the fast path must produce
+  /// bit-identical cycles/instructions/memory_ops (see
+  /// tests/mta_golden_test). Also enabled by the TC3I_SLOW_SIM environment
+  /// variable (any value except "0").
+  bool slow_reference = false;
 
   [[nodiscard]] std::string validate() const;
 };
@@ -114,6 +123,7 @@ class Machine {
  private:
   struct Stream {
     StreamProgram* program = nullptr;
+    VectorProgram* vec = nullptr;  ///< program->as_vector(), fetch fast path
     int proc = -1;
     Instr cur;
     bool has_cur = false;
@@ -167,22 +177,92 @@ class Machine {
     return static_cast<double>(cycle) / config_.clock_hz * 1e6;
   }
 
-  int least_loaded_processor() const;
+  /// O(1) least-loaded-processor selection: processors indexed by live
+  /// stream count, lowest processor id breaking ties (matching the linear
+  /// scan it replaced). Loads change by +-1 on activate/finish.
+  class LoadTracker {
+   public:
+    void init(int num_procs, int max_load) {
+      loads_.assign(static_cast<std::size_t>(num_procs), 0);
+      by_load_.assign(static_cast<std::size_t>(max_load) + 1, {});
+      for (int p = 0; p < num_procs; ++p) by_load_[0].insert(p);
+      min_load_ = 0;
+    }
+    [[nodiscard]] int least_loaded() const {
+      return *by_load_[static_cast<std::size_t>(min_load_)].begin();
+    }
+    void change(int proc, int delta) {
+      int& load = loads_[static_cast<std::size_t>(proc)];
+      by_load_[static_cast<std::size_t>(load)].erase(proc);
+      load += delta;
+      by_load_[static_cast<std::size_t>(load)].insert(proc);
+      if (load < min_load_) {
+        min_load_ = load;
+      } else {
+        while (by_load_[static_cast<std::size_t>(min_load_)].empty())
+          ++min_load_;
+      }
+    }
+
+   private:
+    std::vector<int> loads_;
+    std::vector<std::set<int>> by_load_;
+    int min_load_ = 0;
+  };
+
+  /// Loads the stream's next instruction into `cur` (implicit Quit at end
+  /// of program), dispatching directly when the program is a
+  /// VectorProgram.
+  void fetch_next(Stream& s) {
+    const bool more = s.vec != nullptr ? s.vec->VectorProgram::next(s.cur)
+                                       : s.program->next(s.cur);
+    if (!more) {
+      s.cur.op = Instr::Op::Quit;
+      s.cur.count = 1;
+    }
+    s.has_cur = true;
+  }
+
   void activate(StreamProgram* program, bool software, std::uint64_t now);
   void issue(StreamId sid, std::uint64_t now);
   void finish_stream(StreamId sid, std::uint64_t now);
   std::uint64_t network_service(std::uint64_t now, Address addr);
   void complete_memory_op(StreamId sid, std::uint64_t now, Address addr);
   void process_handoffs(std::uint64_t now);
+  void push_wake(std::uint64_t at, StreamId sid);
+  void make_stream_ready(StreamId sid);
+  /// Fast-forwards the machine while exactly one stream is ready
+  /// machine-wide (see docs/PERFORMANCE.md for the legality argument).
+  /// Returns the cycle the generic loop resumes at.
+  std::uint64_t run_solo(std::uint64_t now, std::uint64_t max_cycles);
+
+  /// Fixed-point cycle representation for the shared-network and bank
+  /// service times (replaces double/ceil in the hottest path). 20
+  /// fractional bits leave 44 integer bits of simulated cycles.
+  static constexpr unsigned kFpBits = 20;
+  static constexpr std::uint64_t kFpOne = 1ull << kFpBits;
 
   MtaConfig config_;
+  bool slow_ = false;  ///< config_.slow_reference or TC3I_SLOW_SIM
   SyncMemory memory_;
   std::vector<Processor> procs_;
   std::vector<Stream> streams_;
-  std::priority_queue<Wake, std::vector<Wake>, std::greater<>> wakes_;
+  /// Wake queue, fast path: timing wheel sized for the bounded wake
+  /// offsets (spacing 21, memory latency ~70 plus queueing).
+  sim::TimerWheel<StreamId> wheel_;
+  /// Wake queue, reference path (slow_ == true only).
+  std::priority_queue<Wake, std::vector<Wake>, std::greater<>> heap_;
   std::queue<PendingSpawn> pending_;
-  double network_free_at_ = 0.0;
-  std::vector<double> bank_free_at_;  // sized memory_banks when enabled
+  std::uint64_t network_free_fp_ = 0;
+  std::uint64_t service_fp_ = 0;  ///< kFpOne / network_ops_per_cycle
+  std::vector<std::uint64_t> bank_free_fp_;  // sized memory_banks when enabled
+  LoadTracker load_tracker_;
+  int free_slots_ = 0;  ///< machine-wide free hardware stream slots
+  std::uint64_t ready_count_ = 0;  ///< streams in ready queues, fast path
+  /// Earliest wake pushed during the current issue cycle (fast path);
+  /// run()'s window batching uses it to end a drain-free window early when
+  /// a spawn schedules a wake inside it.
+  std::uint64_t pushed_min_ = ~0ull;
 
   Obs obs_;
   int live_streams_ = 0;

@@ -74,12 +74,6 @@ std::uint64_t VectorProgram::total_instructions() const {
   return total;
 }
 
-bool VectorProgram::next(Instr& out) {
-  if (pos_ >= instrs_.size()) return false;
-  out = instrs_[pos_++];
-  return true;
-}
-
 VectorProgram* ProgramPool::make_vector() {
   programs_.push_back(std::make_unique<VectorProgram>());
   return static_cast<VectorProgram*>(programs_.back().get());

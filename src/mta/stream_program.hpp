@@ -49,6 +49,11 @@ class StreamProgram {
   /// Called with the value delivered by a completed synchronized load,
   /// for programs whose control flow depends on loaded data.
   virtual void deliver(Word /*value*/) {}
+
+  /// Non-null when this program is a VectorProgram. The simulator's issue
+  /// loop fetches through the concrete type (a direct, inlinable call)
+  /// when it can — trace replay is the dominant workload.
+  [[nodiscard]] virtual class VectorProgram* as_vector() { return nullptr; }
 };
 
 /// A fixed pre-built instruction sequence (the workhorse for trace replay).
@@ -71,7 +76,12 @@ class VectorProgram final : public StreamProgram {
   }
   [[nodiscard]] std::uint64_t total_instructions() const;
 
-  bool next(Instr& out) override;
+  bool next(Instr& out) override {
+    if (pos_ >= instrs_.size()) return false;
+    out = instrs_[pos_++];
+    return true;
+  }
+  [[nodiscard]] VectorProgram* as_vector() override { return this; }
 
  private:
   std::vector<Instr> instrs_;

@@ -92,6 +92,23 @@ void Histogram::reset() {
   sum_ = min_ = max_ = 0.0;
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  TC3I_EXPECTS(&other != this);
+  std::scoped_lock lock(mu_, other.mu_);
+  if (other.count_ == 0) return;
+  for (std::size_t b = 0; b < buckets_.size(); ++b)
+    buckets_[b] += other.buckets_[b];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 // --- CounterRegistry ---------------------------------------------------------
 
 void CounterRegistry::check_name(const std::string& name) {
@@ -198,9 +215,56 @@ std::vector<MetricSnapshot> CounterRegistry::snapshot() const {
   return out;
 }
 
-CounterRegistry& default_registry() {
+void CounterRegistry::merge_from(const CounterRegistry& other) {
+  TC3I_EXPECTS(&other != this);
+  // Snapshot the other side's entries under its lock, then fold them in
+  // through the public get-or-create accessors (which take this->mu_ per
+  // entry) so the two locks are never held together.
+  std::vector<std::pair<std::string, const Metric*>> entries;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    entries.reserve(other.metrics_.size());
+    for (const auto& [name, metric] : other.metrics_)
+      entries.emplace_back(name, &metric);
+  }
+  for (const auto& [name, metric] : entries) {
+    if (const auto* c = std::get_if<std::unique_ptr<Counter>>(metric)) {
+      counter(name).add((*c)->value());
+    } else if (const auto* g = std::get_if<std::unique_ptr<Gauge>>(metric)) {
+      gauge(name).set((*g)->value());
+    } else if (const auto* h = std::get_if<std::unique_ptr<Histogram>>(metric)) {
+      histogram(name).merge_from(**h);
+    }
+  }
+}
+
+namespace {
+thread_local CounterRegistry* t_registry_override = nullptr;
+}  // namespace
+
+CounterRegistry& process_registry() {
   static CounterRegistry* registry = new CounterRegistry();  // never destroyed
   return *registry;
+}
+
+CounterRegistry& default_registry() {
+  return t_registry_override != nullptr ? *t_registry_override
+                                        : process_registry();
+}
+
+ScopedRegistry::ScopedRegistry(CounterRegistry& reg)
+    : prev_(t_registry_override) {
+  t_registry_override = &reg;
+}
+
+ScopedRegistry::~ScopedRegistry() { t_registry_override = prev_; }
+
+std::function<void()> inherit_registry(std::function<void()> fn) {
+  CounterRegistry* reg = &default_registry();
+  return [reg, fn = std::move(fn)]() {
+    ScopedRegistry scope(*reg);
+    fn();
+  };
 }
 
 // --- Scope -------------------------------------------------------------------

@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -56,6 +57,10 @@ class Gauge {
 class Histogram {
  public:
   void record(double value);
+
+  /// Adds every sample recorded in `other` (bucket-wise; min/max/sum/count
+  /// combine exactly).
+  void merge_from(const Histogram& other);
 
   [[nodiscard]] std::uint64_t count() const;
   [[nodiscard]] double sum() const;
@@ -121,6 +126,13 @@ class CounterRegistry {
   /// Name-sorted snapshot of every metric.
   [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
 
+  /// Folds another registry's metrics into this one (get-or-create by
+  /// name): counters add, gauges take the other's value (last write wins,
+  /// matching serial execution order when callers merge in submission
+  /// order), histograms merge bucket-wise. The registries must be distinct
+  /// and must not be concurrently merged in the opposite direction.
+  void merge_from(const CounterRegistry& other);
+
  private:
   using Metric = std::variant<std::unique_ptr<Counter>, std::unique_ptr<Gauge>,
                               std::unique_ptr<Histogram>>;
@@ -131,8 +143,33 @@ class CounterRegistry {
   std::map<std::string, Metric> metrics_;
 };
 
-/// The process-wide registry all built-in instrumentation writes to.
+/// The registry built-in instrumentation writes to: the calling thread's
+/// override when a ScopedRegistry is active, otherwise the process-wide
+/// registry. Hot paths resolve metric pointers once per machine
+/// construction, so the indirection is off the per-instruction path.
 [[nodiscard]] CounterRegistry& default_registry();
+
+/// The process-wide registry, ignoring any thread-local override.
+[[nodiscard]] CounterRegistry& process_registry();
+
+/// Redirects default_registry() on the current thread to `reg` for this
+/// object's lifetime. Used by the sweep runner to give each sweep point an
+/// isolated registry that is merged into the caller's registry afterward.
+/// Nests (restores the previous override on destruction).
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(CounterRegistry& reg);
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+  ~ScopedRegistry();
+
+ private:
+  CounterRegistry* prev_;
+};
+
+/// Wraps a thread body so the new thread inherits the creating thread's
+/// active registry (thread-local overrides do not propagate on their own).
+[[nodiscard]] std::function<void()> inherit_registry(std::function<void()> fn);
 
 /// RAII wall-clock phase timer: records elapsed seconds into a histogram
 /// on destruction. Used around run()/build phases.

@@ -1,8 +1,10 @@
 #include "obs/session.hpp"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <thread>
 
 #include "core/contracts.hpp"
 
@@ -33,6 +35,9 @@ void RunSession::add_cli_flags(CliParser& cli) {
                "counters) to this path");
   cli.add_flag("counters", "false",
                "dump the instrumentation counter registry to stdout at exit");
+  cli.add_flag("jobs", "0",
+               "host threads for independent simulation points "
+               "(0 = hardware concurrency; incompatible with --trace-out)");
 }
 
 RunSession::RunSession(std::string name, const CliParser& cli)
@@ -48,6 +53,28 @@ RunSession::RunSession(std::string name, const CliParser& cli)
     std::fprintf(stderr,
                  "error: --trace-out and --report-out require a file path\n");
     std::exit(2);
+  }
+  const std::int64_t jobs_flag = cli.get_int("jobs");
+  if (jobs_flag < 0) {
+    std::fprintf(stderr, "error: --jobs must be >= 0 (got %lld)\n",
+                 static_cast<long long>(jobs_flag));
+    std::exit(2);
+  }
+  if (!trace_path_.empty() && cli.is_set("jobs") && jobs_flag > 1) {
+    // Trace events from concurrently running machines would interleave
+    // nondeterministically; refuse rather than write a useless trace.
+    std::fprintf(stderr,
+                 "error: --trace-out requires --jobs 1 (tracing needs a "
+                 "single deterministic event stream)\n");
+    std::exit(2);
+  }
+  if (!trace_path_.empty()) {
+    jobs_ = 1;
+  } else if (jobs_flag == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    jobs_ = hc == 0 ? 1 : static_cast<int>(hc);
+  } else {
+    jobs_ = static_cast<int>(jobs_flag);
   }
   if (!trace_path_.empty()) {
     sink_ = std::make_unique<TraceSink>();

@@ -4,6 +4,11 @@
 //   --trace-out <path>    write Chrome trace JSON (+ sibling .csv timeline)
 //   --report-out <path>   write the RunReport JSON
 //   --counters true       dump the counter registry to stdout at exit
+//   --jobs <n>            host threads for independent simulation points
+//                         (0 = hardware concurrency). Tracing requires a
+//                         single deterministic event stream, so --trace-out
+//                         forces jobs to 1 (an explicit --jobs > 1 with
+//                         --trace-out is an error).
 //
 // Construction installs the global trace sink (when --trace-out is given);
 // destruction (or finish()) writes all requested outputs. Exactly one
@@ -40,6 +45,11 @@ class RunSession {
   /// Non-null iff --trace-out was given.
   [[nodiscard]] TraceSink* sink() { return sink_.get(); }
 
+  /// Resolved host worker-thread count for sim::run_sweep: the --jobs flag
+  /// with 0 replaced by std::thread::hardware_concurrency() and tracing
+  /// runs pinned to 1. Always >= 1.
+  [[nodiscard]] int jobs() const { return jobs_; }
+
   /// Writes trace/report/counter outputs now (idempotent; the destructor
   /// calls it). Prints one line per file written.
   void finish();
@@ -48,6 +58,7 @@ class RunSession {
   std::string name_;
   std::string trace_path_;
   std::string report_path_;
+  int jobs_ = 1;
   bool dump_counters_ = false;
   bool finished_ = false;
   std::unique_ptr<TraceSink> sink_;

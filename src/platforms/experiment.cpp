@@ -1,5 +1,7 @@
 #include "platforms/experiment.hpp"
 
+#include <utility>
+
 #include "c3i/scenario.hpp"
 #include "c3i/terrain/scenario_gen.hpp"
 #include "c3i/threat/scenario_gen.hpp"
@@ -57,30 +59,19 @@ c3i::TerrainCosts scale_terrain_costs(const c3i::TerrainCosts& c, int divisor) {
 
 }  // namespace
 
-Testbed build_testbed() {
-  Testbed tb;
-  tb.threat_costs = c3i::default_threat_costs();
-  tb.terrain_costs = c3i::default_terrain_costs();
-
-  // Full-scale profiles.
-  for (const auto& scenario : threat::benchmark_scenarios())
-    tb.threat_profiles.push_back(threat::profile(scenario));
-  for (const auto& geometry : terrain::benchmark_geometries())
-    tb.terrain_profiles.push_back(terrain::profile(geometry));
-
-  // Scaled MTA workloads: one scenario each, reduced size, reduced
-  // per-unit costs with the same mix (200:55 -> 40:11; 80:26:10:6 ->
-  // 40:13:5:3).
-  tb.threat_costs_scaled = scale_threat_costs(tb.threat_costs, 5);
-  tb.terrain_costs_scaled = scale_terrain_costs(tb.terrain_costs, 2);
+TestbedScenarios testbed_scenarios() {
+  TestbedScenarios s;
+  s.threat = threat::benchmark_scenarios();
+  s.terrain = terrain::benchmark_geometries();
+  // Scaled MTA workloads: one scenario each, reduced size (the per-unit
+  // costs are reduced with the same mix in assemble_testbed).
   {
     threat::ScenarioParams params;
     params.num_threats = 256;
     params.num_weapons = 8;
     params.dt = 5.0;  // fewer steps per pair; per-step costs model the rest
     const auto seeds = c3i::standard_scenarios("threat-analysis");
-    threat::Scenario scaled = threat::generate_scenario(seeds[0].seed, params);
-    tb.threat_profile_scaled = threat::profile(scaled);
+    s.threat_scaled = threat::generate_scenario(seeds[0].seed, params);
   }
   {
     terrain::ScenarioParams params;
@@ -88,9 +79,35 @@ Testbed build_testbed() {
     params.y_size = 320;
     params.num_threats = 60;
     const auto seeds = c3i::standard_scenarios("terrain-masking");
-    tb.terrain_profile_scaled =
-        terrain::profile(terrain::generate_geometry(seeds[0].seed, params));
+    s.terrain_scaled = terrain::generate_geometry(seeds[0].seed, params);
   }
+  return s;
+}
+
+TestbedProfiles profile_testbed_kernels(const TestbedScenarios& scenarios) {
+  TestbedProfiles p;
+  for (const auto& scenario : scenarios.threat)
+    p.threat.push_back(threat::profile(scenario));
+  for (const auto& geometry : scenarios.terrain)
+    p.terrain.push_back(terrain::profile(geometry));
+  p.threat_scaled = threat::profile(scenarios.threat_scaled);
+  p.terrain_scaled = terrain::profile(scenarios.terrain_scaled);
+  return p;
+}
+
+Testbed assemble_testbed(TestbedProfiles profiles) {
+  Testbed tb;
+  tb.threat_costs = c3i::default_threat_costs();
+  tb.terrain_costs = c3i::default_terrain_costs();
+  tb.threat_profiles = std::move(profiles.threat);
+  tb.terrain_profiles = std::move(profiles.terrain);
+  tb.threat_profile_scaled = std::move(profiles.threat_scaled);
+  tb.terrain_profile_scaled = std::move(profiles.terrain_scaled);
+
+  // Reduced per-unit costs with the same mix (200:55 -> 40:11;
+  // 80:26:10:6 -> 40:13:5:3).
+  tb.threat_costs_scaled = scale_threat_costs(tb.threat_costs, 5);
+  tb.terrain_costs_scaled = scale_terrain_costs(tb.terrain_costs, 2);
 
   double threat_full_instr = 0.0;
   for (const auto& p : tb.threat_profiles)
@@ -138,6 +155,10 @@ Testbed build_testbed() {
                                 exemplar_rates.compute_rate_ips,
                                 exemplar_rates.mem_bw_single);
   return tb;
+}
+
+Testbed build_testbed() {
+  return assemble_testbed(profile_testbed_kernels(testbed_scenarios()));
 }
 
 // --- conventional-platform experiments --------------------------------------

@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "c3i/cost_model.hpp"
+#include "c3i/terrain/scenario_gen.hpp"
 #include "c3i/terrain/sequential.hpp"
 #include "c3i/terrain/trace_builder.hpp"
+#include "c3i/threat/scenario_gen.hpp"
 #include "c3i/threat/sequential.hpp"
 #include "c3i/threat/trace_builder.hpp"
 #include "platforms/calibration.hpp"
@@ -48,8 +50,37 @@ struct Testbed {
 };
 
 /// Builds the full testbed (runs the instrumented kernels, calibrates all
-/// platforms). Takes a few seconds; bench binaries build it once.
+/// platforms). Takes a few seconds; bench binaries build it once (through
+/// the profile cache in platforms/testbed_cache.hpp).
 [[nodiscard]] Testbed build_testbed();
+
+// --- testbed construction stages --------------------------------------------
+// build_testbed() = assemble_testbed(profile_testbed_kernels(
+//     testbed_scenarios())). The stages are exposed separately so the
+// testbed cache (testbed_cache.hpp) can fingerprint the deterministic
+// scenario inputs and persist only the expensive kernel-profiling stage.
+
+/// The deterministic scenario inputs the testbed profiles are computed from.
+struct TestbedScenarios {
+  std::vector<c3i::threat::Scenario> threat;
+  std::vector<c3i::terrain::GeometryScenario> terrain;
+  c3i::threat::Scenario threat_scaled;
+  c3i::terrain::GeometryScenario terrain_scaled;
+};
+
+/// Kernel-profiling outputs: everything in a Testbed that is expensive to
+/// compute. The rest of build_testbed() derives from these in milliseconds.
+struct TestbedProfiles {
+  std::vector<c3i::threat::PairProfile> threat;
+  std::vector<c3i::terrain::TerrainProfile> terrain;
+  c3i::threat::PairProfile threat_scaled;
+  c3i::terrain::TerrainProfile terrain_scaled;
+};
+
+[[nodiscard]] TestbedScenarios testbed_scenarios();
+[[nodiscard]] TestbedProfiles profile_testbed_kernels(
+    const TestbedScenarios& scenarios);
+[[nodiscard]] Testbed assemble_testbed(TestbedProfiles profiles);
 
 // --- workload accounting ----------------------------------------------------
 [[nodiscard]] double threat_total_instructions(

@@ -1,0 +1,81 @@
+// Deterministic host-parallel sweep runner for the bench binaries.
+//
+// A sweep is an indexed family of independent experiment points (table
+// rows, ablation grid cells, scaling curves). run_sweep() evaluates them on
+// a pool of sthreads and returns the results in submission order, so a
+// bench's output is independent of scheduling. Counter isolation: with
+// jobs > 1 every point runs under its own obs::CounterRegistry
+// (obs::ScopedRegistry, inherited by any sthreads the point spawns) and the
+// per-point registries are merged into the caller's registry in submission
+// order after all points finish — counters sum, gauges keep the
+// last-submitted point's value, exactly as a serial run would leave them.
+//
+// jobs == 1 runs the points inline on the caller's thread and registry, with
+// no pool and no isolation: byte-for-byte identical to the pre-sweep serial
+// code path.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/contracts.hpp"
+#include "obs/counters.hpp"
+#include "sthreads/thread.hpp"
+
+namespace tc3i::sim {
+
+/// Maps a --jobs flag value to a worker count: 0 means
+/// hardware_concurrency, anything else is used as-is (minimum 1).
+[[nodiscard]] int resolve_jobs(int requested);
+
+/// Evaluates fn(0..count-1) with at most `jobs` points in flight and
+/// returns the results indexed by point. fn must not depend on the
+/// evaluation order of other points.
+template <typename Fn>
+auto run_sweep(std::size_t count, int jobs, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{}))> {
+  using Result = decltype(fn(std::size_t{}));
+  static_assert(!std::is_void_v<Result>,
+                "sweep points must return a value (return 0 for effects)");
+  TC3I_EXPECTS(jobs >= 1);
+  std::vector<Result> results(count);
+  if (jobs == 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+    return results;
+  }
+
+  std::vector<std::unique_ptr<obs::CounterRegistry>> registries(count);
+  for (auto& r : registries) r = std::make_unique<obs::CounterRegistry>();
+  std::atomic<std::size_t> next{0};
+  const std::size_t workers =
+      std::min(static_cast<std::size_t>(jobs), count);
+  {
+    std::vector<sthreads::Thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&]() {
+        for (std::size_t i = next.fetch_add(1); i < count;
+             i = next.fetch_add(1)) {
+          obs::ScopedRegistry scope(*registries[i]);
+          results[i] = fn(i);
+        }
+      });
+    }
+    // Thread destructors join.
+  }
+  obs::CounterRegistry& mine = obs::default_registry();
+  for (const auto& r : registries) mine.merge_from(*r);
+  return results;
+}
+
+/// Convenience overload for benches: a fixed list of point thunks.
+[[nodiscard]] std::vector<double> run_sweep(
+    const std::vector<std::function<double()>>& points, int jobs);
+
+}  // namespace tc3i::sim

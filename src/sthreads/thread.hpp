@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/counters.hpp"
+
 namespace tc3i::sthreads {
 
 /// A joinable thread that joins on destruction (no detached threads; every
@@ -20,7 +22,10 @@ namespace tc3i::sthreads {
 class Thread {
  public:
   Thread() = default;
-  explicit Thread(std::function<void()> fn) : impl_(std::move(fn)) {}
+  /// The new thread inherits the creator's active obs registry, so counter
+  /// isolation (obs::ScopedRegistry) composes with nested fork/join.
+  explicit Thread(std::function<void()> fn)
+      : impl_(obs::inherit_registry(std::move(fn))) {}
 
   Thread(Thread&&) = default;
   Thread& operator=(Thread&& other) {
