@@ -12,6 +12,9 @@
 //                fast-forward path);
 //   spawn_churn  tree fork/join of 512 short workers (spawn arbitration
 //                and slot virtualization).
+// A fifth regime, obs_overhead, re-runs the saturated scenario with
+// timeline sampling active so the committed baseline pins the cost of the
+// per-cycle sampling hook.
 //
 // Each scenario runs `--reps` times (default 3); the median wall time
 // produces two RunReport rows per scenario ("<name>.cycles_per_sec" and
@@ -37,6 +40,7 @@
 #include "mta/runtime.hpp"
 #include "mta/stream_program.hpp"
 #include "obs/session.hpp"
+#include "obs/timeline.hpp"
 
 using namespace tc3i;
 
@@ -223,6 +227,29 @@ int main(int argc, char** argv) {
                TextTable::num(cps / 1e6, 1), TextTable::num(ips / 1e6, 1)});
     run.report().add_row(s.name + ".cycles_per_sec", 1.0, cps);
     run.report().add_row(s.name + ".instr_per_sec", 1.0, ips);
+  }
+
+  {
+    // Observability-overhead regime: the saturated scenario re-measured
+    // with timeline sampling active (a per-scanned-cycle hook plus bucket
+    // flushes, the only observability cost that is off by default). Its
+    // own baseline rows pin the overhead so it cannot silently grow; the
+    // plain "saturated" rows above keep gating the sampling-off path.
+    const Scenario sat = scenarios().front();
+    Measurement m;
+    {
+      obs::TimelineStore store(4096);
+      obs::ScopedTimeline scope(store);
+      m = measure(sat, reps);
+    }
+    const double cps = static_cast<double>(m.cycles) / m.median_seconds;
+    const double ips = static_cast<double>(m.instructions) / m.median_seconds;
+    table.row({"obs_overhead", std::to_string(m.cycles),
+               std::to_string(m.instructions),
+               TextTable::num(m.median_seconds * 1e3, 2),
+               TextTable::num(cps / 1e6, 1), TextTable::num(ips / 1e6, 1)});
+    run.report().add_row("obs_overhead.cycles_per_sec", 1.0, cps);
+    run.report().add_row("obs_overhead.instr_per_sec", 1.0, ips);
   }
   table.render(std::cout);
 

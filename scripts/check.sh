@@ -22,7 +22,10 @@ SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 "$BUILD_DIR"/bench/table05_threat_tera \
     --trace-out "$SMOKE_DIR/t.json" \
-    --report-out "$SMOKE_DIR/r.json" >/dev/null
+    --report-out "$SMOKE_DIR/r.json" \
+    --timeline-out "$SMOKE_DIR/tl.csv" \
+    --sample-period 2048 \
+    --counters >/dev/null
 "$BUILD_DIR"/tools/json_check "$SMOKE_DIR/t.json" "$SMOKE_DIR/r.json"
 
 # The trace must carry all four simulator event categories and the report
@@ -37,6 +40,28 @@ grep -q '"label":' "$SMOKE_DIR/r.json" ||
   { echo "FAIL: report has fewer than 10 named counters"; exit 1; }
 [ -s "$SMOKE_DIR/t.csv" ] ||
   { echo "FAIL: sibling CSV timeline missing"; exit 1; }
+
+echo "== sampled timeline + bottleneck verdicts =="
+# The sampled timeline must be non-empty and strictly monotone in cycle
+# within each (run, series) pair.
+[ -s "$SMOKE_DIR/tl.csv" ] ||
+  { echo "FAIL: sampled timeline CSV missing"; exit 1; }
+awk -F, 'NR == 1 { next }
+         { key = $1 "," $4 }
+         key in last && $5 <= last[key] {
+           print "FAIL: non-monotone cycle in " key; bad = 1; exit 1 }
+         { last[key] = $5 }
+         END { exit bad }' "$SMOKE_DIR/tl.csv" ||
+  { echo "FAIL: timeline cycles not monotone"; exit 1; }
+
+# The bottleneck analyzer must produce a verdict line for the smoke report,
+# and a report diffed against itself must match exactly.
+"$BUILD_DIR"/tools/bottleneck_report "$SMOKE_DIR/r.json" |
+  grep -q '^verdict' ||
+  { echo "FAIL: bottleneck_report printed no verdict"; exit 1; }
+"$BUILD_DIR"/tools/report_diff "$SMOKE_DIR/r.json" "$SMOKE_DIR/r.json" \
+  >/dev/null ||
+  { echo "FAIL: report_diff self-diff reported differences"; exit 1; }
 
 echo "== perf smoke (sim_throughput vs committed baseline) =="
 # Fails (exit 1) when any throughput metric drops below 70% of the

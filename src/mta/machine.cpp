@@ -58,6 +58,7 @@ Machine::Machine(MtaConfig config)
   TC3I_ASSERT(service_fp_ >= 1);
   load_tracker_.init(config_.num_processors, config_.streams_per_processor);
   free_slots_ = config_.num_processors * config_.streams_per_processor;
+  acct_.resize(static_cast<std::size_t>(config_.num_processors));
 
   obs::CounterRegistry& reg = obs::default_registry();
   obs_.issue_total = &reg.counter("mta.issue.total");
@@ -73,15 +74,32 @@ Machine::Machine(MtaConfig config)
   obs_.spawns_virtualized = &reg.counter("mta.spawn.virtualized");
   obs_.streams_completed = &reg.counter("mta.streams.completed");
   obs_.runs = &reg.counter("mta.runs");
+  obs_.slot_used = &reg.counter("mta.slot.used");
+  obs_.slot_no_stream = &reg.counter("mta.slot.no_stream");
+  obs_.slot_spacing = &reg.counter("mta.slot.spacing");
+  obs_.slot_spawn = &reg.counter("mta.slot.spawn");
+  obs_.slot_memory = &reg.counter("mta.slot.memory");
+  obs_.slot_sync = &reg.counter("mta.slot.sync");
   obs_.peak_live = &reg.gauge("mta.streams.peak_live");
   obs_.run_utilization = &reg.histogram("mta.run.processor_utilization");
   obs_.run_wall_seconds = &reg.histogram("mta.run.wall_seconds");
+  obs_.stream_instructions = &reg.histogram("mta.stream.instructions");
   obs_.sink = obs::global_sink();
   if (obs_.sink != nullptr)
     obs_.pid = obs_.sink->register_track(config_.name);
+  obs_.records = obs::active_run_records();
+  obs_.timeline = obs::active_timeline();
+  if (obs_.timeline != nullptr) {
+    sample_period_ = obs_.timeline->sample_period_cycles();
+    sample_next_ = sample_period_;
+  }
 }
 
-void Machine::push_wake(std::uint64_t at, StreamId sid) {
+void Machine::push_wake(std::uint64_t at, StreamId sid, StallReason why) {
+  Stream& s = streams_[static_cast<std::size_t>(sid)];
+  s.wait_reason = why;
+  ++acct_[static_cast<std::size_t>(s.proc)]
+        .waiting[static_cast<std::size_t>(why)];
   if (slow_) {
     heap_.push(Wake{at, sid});
   } else {
@@ -90,10 +108,51 @@ void Machine::push_wake(std::uint64_t at, StreamId sid) {
   }
 }
 
+void Machine::park_sync(StreamId sid) {
+  Stream& s = streams_[static_cast<std::size_t>(sid)];
+  s.wait_reason = StallReason::kSync;
+  ++acct_[static_cast<std::size_t>(s.proc)]
+        .waiting[static_cast<std::size_t>(StallReason::kSync)];
+}
+
 void Machine::make_stream_ready(StreamId sid) {
   const Stream& s = streams_[static_cast<std::size_t>(sid)];
+  --acct_[static_cast<std::size_t>(s.proc)]
+        .waiting[static_cast<std::size_t>(s.wait_reason)];
   procs_[static_cast<std::size_t>(s.proc)].make_ready(sid);
   ++ready_count_;
+}
+
+void Machine::account_idle(int proc, std::uint64_t n) {
+  ProcAcct& a = acct_[static_cast<std::size_t>(proc)];
+  if (procs_[static_cast<std::size_t>(proc)].live_streams() == 0) {
+    a.acct.no_stream += n;
+    return;
+  }
+  // Every live stream on an idle processor is parked; name the slot after
+  // the highest-priority reason present.
+  if (a.waiting[static_cast<std::size_t>(StallReason::kSync)] > 0)
+    a.acct.sync += n;
+  else if (a.waiting[static_cast<std::size_t>(StallReason::kMemory)] > 0)
+    a.acct.memory += n;
+  else if (a.waiting[static_cast<std::size_t>(StallReason::kSpawn)] > 0)
+    a.acct.spawn += n;
+  else
+    a.acct.spacing += n;
+}
+
+void Machine::account_solo_idle(int proc, std::uint64_t n, StallReason solo) {
+  if (n == 0) return;
+  ProcAcct& a = acct_[static_cast<std::size_t>(proc)];
+  if (a.waiting[static_cast<std::size_t>(StallReason::kSync)] > 0)
+    a.acct.sync += n;
+  else if (a.waiting[static_cast<std::size_t>(StallReason::kMemory)] > 0 ||
+           solo == StallReason::kMemory)
+    a.acct.memory += n;
+  else if (a.waiting[static_cast<std::size_t>(StallReason::kSpawn)] > 0)
+    a.acct.spawn += n;
+  else
+    a.acct.spacing += n;
 }
 
 void Machine::add_stream(StreamProgram* program) {
@@ -129,13 +188,14 @@ void Machine::activate(StreamProgram* program, bool software,
   s.program = program;
   s.vec = program->as_vector();
   s.proc = proc;
+  s.activated = now;
   streams_.push_back(s);
   ++live_streams_;
   peak_live_ = std::max(peak_live_, static_cast<std::uint64_t>(live_streams_));
 
   const std::uint64_t spawn_cost = static_cast<std::uint64_t>(
       software ? config_.sw_spawn_cycles : config_.hw_spawn_cycles);
-  push_wake(now + spawn_cost, sid);
+  push_wake(now + spawn_cost, sid, StallReason::kSpawn);
 
   (software ? obs_.spawns_sw : obs_.spawns_hw)->add();
   if (obs_.sink != nullptr) {
@@ -181,8 +241,11 @@ void Machine::complete_memory_op(StreamId sid, std::uint64_t now,
       now + static_cast<std::uint64_t>(config_.issue_spacing_cycles);
   const auto lookahead = static_cast<std::size_t>(config_.lookahead);
   if (lookahead == 0) {
-    // Fully dependent code: the stream waits for this operation.
-    push_wake(std::max(done, spacing), sid);
+    // Fully dependent code: the stream waits for this operation. The wait
+    // counts as a memory stall only past the issue-spacing window it would
+    // have sat out anyway.
+    push_wake(std::max(done, spacing), sid,
+              done > spacing ? StallReason::kMemory : StallReason::kSpacing);
     return;
   }
   // Explicit-dependence lookahead: the stream keeps issuing while at most
@@ -195,13 +258,18 @@ void Machine::complete_memory_op(StreamId sid, std::uint64_t now,
   std::uint64_t wake = spacing;
   if (outstanding.size() > lookahead)
     wake = std::max(wake, outstanding[outstanding.size() - 1 - lookahead]);
-  push_wake(wake, sid);
+  push_wake(wake, sid,
+            wake > spacing ? StallReason::kMemory : StallReason::kSpacing);
 }
 
 void Machine::process_handoffs(std::uint64_t now) {
   for (const auto& h : memory_.drain_handoffs()) {
     Stream& s = streams_[static_cast<std::size_t>(h.stream)];
     TC3I_ASSERT(!s.dead);
+    // The stream stops being sync-parked here; complete_memory_op re-parks
+    // it for the network trip the hand-off triggers.
+    --acct_[static_cast<std::size_t>(s.proc)]
+          .waiting[static_cast<std::size_t>(s.wait_reason)];
     if (h.was_load) s.program->deliver(h.value);
     ++sync_handoffs_;
     if (obs_.sink != nullptr)
@@ -219,6 +287,13 @@ void Machine::finish_stream(StreamId sid, std::uint64_t now) {
   --live_streams_;
   ++completed_;
   obs_.streams_completed->add();
+  obs_.stream_instructions->record(static_cast<double>(s.issued));
+  const auto rid = static_cast<std::size_t>(s.program->region());
+  if (rid >= region_tallies_.size()) region_tallies_.resize(rid + 1);
+  RegionTally& tally = region_tallies_[rid];
+  ++tally.streams;
+  tally.instructions += s.issued;
+  tally.stream_cycles += now - s.activated;
   if (obs_.sink != nullptr)
     obs_.sink->end(obs::Category::Spawn, "stream", ts_us(now), obs_.pid,
                    static_cast<std::uint64_t>(sid));
@@ -235,6 +310,7 @@ void Machine::finish_stream(StreamId sid, std::uint64_t now) {
 void Machine::issue(StreamId sid, std::uint64_t now) {
   Stream& s = streams_[static_cast<std::size_t>(sid)];
   TC3I_ASSERT(!s.dead);
+  ++s.issued;
   if (!s.has_cur) fetch_next(s);
 
   const std::uint64_t spacing =
@@ -248,7 +324,7 @@ void Machine::issue(StreamId sid, std::uint64_t now) {
       ++issued_compute_;
       TC3I_ASSERT(s.cur.count > 0);
       if (--s.cur.count == 0) s.has_cur = false;
-      push_wake(spacing, sid);
+      push_wake(spacing, sid, StallReason::kSpacing);
       break;
     }
     case Instr::Op::Load: {
@@ -275,6 +351,7 @@ void Machine::issue(StreamId sid, std::uint64_t now) {
         complete_memory_op(sid, now, s.cur.addr);
       } else {
         ++sync_blocks_;
+        park_sync(sid);
         if (obs_.sink != nullptr)
           obs_.sink->instant(obs::Category::Sync, "sync_block", ts_us(now),
                              obs_.pid, static_cast<std::uint64_t>(sid));
@@ -291,6 +368,7 @@ void Machine::issue(StreamId sid, std::uint64_t now) {
         complete_memory_op(sid, now, s.cur.addr);
       } else {
         ++sync_blocks_;
+        park_sync(sid);
         if (obs_.sink != nullptr)
           obs_.sink->instant(obs::Category::Sync, "sync_block", ts_us(now),
                              obs_.pid, static_cast<std::uint64_t>(sid));
@@ -315,7 +393,7 @@ void Machine::issue(StreamId sid, std::uint64_t now) {
                              static_cast<std::uint64_t>(sid));
         pending_.push(PendingSpawn{target, software});
       }
-      push_wake(spacing, sid);
+      push_wake(spacing, sid, StallReason::kSpacing);
       break;
     }
     case Instr::Op::Quit: {
@@ -345,6 +423,19 @@ std::uint64_t Machine::run_solo(std::uint64_t now, std::uint64_t max_cycles) {
   const std::uint64_t next_due = wheel_.next_due();  // kNone when empty
   const bool la0 = config_.lookahead == 0;
 
+  // Slot accounting: every processor but p idles the whole span with a
+  // census that cannot change in here (no foreign issues, no wake
+  // deliveries, no spawns/hand-offs outside the generic exit), so the
+  // foreign span is attributed in one shot at exit. p's own gap cycles are
+  // credited per instruction run via account_solo_idle, which supplies the
+  // reason the solo stream would have been parked with.
+  const std::uint64_t entry = now;
+  const auto foreign_idle = [&](std::uint64_t upto) {
+    if (upto == entry) return;
+    for (auto& q : procs_)
+      if (q.id() != p.id()) account_idle(q.id(), upto - entry);
+  };
+
   // The first issue consumes the ready-queue entry (counting one issue);
   // later ones are credited analytically.
   bool popped = false;
@@ -370,6 +461,7 @@ std::uint64_t Machine::run_solo(std::uint64_t now, std::uint64_t max_cycles) {
         k = std::min(k, 1 + (next_due - 1 - now) / spacing);
       charge(k);
       issued_compute_ += k;
+      s.issued += k;
       s.cur.count -= k;
       if (s.cur.count == 0) s.has_cur = false;
       const std::uint64_t last = now + (k - 1) * spacing;
@@ -377,10 +469,16 @@ std::uint64_t Machine::run_solo(std::uint64_t now, std::uint64_t max_cycles) {
       if (s.cur.count > 0 ||
           (next_due != sim::TimerWheel<StreamId>::kNone && next_due <= wake)) {
         // A foreign wake lands before (or at) our next issue: queue our
-        // wake and let the generic loop arbitrate.
-        push_wake(wake, sid);
+        // wake and let the generic loop arbitrate. Covered cycles end at
+        // `last`: k issues plus the k-1 spacing gaps between them.
+        account_solo_idle(p.id(), (k - 1) * (spacing - 1),
+                          StallReason::kSpacing);
+        push_wake(wake, sid, StallReason::kSpacing);
+        foreign_idle(last + 1);
         return last + 1;
       }
+      // Continuing: the trailing spacing gap up to `wake` is covered too.
+      account_solo_idle(p.id(), k * (spacing - 1), StallReason::kSpacing);
       now = wake;
       continue;
     }
@@ -388,22 +486,31 @@ std::uint64_t Machine::run_solo(std::uint64_t now, std::uint64_t max_cycles) {
     if (la0 && (s.cur.op == Instr::Op::Load || s.cur.op == Instr::Op::Store)) {
       charge(1);
       ++issued_memory_;
+      ++s.issued;
       if (s.cur.op == Instr::Op::Store) memory_.store(s.cur.addr, s.cur.value);
       TC3I_ASSERT(s.cur.count > 0);
       if (--s.cur.count == 0) s.has_cur = false;
       const std::uint64_t done = network_service(now, s.cur.addr);
       const std::uint64_t wake = std::max(done, now + spacing);
+      const StallReason why = done > now + spacing ? StallReason::kMemory
+                                                   : StallReason::kSpacing;
       if (next_due != sim::TimerWheel<StreamId>::kNone && next_due <= wake) {
-        push_wake(wake, sid);
+        push_wake(wake, sid, why);
+        foreign_idle(now + 1);
         return now + 1;
       }
+      account_solo_idle(p.id(), wake - now - 1, why);
       now = wake;
       continue;
     }
 
     // Sync ops, spawns, quits and lookahead>0 memory ops take the generic
     // path for one instruction, then the generic loop resumes (they can
-    // wake other streams or change stream structure).
+    // wake other streams or change stream structure). issue() can change
+    // foreign censuses (spawn placement, hand-offs), so the exit cycle is
+    // attributed in the slow loop's processor-scan order: processors before
+    // p see the pre-issue census, processors after it the post-issue one.
+    foreign_idle(now);
     if (!popped) {
       (void)p.pop_ready();
       --ready_count_;
@@ -411,9 +518,67 @@ std::uint64_t Machine::run_solo(std::uint64_t now, std::uint64_t max_cycles) {
     } else {
       p.add_issues(1);
     }
+    for (auto& q : procs_)
+      if (q.id() < p.id()) account_idle(q.id(), 1);
     issue(sid, now);
+    for (auto& q : procs_)
+      if (q.id() > p.id()) account_idle(q.id(), 1);
     return now + 1;
   }
+}
+
+void Machine::flush_samples(std::uint64_t now) {
+  // Everything accumulated since the previous flush happened at scanned
+  // cycles strictly before `sample_next_` (any scanned cycle at or past the
+  // boundary flushes before accruing), so the deltas belong entirely to the
+  // first unflushed bucket; buckets skipped by idle jumps emit zeros.
+  while (sample_next_ <= now) {
+    std::uint64_t issues_now = 0;
+    for (const auto& p : procs_) issues_now += p.issues();
+    const auto period = static_cast<double>(sample_period_);
+    const double util =
+        static_cast<double>(issues_now - sample_last_issues_) /
+        (period * static_cast<double>(config_.num_processors));
+    const double ready = static_cast<double>(sample_ready_sum_) / period;
+    const double net = static_cast<double>(memory_ops_ - sample_last_mem_) /
+                       (period * config_.network_ops_per_cycle);
+    tl_util_.push_back({sample_next_, util});
+    tl_ready_.push_back({sample_next_, ready});
+    tl_net_.push_back({sample_next_, net});
+    if (obs_.sink != nullptr)
+      obs_.sink->counter(obs::Category::Issue, "ready_streams",
+                         ts_us(sample_next_), obs_.pid, ready);
+    sample_last_issues_ = issues_now;
+    sample_last_mem_ = memory_ops_;
+    sample_ready_sum_ = 0;
+    sample_next_ += sample_period_;
+  }
+}
+
+void Machine::finish_timeline(std::uint64_t now) {
+  flush_samples(now);
+  const std::uint64_t start = sample_next_ - sample_period_;
+  if (now > start) {
+    // Trailing partial bucket, normalized by its actual width.
+    std::uint64_t issues_now = 0;
+    for (const auto& p : procs_) issues_now += p.issues();
+    const auto width = static_cast<double>(now - start);
+    tl_util_.push_back(
+        {now, static_cast<double>(issues_now - sample_last_issues_) /
+                  (width * static_cast<double>(config_.num_processors))});
+    tl_ready_.push_back({now, static_cast<double>(sample_ready_sum_) / width});
+    tl_net_.push_back({now,
+                       static_cast<double>(memory_ops_ - sample_last_mem_) /
+                           (width * config_.network_ops_per_cycle)});
+  }
+  obs::MachineTimeline tl;
+  tl.model = "mta";
+  tl.name = config_.name;
+  tl.sample_period_cycles = sample_period_;
+  tl.series.push_back({"issue_utilization", std::move(tl_util_)});
+  tl.series.push_back({"ready_streams", std::move(tl_ready_)});
+  tl.series.push_back({"network_occupancy", std::move(tl_net_)});
+  obs_.timeline->add(std::move(tl));
 }
 
 MtaRunResult Machine::run(std::uint64_t max_cycles) {
@@ -470,6 +635,11 @@ MtaRunResult Machine::run(std::uint64_t max_cycles) {
         make_stream_ready(w.stream);
       }
 
+      if (sample_period_ != 0) {
+        if (now >= sample_next_) flush_samples(now);
+        sample_ready_sum_ += ready_count_;
+      }
+
       bool any_ready = false;
       for (auto& p : procs_) {
         if (p.has_ready()) {
@@ -481,13 +651,20 @@ MtaRunResult Machine::run(std::uint64_t max_cycles) {
             if (b >= bucket_issues.size()) bucket_issues.resize(b + 1, 0);
             ++bucket_issues[b];
           }
+        } else {
+          account_idle(p.id(), 1);
         }
       }
 
       if (any_ready) {
         ++now;
       } else if (!heap_.empty()) {
-        now = std::max(now + 1, heap_.top().cycle);
+        const std::uint64_t next = std::max(now + 1, heap_.top().cycle);
+        // The scan above attributed cycle `now`; the skipped span up to the
+        // next wake is idle for every processor under an unchanged census.
+        if (next - now > 1)
+          for (auto& p : procs_) account_idle(p.id(), next - now - 1);
+        now = next;
       } else {
         // No stream can ever become ready again: every remaining stream is
         // blocked on a full/empty bit that nobody will flip.
@@ -508,7 +685,8 @@ MtaRunResult Machine::run(std::uint64_t max_cycles) {
       // Solo fast-forward: with one ready stream machine-wide (and no
       // tracing or timeline sampling observing individual cycles), whole
       // instruction runs retire analytically.
-      if (ready_count_ == 1 && !tracing && bucket == 0) {
+      if (ready_count_ == 1 && !tracing && bucket == 0 &&
+          sample_period_ == 0) {
         now = run_solo(now, max_cycles);
         continue;
       }
@@ -528,9 +706,17 @@ MtaRunResult Machine::run(std::uint64_t max_cycles) {
         if (limit <= now) limit = now + 1;
       }
 
+      // The live-stream check mirrors the outer loop: when the last stream
+      // quits mid-window the machine is dead, and scanning another cycle
+      // would attribute a phantom idle slot past the end of the run.
       bool any_ready = true;
-      while (any_ready && now < limit) {
+      while (any_ready && now < limit &&
+             (live_streams_ > 0 || !pending_.empty())) {
         TC3I_ASSERT(now < max_cycles && "MTA simulation exceeded max_cycles");
+        if (sample_period_ != 0) {
+          if (now >= sample_next_) flush_samples(now);
+          sample_ready_sum_ += ready_count_;
+        }
         any_ready = false;
         pushed_min_ = sim::TimerWheel<StreamId>::kNone;
         for (auto& p : procs_) {
@@ -543,6 +729,8 @@ MtaRunResult Machine::run(std::uint64_t max_cycles) {
               if (b >= bucket_issues.size()) bucket_issues.resize(b + 1, 0);
               ++bucket_issues[b];
             }
+          } else {
+            account_idle(p.id(), 1);
           }
         }
         if (any_ready) {
@@ -556,7 +744,13 @@ MtaRunResult Machine::run(std::uint64_t max_cycles) {
 
       if (!any_ready) {
         if (!wheel_.empty()) {
-          now = std::max(now + 1, wheel_.next_due());
+          const std::uint64_t next = std::max(now + 1, wheel_.next_due());
+          // The last scan attributed cycle `now`; the skipped span up to
+          // the next wake is idle for every processor under an unchanged
+          // census.
+          if (next - now > 1)
+            for (auto& p : procs_) account_idle(p.id(), next - now - 1);
+          now = next;
         } else {
           // No stream can ever become ready again: every remaining stream
           // is blocked on a full/empty bit that nobody will flip.
@@ -571,6 +765,30 @@ MtaRunResult Machine::run(std::uint64_t max_cycles) {
   instructions_ = used;
 
   emit_trace_buckets(now, /*final=*/true);
+  if (sample_period_ != 0) finish_timeline(now);
+
+  // Finalize the per-processor issue-slot accounts: used slots come from
+  // the processors' issue tallies, and the account must be exhaustive —
+  // every slot of every cycle attributed exactly once, on both simulation
+  // paths.
+  obs::IssueSlotAccount slots_total;
+  for (std::size_t pi = 0; pi < procs_.size(); ++pi) {
+    acct_[pi].acct.used = procs_[pi].issues();
+    if (acct_[pi].acct.total() != now) {
+      const auto& a = acct_[pi].acct;
+      std::fprintf(stderr,
+                   "[acct] proc %zu: total=%llu now=%llu used=%llu "
+                   "no_stream=%llu spacing=%llu spawn=%llu memory=%llu "
+                   "sync=%llu\n",
+                   pi, (unsigned long long)a.total(), (unsigned long long)now,
+                   (unsigned long long)a.used, (unsigned long long)a.no_stream,
+                   (unsigned long long)a.spacing, (unsigned long long)a.spawn,
+                   (unsigned long long)a.memory, (unsigned long long)a.sync);
+    }
+    TC3I_ASSERT(acct_[pi].acct.total() == now &&
+                "issue-slot account must cover every cycle");
+    slots_total += acct_[pi].acct;
+  }
 
   MtaRunResult result;
   result.cycles = now;
@@ -589,7 +807,16 @@ MtaRunResult Machine::run(std::uint64_t max_cycles) {
       now > 0 ? static_cast<double>(memory_ops_) /
                     (config_.network_ops_per_cycle * static_cast<double>(now))
               : 0.0;
+  result.slots = slots_total;
+  result.processor_slots.reserve(acct_.size());
+  for (const ProcAcct& a : acct_) result.processor_slots.push_back(a.acct);
   obs_.issue_total->add(instructions_);
+  obs_.slot_used->add(slots_total.used);
+  obs_.slot_no_stream->add(slots_total.no_stream);
+  obs_.slot_spacing->add(slots_total.spacing);
+  obs_.slot_spawn->add(slots_total.spawn);
+  obs_.slot_memory->add(slots_total.memory);
+  obs_.slot_sync->add(slots_total.sync);
   obs_.issue_compute->add(issued_compute_);
   obs_.issue_memory->add(issued_memory_);
   obs_.issue_sync->add(issued_sync_);
@@ -608,6 +835,35 @@ MtaRunResult Machine::run(std::uint64_t max_cycles) {
     for (const std::uint64_t issues_in_bucket : bucket_issues)
       result.utilization_timeline.push_back(
           static_cast<double>(issues_in_bucket) / slots_per_bucket);
+  }
+
+  // Per-region counters (named after the regions actually used) and the
+  // run's accounting record for the report's "machine_runs" section.
+  obs::CounterRegistry& reg = obs::default_registry();
+  std::vector<obs::RegionRollup> rollups;
+  for (std::size_t rid = 0; rid < region_tallies_.size(); ++rid) {
+    const RegionTally& t = region_tallies_[rid];
+    if (t.streams == 0 && t.instructions == 0) continue;
+    const std::string& name = region_name(static_cast<int>(rid));
+    reg.counter("mta.region." + name + ".instructions").add(t.instructions);
+    reg.counter("mta.region." + name + ".streams").add(t.streams);
+    rollups.push_back(
+        obs::RegionRollup{name, t.streams, t.instructions, t.stream_cycles});
+  }
+  if (obs_.records != nullptr) {
+    obs::RunRecord rec;
+    rec.model = "mta";
+    rec.name = config_.name;
+    rec.processors = config_.num_processors;
+    rec.threads = peak_live_;
+    rec.cycles = now;
+    rec.memory_ops = memory_ops_;
+    rec.slots = slots_total;
+    rec.network_utilization = result.network_utilization;
+    rec.regions = std::move(rollups);
+    rec.elapsed_seconds = result.seconds;
+    rec.utilization = result.processor_utilization;
+    obs_.records->add(std::move(rec));
   }
   return result;
 }

@@ -20,6 +20,7 @@
 //     frees.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -33,6 +34,8 @@
 #include "mta/stream_program.hpp"
 #include "mta/sync_memory.hpp"
 #include "obs/counters.hpp"
+#include "obs/run_record.hpp"
+#include "obs/timeline.hpp"
 #include "sim/timer_wheel.hpp"
 
 namespace tc3i::obs {
@@ -102,6 +105,12 @@ struct MtaRunResult {
   /// Per-bucket issue-slot utilization (empty unless
   /// MtaConfig::timeline_bucket_cycles is set).
   std::vector<double> utilization_timeline;
+  /// Exhaustive, exclusive issue-slot account summed over processors:
+  /// slots.total() == cycles x num_processors, always (both simulation
+  /// paths produce bit-identical accounts; see docs/OBSERVABILITY.md).
+  obs::IssueSlotAccount slots;
+  /// The same account split per processor (each totals `cycles`).
+  std::vector<obs::IssueSlotAccount> processor_slots;
 };
 
 class Machine {
@@ -121,6 +130,18 @@ class Machine {
   MtaRunResult run(std::uint64_t max_cycles = (1ull << 62));
 
  private:
+  /// Why a parked stream is not ready. Mirrors the stall categories of
+  /// obs::IssueSlotAccount; kept per stream (wait_reason) and as a per-
+  /// processor census (ProcAcct::waiting) so every idle issue slot can be
+  /// attributed to exactly one category.
+  enum class StallReason : std::uint8_t {
+    kSpacing = 0,  ///< inside the 21-cycle issue spacing / lookahead window
+    kSpawn = 1,    ///< paying stream-creation cost
+    kMemory = 2,   ///< waiting on the memory network past the spacing window
+    kSync = 3,     ///< blocked on a full/empty bit (incl. post-hand-off trip)
+  };
+  static constexpr std::size_t kNumStallReasons = 4;
+
   struct Stream {
     StreamProgram* program = nullptr;
     VectorProgram* vec = nullptr;  ///< program->as_vector(), fetch fast path
@@ -128,9 +149,27 @@ class Machine {
     Instr cur;
     bool has_cur = false;
     bool dead = false;
+    StallReason wait_reason = StallReason::kSpacing;  ///< valid while parked
+    std::uint64_t issued = 0;     ///< instructions this stream issued
+    std::uint64_t activated = 0;  ///< cycle activate() ran
     /// Completion cycles of outstanding memory ops (lookahead > 0 only;
     /// monotonically increasing, bounded by lookahead + 1).
     std::deque<std::uint64_t> outstanding;
+  };
+
+  /// Per-processor issue-slot account plus the census of parked streams by
+  /// stall reason that idle cycles are attributed from.
+  struct ProcAcct {
+    obs::IssueSlotAccount acct;
+    std::array<std::uint32_t, kNumStallReasons> waiting{};
+  };
+
+  /// Per-region tallies accumulated at stream completion (index = region
+  /// id; names resolved through region_name() when published).
+  struct RegionTally {
+    std::uint64_t streams = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t stream_cycles = 0;
   };
 
   struct Wake {
@@ -165,10 +204,19 @@ class Machine {
     obs::Counter* spawns_virtualized = nullptr;
     obs::Counter* streams_completed = nullptr;
     obs::Counter* runs = nullptr;
+    obs::Counter* slot_used = nullptr;
+    obs::Counter* slot_no_stream = nullptr;
+    obs::Counter* slot_spacing = nullptr;
+    obs::Counter* slot_spawn = nullptr;
+    obs::Counter* slot_memory = nullptr;
+    obs::Counter* slot_sync = nullptr;
     obs::Gauge* peak_live = nullptr;
     obs::Histogram* run_utilization = nullptr;
     obs::Histogram* run_wall_seconds = nullptr;
+    obs::Histogram* stream_instructions = nullptr;
     obs::TraceSink* sink = nullptr;
+    obs::RunRecordStore* records = nullptr;  ///< active_run_records() at ctor
+    obs::TimelineStore* timeline = nullptr;  ///< active_timeline() at ctor
     std::uint32_t pid = 0;
   };
 
@@ -229,8 +277,26 @@ class Machine {
   std::uint64_t network_service(std::uint64_t now, Address addr);
   void complete_memory_op(StreamId sid, std::uint64_t now, Address addr);
   void process_handoffs(std::uint64_t now);
-  void push_wake(std::uint64_t at, StreamId sid);
+  /// Parks `sid` (census +1 under `why`) and queues its wake.
+  void push_wake(std::uint64_t at, StreamId sid, StallReason why);
+  /// Parks `sid` with no wake: it waits in memory on a full/empty bit.
+  void park_sync(StreamId sid);
   void make_stream_ready(StreamId sid);
+  /// Attributes `n` idle cycles of processor `proc` to one stall category:
+  /// no_stream when the processor has no live streams, otherwise the
+  /// highest-priority reason in its parked-stream census
+  /// (sync > memory > spawn > spacing).
+  void account_idle(int proc, std::uint64_t n);
+  /// account_idle over the census plus the solo stream virtually parked
+  /// with `solo` (run_solo does not park between fast-forwarded issues).
+  void account_solo_idle(int proc, std::uint64_t n, StallReason solo);
+  /// Timeline sampling (active_timeline() set at construction): called per
+  /// scanned cycle; emits every complete sample bucket ending at or before
+  /// `now` from the deltas accumulated since the previous flush.
+  void flush_samples(std::uint64_t now);
+  /// Emits the trailing partial bucket and hands the run's timeline to the
+  /// store.
+  void finish_timeline(std::uint64_t now);
   /// Fast-forwards the machine while exactly one stream is ready
   /// machine-wide (see docs/PERFORMANCE.md for the legality argument).
   /// Returns the cycle the generic loop resumes at.
@@ -263,6 +329,21 @@ class Machine {
   /// run()'s window batching uses it to end a drain-free window early when
   /// a spawn schedules a wake inside it.
   std::uint64_t pushed_min_ = ~0ull;
+
+  std::vector<ProcAcct> acct_;  // sized num_processors
+  std::vector<RegionTally> region_tallies_;
+
+  // Timeline sampling state (sample_period_ == 0 when inactive). Samples
+  // are a pure function of simulated cycles, so the exported series are
+  // identical for the fast and slow paths and at any --jobs.
+  std::uint64_t sample_period_ = 0;
+  std::uint64_t sample_next_ = 0;
+  std::uint64_t sample_ready_sum_ = 0;
+  std::uint64_t sample_last_issues_ = 0;
+  std::uint64_t sample_last_mem_ = 0;
+  std::vector<obs::TimelinePoint> tl_util_;
+  std::vector<obs::TimelinePoint> tl_ready_;
+  std::vector<obs::TimelinePoint> tl_net_;
 
   Obs obs_;
   int live_streams_ = 0;

@@ -1,8 +1,56 @@
 #include "mta/stream_program.hpp"
 
+#include <deque>
+#include <mutex>
+
 #include "core/contracts.hpp"
 
 namespace tc3i::mta {
+
+namespace {
+
+bool valid_region_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+         c == '.';
+}
+
+struct RegionTable {
+  std::mutex mu;
+  // deque: appends never move existing names, so region_name() can hand out
+  // stable references without holding the lock.
+  std::deque<std::string> names{"main"};
+};
+
+RegionTable& region_table() {
+  static RegionTable table;
+  return table;
+}
+
+}  // namespace
+
+int region_id(std::string_view name) {
+  TC3I_EXPECTS(!name.empty());
+  for (char c : name) TC3I_EXPECTS(valid_region_char(c));
+  RegionTable& table = region_table();
+  std::lock_guard lock(table.mu);
+  for (std::size_t i = 0; i < table.names.size(); ++i)
+    if (table.names[i] == name) return static_cast<int>(i);
+  table.names.emplace_back(name);
+  return static_cast<int>(table.names.size() - 1);
+}
+
+const std::string& region_name(int id) {
+  RegionTable& table = region_table();
+  std::lock_guard lock(table.mu);
+  TC3I_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < table.names.size());
+  return table.names[static_cast<std::size_t>(id)];
+}
+
+int region_count() {
+  RegionTable& table = region_table();
+  std::lock_guard lock(table.mu);
+  return static_cast<int>(table.names.size());
+}
 
 void VectorProgram::compute(std::uint64_t n) {
   if (n == 0) return;

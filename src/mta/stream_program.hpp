@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "mta/sync_memory.hpp"
@@ -17,6 +19,24 @@
 namespace tc3i::mta {
 
 class StreamProgram;
+
+// Region annotations -------------------------------------------------------
+//
+// Workload builders tag each StreamProgram with a region — a named phase of
+// the benchmark ("correlate", "masking_row", ...) — and the machine rolls
+// issued instructions and stream lifetimes up per region (RunRecord's
+// `regions` section). Region ids are process-global, get-or-create, and
+// id 0 is always "main". Names must use the counter-name charset
+// [a-z0-9_.].
+
+/// Returns the id for `name`, interning it on first use.
+[[nodiscard]] int region_id(std::string_view name);
+
+/// The name behind an id previously returned by region_id().
+[[nodiscard]] const std::string& region_name(int id);
+
+/// Number of interned regions (ids are [0, region_count())).
+[[nodiscard]] int region_count();
 
 struct Instr {
   enum class Op : std::uint8_t {
@@ -54,6 +74,13 @@ class StreamProgram {
   /// loop fetches through the concrete type (a direct, inlinable call)
   /// when it can — trace replay is the dominant workload.
   [[nodiscard]] virtual class VectorProgram* as_vector() { return nullptr; }
+
+  /// The region this stream's work is attributed to (default 0, "main").
+  [[nodiscard]] int region() const { return region_; }
+  void set_region(int id) { region_ = id; }
+
+ private:
+  int region_ = 0;
 };
 
 /// A fixed pre-built instruction sequence (the workhorse for trace replay).

@@ -2,7 +2,9 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/contracts.hpp"
 
@@ -123,17 +125,19 @@ void JsonWriter::null() {
   needs_comma_ = true;
 }
 
-// --- json_validate -----------------------------------------------------------
+// --- json_validate / json_parse ----------------------------------------------
 
 namespace {
 
+/// One grammar, two uses: with a null `out` the parser only validates; with
+/// a JsonValue it additionally builds the tree (json_parse).
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
 
-  std::optional<std::string> run() {
+  std::optional<std::string> run(JsonValue* out) {
     skip_ws();
-    if (!value()) return error_;
+    if (!value(out)) return error_;
     skip_ws();
     if (pos_ != text_.size()) fail("trailing data after JSON value");
     return error_;
@@ -163,7 +167,41 @@ class Parser {
     return true;
   }
 
-  bool string() {
+  /// Appends `cp` as UTF-8 (callers only pass valid code points).
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  bool hex4(std::uint32_t& cp) {
+    cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      ++pos_;
+      if (eof() || !std::isxdigit(static_cast<unsigned char>(peek())))
+        return fail("bad \\u escape");
+      const char c = peek();
+      const std::uint32_t digit =
+          c <= '9' ? static_cast<std::uint32_t>(c - '0')
+                   : static_cast<std::uint32_t>((c | 0x20) - 'a') + 10;
+      cp = cp * 16 + digit;
+    }
+    return true;
+  }
+
+  bool string(std::string* out) {
     if (eof() || peek() != '"') return fail("expected string");
     ++pos_;
     while (!eof() && peek() != '"') {
@@ -174,15 +212,42 @@ class Parser {
         if (eof()) return fail("truncated escape");
         const char e = peek();
         if (e == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            ++pos_;
-            if (eof() || !std::isxdigit(static_cast<unsigned char>(peek())))
-              return fail("bad \\u escape");
+          std::uint32_t cp = 0;
+          if (!hex4(cp)) return false;
+          // A high surrogate must pair with a following \uXXXX low
+          // surrogate; lone surrogates decode to U+FFFD.
+          if (cp >= 0xd800 && cp < 0xdc00 &&
+              text_.substr(pos_ + 1, 2) == "\\u") {
+            const std::size_t save = pos_;
+            pos_ += 2;
+            std::uint32_t lo = 0;
+            if (!hex4(lo)) return false;
+            if (lo >= 0xdc00 && lo < 0xe000) {
+              cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+            } else {
+              pos_ = save;
+              cp = 0xfffd;
+            }
+          } else if (cp >= 0xd800 && cp < 0xe000) {
+            cp = 0xfffd;
           }
-        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
-                   e != 'n' && e != 'r' && e != 't') {
+          if (out != nullptr) append_utf8(*out, cp);
+        } else if (e == '"' || e == '\\' || e == '/') {
+          if (out != nullptr) out->push_back(e);
+        } else if (e == 'b' || e == 'f' || e == 'n' || e == 'r' || e == 't') {
+          if (out != nullptr) {
+            const char decoded = e == 'b'   ? '\b'
+                                 : e == 'f' ? '\f'
+                                 : e == 'n' ? '\n'
+                                 : e == 'r' ? '\r'
+                                            : '\t';
+            out->push_back(decoded);
+          }
+        } else {
           return fail("bad escape character");
         }
+      } else if (out != nullptr) {
+        out->push_back(peek());
       }
       ++pos_;
     }
@@ -191,7 +256,7 @@ class Parser {
     return true;
   }
 
-  bool number() {
+  bool number(double* out) {
     const std::size_t start = pos_;
     if (!eof() && peek() == '-') ++pos_;
     if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
@@ -214,28 +279,59 @@ class Parser {
         return fail("bad exponent");
       while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
     }
+    if (out != nullptr) {
+      const std::string lexeme(text_.substr(start, pos_ - start));
+      *out = std::strtod(lexeme.c_str(), nullptr);
+    }
     return pos_ > start;
   }
 
-  bool value() {
+  bool value(JsonValue* out) {
     if (++depth_ > kMaxDepth) return fail("nesting too deep");
     skip_ws();
     if (eof()) return fail("unexpected end of input");
     bool ok = false;
     switch (peek()) {
-      case '{': ok = object(); break;
-      case '[': ok = array(); break;
-      case '"': ok = string(); break;
-      case 't': ok = literal("true"); break;
-      case 'f': ok = literal("false"); break;
-      case 'n': ok = literal("null"); break;
-      default: ok = number(); break;
+      case '{':
+        if (out != nullptr) out->kind = JsonValue::Kind::Object;
+        ok = object(out);
+        break;
+      case '[':
+        if (out != nullptr) out->kind = JsonValue::Kind::Array;
+        ok = array(out);
+        break;
+      case '"':
+        if (out != nullptr) out->kind = JsonValue::Kind::String;
+        ok = string(out != nullptr ? &out->string : nullptr);
+        break;
+      case 't':
+        ok = literal("true");
+        if (ok && out != nullptr) {
+          out->kind = JsonValue::Kind::Bool;
+          out->boolean = true;
+        }
+        break;
+      case 'f':
+        ok = literal("false");
+        if (ok && out != nullptr) {
+          out->kind = JsonValue::Kind::Bool;
+          out->boolean = false;
+        }
+        break;
+      case 'n':
+        ok = literal("null");
+        if (ok && out != nullptr) out->kind = JsonValue::Kind::Null;
+        break;
+      default:
+        if (out != nullptr) out->kind = JsonValue::Kind::Number;
+        ok = number(out != nullptr ? &out->number : nullptr);
+        break;
     }
     --depth_;
     return ok;
   }
 
-  bool object() {
+  bool object(JsonValue* out) {
     ++pos_;  // '{'
     skip_ws();
     if (!eof() && peek() == '}') {
@@ -244,11 +340,17 @@ class Parser {
     }
     for (;;) {
       skip_ws();
-      if (!string()) return false;
+      std::string key;
+      if (!string(out != nullptr ? &key : nullptr)) return false;
       skip_ws();
       if (eof() || peek() != ':') return fail("expected ':' in object");
       ++pos_;
-      if (!value()) return false;
+      JsonValue* member = nullptr;
+      if (out != nullptr) {
+        out->object.emplace_back(std::move(key), JsonValue{});
+        member = &out->object.back().second;
+      }
+      if (!value(member)) return false;
       skip_ws();
       if (eof()) return fail("unterminated object");
       if (peek() == ',') {
@@ -263,7 +365,7 @@ class Parser {
     }
   }
 
-  bool array() {
+  bool array(JsonValue* out) {
     ++pos_;  // '['
     skip_ws();
     if (!eof() && peek() == ']') {
@@ -271,7 +373,12 @@ class Parser {
       return true;
     }
     for (;;) {
-      if (!value()) return false;
+      JsonValue* element = nullptr;
+      if (out != nullptr) {
+        out->array.emplace_back();
+        element = &out->array.back();
+      }
+      if (!value(element)) return false;
       skip_ws();
       if (eof()) return fail("unterminated array");
       if (peek() == ',') {
@@ -297,7 +404,55 @@ class Parser {
 }  // namespace
 
 std::optional<std::string> json_validate(std::string_view text) {
-  return Parser(text).run();
+  return Parser(text).run(nullptr);
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [k, v] : object)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const JsonValue* JsonValue::find_object(std::string_view key) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_object() ? v : nullptr;
+}
+
+const JsonValue* JsonValue::find_array(std::string_view key) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_array() ? v : nullptr;
+}
+
+const JsonValue* JsonValue::find_string(std::string_view key) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_string() ? v : nullptr;
+}
+
+const JsonValue* JsonValue::find_number(std::string_view key) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v : nullptr;
+}
+
+double JsonValue::number_or(std::string_view key, double fallback) const {
+  const JsonValue* v = find_number(key);
+  return v != nullptr ? v->number : fallback;
+}
+
+std::string JsonValue::string_or(std::string_view key,
+                                 std::string fallback) const {
+  const JsonValue* v = find_string(key);
+  return v != nullptr ? v->string : std::move(fallback);
+}
+
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error) {
+  JsonValue root;
+  if (const auto err = Parser(text).run(&root)) {
+    if (error != nullptr) *error = *err;
+    return std::nullopt;
+  }
+  return root;
 }
 
 }  // namespace tc3i::obs

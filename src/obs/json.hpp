@@ -1,10 +1,13 @@
-// Minimal JSON emission and validation for the observability layer.
+// Minimal JSON emission, validation and parsing for the observability
+// layer.
 //
 // JsonWriter is a streaming writer (objects, arrays, scalars) with correct
 // string escaping and non-finite-number handling; json_validate is a strict
 // recursive-descent syntax checker used by tests and tools/json_check to
-// confirm that exported traces and reports are well-formed without pulling
-// in a JSON library dependency.
+// confirm that exported traces and reports are well-formed; json_parse
+// builds a JsonValue tree for the tools that *read* reports
+// (tools/bottleneck_report, tools/report_diff, json_check's schema pass) —
+// all without pulling in a JSON library dependency.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +15,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace tc3i::obs {
@@ -63,5 +67,48 @@ class JsonWriter {
 /// Validates that `text` is one complete JSON value. Returns std::nullopt
 /// on success, else a human-readable error with byte offset.
 [[nodiscard]] std::optional<std::string> json_validate(std::string_view text);
+
+/// Parsed JSON value tree. Objects preserve key order (as a key/value
+/// vector) so serialized reports round-trip deterministically.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_null() const { return kind == Kind::Null; }
+  [[nodiscard]] bool is_bool() const { return kind == Kind::Bool; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::Number; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::String; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::Array; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::Object; }
+
+  /// Object member lookup (first match); null when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// find() + kind checks, for terse schema walking. Null when the member
+  /// is absent or has the wrong kind.
+  [[nodiscard]] const JsonValue* find_object(std::string_view key) const;
+  [[nodiscard]] const JsonValue* find_array(std::string_view key) const;
+  [[nodiscard]] const JsonValue* find_string(std::string_view key) const;
+  [[nodiscard]] const JsonValue* find_number(std::string_view key) const;
+
+  /// Numeric member value, or `fallback` when absent / not a number.
+  [[nodiscard]] double number_or(std::string_view key, double fallback) const;
+  /// String member value, or `fallback` when absent / not a string.
+  [[nodiscard]] std::string string_or(std::string_view key,
+                                      std::string fallback) const;
+};
+
+/// Parses one complete JSON value. Returns std::nullopt with `*error` set
+/// (human-readable, with byte offset) on malformed input. Accepts exactly
+/// the grammar json_validate accepts.
+[[nodiscard]] std::optional<JsonValue> json_parse(std::string_view text,
+                                                  std::string* error);
 
 }  // namespace tc3i::obs

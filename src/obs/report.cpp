@@ -9,6 +9,57 @@
 
 namespace tc3i::obs {
 
+namespace {
+
+std::uint64_t u64_or(const JsonValue& v, std::string_view key) {
+  const double d = v.number_or(key, 0.0);
+  return d > 0.0 ? static_cast<std::uint64_t>(d) : 0;
+}
+
+}  // namespace
+
+std::vector<RunRecord> machine_runs_from_json(const JsonValue& report) {
+  std::vector<RunRecord> out;
+  const JsonValue* runs = report.find_array("machine_runs");
+  if (runs == nullptr) return out;
+  for (const JsonValue& jr : runs->array) {
+    if (!jr.is_object()) continue;
+    RunRecord r;
+    r.model = jr.string_or("model", "");
+    r.name = jr.string_or("name", "");
+    r.processors = static_cast<int>(jr.number_or("processors", 1.0));
+    r.threads = u64_or(jr, "threads");
+    r.utilization = jr.number_or("utilization", 0.0);
+    r.cycles = u64_or(jr, "cycles");
+    r.memory_ops = u64_or(jr, "memory_ops");
+    r.network_utilization = jr.number_or("network_utilization", 0.0);
+    if (const JsonValue* slots = jr.find_object("slots")) {
+      r.slots.used = u64_or(*slots, "used");
+      r.slots.no_stream = u64_or(*slots, "no_stream");
+      r.slots.spacing = u64_or(*slots, "spacing");
+      r.slots.spawn = u64_or(*slots, "spawn");
+      r.slots.memory = u64_or(*slots, "memory");
+      r.slots.sync = u64_or(*slots, "sync");
+    }
+    if (const JsonValue* regions = jr.find_array("regions")) {
+      for (const JsonValue& jreg : regions->array) {
+        if (!jreg.is_object()) continue;
+        RegionRollup reg;
+        reg.name = jreg.string_or("name", "");
+        reg.streams = u64_or(jreg, "streams");
+        reg.instructions = u64_or(jreg, "instructions");
+        reg.stream_cycles = u64_or(jreg, "stream_cycles");
+        r.regions.push_back(std::move(reg));
+      }
+    }
+    r.elapsed_seconds = jr.number_or("elapsed_seconds", 0.0);
+    r.bus_utilization = jr.number_or("bus_utilization", 0.0);
+    r.lock_wait_share = jr.number_or("lock_wait_share", 0.0);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
 RunReport::RunReport(std::string bench_name) : bench_(std::move(bench_name)) {
   TC3I_EXPECTS(!bench_.empty());
 }
@@ -36,6 +87,10 @@ void RunReport::add_row(const std::string& label, double paper_seconds,
 
 void RunReport::add_note(std::string note) { notes_.push_back(std::move(note)); }
 
+void RunReport::set_machine_runs(std::vector<RunRecord> runs) {
+  machine_runs_ = std::move(runs);
+}
+
 void RunReport::write_json(std::ostream& out,
                            const CounterRegistry& registry) const {
   const std::vector<MetricSnapshot> metrics = registry.snapshot();
@@ -43,7 +98,7 @@ void RunReport::write_json(std::ostream& out,
   JsonWriter w(out);
   w.begin_object();
   w.field("bench", bench_);
-  w.field("schema_version", std::uint64_t{1});
+  w.field("schema_version", std::uint64_t{2});
 
   w.key("config");
   w.begin_object();
@@ -90,6 +145,48 @@ void RunReport::write_json(std::ostream& out,
     w.end_object();
   }
   w.end_object();
+
+  w.key("machine_runs");
+  w.begin_array();
+  for (const RunRecord& r : machine_runs_) {
+    w.begin_object();
+    w.field("model", r.model);
+    w.field("name", r.name);
+    w.field("processors", r.processors);
+    w.field("threads", r.threads);
+    w.field("utilization", r.utilization);
+    if (r.model == "smp") {
+      w.field("elapsed_seconds", r.elapsed_seconds);
+      w.field("bus_utilization", r.bus_utilization);
+      w.field("lock_wait_share", r.lock_wait_share);
+    } else {
+      w.field("cycles", r.cycles);
+      w.field("memory_ops", r.memory_ops);
+      w.field("network_utilization", r.network_utilization);
+      w.key("slots");
+      w.begin_object();
+      w.field("used", r.slots.used);
+      w.field("no_stream", r.slots.no_stream);
+      w.field("spacing", r.slots.spacing);
+      w.field("spawn", r.slots.spawn);
+      w.field("memory", r.slots.memory);
+      w.field("sync", r.slots.sync);
+      w.end_object();
+      w.key("regions");
+      w.begin_array();
+      for (const RegionRollup& reg : r.regions) {
+        w.begin_object();
+        w.field("name", reg.name);
+        w.field("streams", reg.streams);
+        w.field("instructions", reg.instructions);
+        w.field("stream_cycles", reg.stream_cycles);
+        w.end_object();
+      }
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array();
 
   w.key("notes");
   w.begin_array();

@@ -5,16 +5,27 @@
 // of the counter registry, and serializes it as JSON (schema below) so
 // result trajectories can be produced and diffed mechanically.
 //
-// Schema (schema_version 1):
+// Schema (schema_version 2; version 1 lacked "machine_runs"):
 //   {
-//     "bench": "<name>", "schema_version": 1,
+//     "bench": "<name>", "schema_version": 2,
 //     "config": { "<key>": "<value>", ... },
 //     "rows": [ { "label": ..., "paper": s, "measured": s, "ratio": r } ],
 //     "counters": { "<name>": u64, ... },
 //     "gauges": { "<name>": double, ... },
 //     "histograms": { "<name>": {"count","sum","p50","p90","p99","max"} },
+//     "machine_runs": [ per-run accounting records, see set_machine_runs() ],
 //     "notes": [ "...", ... ]
 //   }
+//
+// A "machine_runs" entry for an MTA run looks like
+//   { "model":"mta", "name":..., "processors":p, "threads":peak,
+//     "cycles":c, "memory_ops":m, "utilization":u, "network_utilization":n,
+//     "slots": {"used","no_stream","spacing","spawn","memory","sync"},
+//     "regions": [ {"name","streams","instructions","stream_cycles"} ] }
+// and for an SMP run
+//   { "model":"smp", "name":..., "processors":p, "threads":t,
+//     "elapsed_seconds":e, "utilization":u, "bus_utilization":b,
+//     "lock_wait_share":l }
 #pragma once
 
 #include <ostream>
@@ -23,8 +34,18 @@
 #include <vector>
 
 #include "obs/counters.hpp"
+#include "obs/run_record.hpp"
 
 namespace tc3i::obs {
+
+class JsonValue;
+
+/// Rebuilds the RunRecords serialized in a parsed report's "machine_runs"
+/// array (the inverse of write_json's emission; absent fields keep their
+/// defaults, non-array / absent "machine_runs" yields an empty vector).
+/// Used by tools/bottleneck_report and tools/report_diff.
+[[nodiscard]] std::vector<RunRecord> machine_runs_from_json(
+    const JsonValue& report);
 
 class RunReport {
  public:
@@ -41,7 +62,15 @@ class RunReport {
 
   void add_note(std::string note);
 
+  /// Replaces the per-machine-run accounting records serialized as the
+  /// "machine_runs" array (RunSession feeds these from its RunRecordStore
+  /// at finish()).
+  void set_machine_runs(std::vector<RunRecord> runs);
+
   [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<RunRecord>& machine_runs() const {
+    return machine_runs_;
+  }
 
   /// Serializes the report with a snapshot of `registry` taken now.
   void write_json(std::ostream& out, const CounterRegistry& registry) const;
@@ -63,6 +92,7 @@ class RunReport {
   std::vector<std::pair<std::string, std::string>> config_;
   std::vector<Row> rows_;
   std::vector<std::string> notes_;
+  std::vector<RunRecord> machine_runs_;
 };
 
 }  // namespace tc3i::obs

@@ -1,0 +1,53 @@
+#include "obs/run_record.hpp"
+
+#include <utility>
+
+#include "core/contracts.hpp"
+
+namespace tc3i::obs {
+
+void RunRecordStore::add(RunRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(std::move(record));
+}
+
+void RunRecordStore::merge_from(const RunRecordStore& other) {
+  TC3I_EXPECTS(&other != this);
+  std::vector<RunRecord> theirs = other.records();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (RunRecord& r : theirs) records_.push_back(std::move(r));
+}
+
+std::vector<RunRecord> RunRecordStore::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::size_t RunRecordStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+namespace {
+RunRecordStore* g_process_store = nullptr;
+thread_local RunRecordStore* t_store_override = nullptr;
+}  // namespace
+
+RunRecordStore* active_run_records() {
+  return t_store_override != nullptr ? t_store_override : g_process_store;
+}
+
+RunRecordStore* process_run_records() { return g_process_store; }
+
+void set_process_run_records(RunRecordStore* store) {
+  g_process_store = store;
+}
+
+ScopedRunRecords::ScopedRunRecords(RunRecordStore& store)
+    : prev_(t_store_override) {
+  t_store_override = &store;
+}
+
+ScopedRunRecords::~ScopedRunRecords() { t_store_override = prev_; }
+
+}  // namespace tc3i::obs

@@ -33,8 +33,14 @@ void RunSession::add_cli_flags(CliParser& cli) {
   cli.add_flag("report-out", "",
                "write a machine-readable RunReport JSON (rows, config, "
                "counters) to this path");
+  cli.add_flag("timeline-out", "",
+               "write sampled per-run utilization timelines "
+               "(run,model,name,series,cycle,value) as CSV to this path");
+  cli.add_flag("sample-period", "4096",
+               "simulated cycles per timeline sample for --timeline-out");
   cli.add_flag("counters", "false",
-               "dump the instrumentation counter registry to stdout at exit");
+               "dump the instrumentation counter registry to stdout at exit "
+               "(bare --counters or --counters true)");
   cli.add_flag("jobs", "0",
                "host threads for independent simulation points "
                "(0 = hardware concurrency; incompatible with --trace-out)");
@@ -44,14 +50,23 @@ RunSession::RunSession(std::string name, const CliParser& cli)
     : name_(std::move(name)),
       trace_path_(cli.get("trace-out")),
       report_path_(cli.get("report-out")),
+      timeline_path_(cli.get("timeline-out")),
       dump_counters_(cli.get_bool("counters")),
       report_(name_) {
   TC3I_EXPECTS(g_active == nullptr && "only one RunSession may be active");
   // A bare `--trace-out` / `--report-out` parses as the boolean sentinel
   // "true" (CliParser bare-flag rule); these flags need real paths.
-  if (trace_path_ == "true" || report_path_ == "true") {
+  if (trace_path_ == "true" || report_path_ == "true" ||
+      timeline_path_ == "true") {
     std::fprintf(stderr,
-                 "error: --trace-out and --report-out require a file path\n");
+                 "error: --trace-out, --report-out and --timeline-out "
+                 "require a file path\n");
+    std::exit(2);
+  }
+  const std::int64_t sample_period = cli.get_int("sample-period");
+  if (sample_period < 1) {
+    std::fprintf(stderr, "error: --sample-period must be >= 1 (got %lld)\n",
+                 static_cast<long long>(sample_period));
     std::exit(2);
   }
   const std::int64_t jobs_flag = cli.get_int("jobs");
@@ -80,6 +95,13 @@ RunSession::RunSession(std::string name, const CliParser& cli)
     sink_ = std::make_unique<TraceSink>();
     set_global_sink(sink_.get());
   }
+  records_ = std::make_unique<RunRecordStore>();
+  set_process_run_records(records_.get());
+  if (!timeline_path_.empty()) {
+    timeline_ = std::make_unique<TimelineStore>(
+        static_cast<std::uint64_t>(sample_period));
+    set_process_timeline(timeline_.get());
+  }
   g_active = this;
 }
 
@@ -88,6 +110,9 @@ RunSession::~RunSession() {
   if (g_active == this) g_active = nullptr;
   if (sink_ != nullptr && global_sink() == sink_.get())
     set_global_sink(nullptr);
+  if (process_run_records() == records_.get()) set_process_run_records(nullptr);
+  if (timeline_ != nullptr && process_timeline() == timeline_.get())
+    set_process_timeline(nullptr);
 }
 
 RunSession* RunSession::active() { return g_active; }
@@ -111,7 +136,20 @@ void RunSession::finish() {
     }
   }
 
+  if (timeline_ != nullptr && !timeline_path_.empty()) {
+    std::string error;
+    if (timeline_->write_csv_file(timeline_path_, &error)) {
+      std::printf("[obs] timeline: %s (%zu runs, period %llu cycles)\n",
+                  timeline_path_.c_str(), timeline_->size(),
+                  static_cast<unsigned long long>(
+                      timeline_->sample_period_cycles()));
+    } else {
+      std::fprintf(stderr, "[obs] timeline write failed: %s\n", error.c_str());
+    }
+  }
+
   if (!report_path_.empty()) {
+    report_.set_machine_runs(records_->records());
     std::string error;
     if (report_.write_json_file(report_path_, default_registry(), &error)) {
       std::printf("[obs] report: %s\n", report_path_.c_str());

@@ -3,15 +3,19 @@
 //
 //   --trace-out <path>    write Chrome trace JSON (+ sibling .csv timeline)
 //   --report-out <path>   write the RunReport JSON
-//   --counters true       dump the counter registry to stdout at exit
+//   --timeline-out <path> write sampled per-run utilization timelines as CSV
+//   --sample-period <n>   simulated cycles per timeline sample (default 4096)
+//   --counters            dump the counter registry to stdout at exit
+//                         (bare flag; `--counters true` also accepted)
 //   --jobs <n>            host threads for independent simulation points
 //                         (0 = hardware concurrency). Tracing requires a
 //                         single deterministic event stream, so --trace-out
 //                         forces jobs to 1 (an explicit --jobs > 1 with
 //                         --trace-out is an error).
 //
-// Construction installs the global trace sink (when --trace-out is given);
-// destruction (or finish()) writes all requested outputs. Exactly one
+// Construction installs the global trace sink (when --trace-out is given)
+// and the process-wide RunRecordStore / TimelineStore the machine models
+// feed; destruction (or finish()) writes all requested outputs. Exactly one
 // session may be active at a time; RunSession::active() lets shared helper
 // code (e.g. the bench harness row formatter) feed the report without
 // threading a pointer through every call site.
@@ -22,6 +26,8 @@
 
 #include "core/cli.hpp"
 #include "obs/report.hpp"
+#include "obs/run_record.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace_sink.hpp"
 
 namespace tc3i::obs {
@@ -44,6 +50,11 @@ class RunSession {
   [[nodiscard]] RunReport& report() { return report_; }
   /// Non-null iff --trace-out was given.
   [[nodiscard]] TraceSink* sink() { return sink_.get(); }
+  /// Per-run accounting records collected so far (always available; also
+  /// installed as the process RunRecordStore for the session's lifetime).
+  [[nodiscard]] RunRecordStore& run_records() { return *records_; }
+  /// Non-null iff --timeline-out was given.
+  [[nodiscard]] TimelineStore* timeline() { return timeline_.get(); }
 
   /// Resolved host worker-thread count for sim::run_sweep: the --jobs flag
   /// with 0 replaced by std::thread::hardware_concurrency() and tracing
@@ -58,10 +69,13 @@ class RunSession {
   std::string name_;
   std::string trace_path_;
   std::string report_path_;
+  std::string timeline_path_;
   int jobs_ = 1;
   bool dump_counters_ = false;
   bool finished_ = false;
   std::unique_ptr<TraceSink> sink_;
+  std::unique_ptr<RunRecordStore> records_;
+  std::unique_ptr<TimelineStore> timeline_;
   RunReport report_;
 };
 

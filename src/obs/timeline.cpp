@@ -1,0 +1,92 @@
+#include "obs/timeline.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "core/contracts.hpp"
+
+namespace tc3i::obs {
+
+TimelineStore::TimelineStore(std::uint64_t sample_period_cycles)
+    : period_(sample_period_cycles) {
+  TC3I_EXPECTS(period_ >= 1);
+}
+
+void TimelineStore::add(MachineTimeline timeline) {
+  std::lock_guard<std::mutex> lock(mu_);
+  timelines_.push_back(std::move(timeline));
+}
+
+void TimelineStore::merge_from(const TimelineStore& other) {
+  TC3I_EXPECTS(&other != this);
+  std::vector<MachineTimeline> theirs = other.timelines();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (MachineTimeline& t : theirs) timelines_.push_back(std::move(t));
+}
+
+std::vector<MachineTimeline> TimelineStore::timelines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timelines_;
+}
+
+std::size_t TimelineStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timelines_.size();
+}
+
+void TimelineStore::write_csv(std::ostream& out) const {
+  const std::vector<MachineTimeline> all = timelines();
+  out << "run,model,name,series,cycle,value\n";
+  char value_buf[32];
+  for (std::size_t run = 0; run < all.size(); ++run) {
+    const MachineTimeline& t = all[run];
+    for (const TimelineSeries& s : t.series) {
+      for (const TimelinePoint& p : s.points) {
+        std::snprintf(value_buf, sizeof value_buf, "%.10g", p.value);
+        out << run << ',' << t.model << ',' << t.name << ',' << s.name << ','
+            << p.cycle << ',' << value_buf << '\n';
+      }
+    }
+  }
+}
+
+bool TimelineStore::write_csv_file(const std::string& path,
+                                   std::string* error) const {
+  TC3I_EXPECTS(!path.empty());
+  std::error_code ec;
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  write_csv(out);
+  return static_cast<bool>(out);
+}
+
+namespace {
+TimelineStore* g_process_timeline = nullptr;
+thread_local TimelineStore* t_timeline_override = nullptr;
+}  // namespace
+
+TimelineStore* active_timeline() {
+  return t_timeline_override != nullptr ? t_timeline_override
+                                        : g_process_timeline;
+}
+
+TimelineStore* process_timeline() { return g_process_timeline; }
+
+void set_process_timeline(TimelineStore* store) { g_process_timeline = store; }
+
+ScopedTimeline::ScopedTimeline(TimelineStore& store)
+    : prev_(t_timeline_override) {
+  t_timeline_override = &store;
+}
+
+ScopedTimeline::~ScopedTimeline() { t_timeline_override = prev_; }
+
+}  // namespace tc3i::obs

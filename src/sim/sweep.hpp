@@ -9,6 +9,11 @@
 // per-point registries are merged into the caller's registry in submission
 // order after all points finish — counters sum, gauges keep the
 // last-submitted point's value, exactly as a serial run would leave them.
+// Run records and sampled timelines get the same treatment: when the caller
+// has an active RunRecordStore / TimelineStore, each point runs under its
+// own store (obs::ScopedRunRecords / obs::ScopedTimeline) and the stores
+// are merged back in submission order, so RunReport's machine_runs section
+// and the --timeline-out CSV are byte-identical at any --jobs.
 //
 // jobs == 1 runs the points inline on the caller's thread and registry, with
 // no pool and no isolation: byte-for-byte identical to the pre-sweep serial
@@ -20,12 +25,15 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "core/contracts.hpp"
 #include "obs/counters.hpp"
+#include "obs/run_record.hpp"
+#include "obs/timeline.hpp"
 #include "sthreads/thread.hpp"
 
 namespace tc3i::sim {
@@ -52,6 +60,19 @@ auto run_sweep(std::size_t count, int jobs, Fn&& fn)
 
   std::vector<std::unique_ptr<obs::CounterRegistry>> registries(count);
   for (auto& r : registries) r = std::make_unique<obs::CounterRegistry>();
+  // Per-point run-record / timeline stores, only when the caller collects
+  // them at all (machines skip the work when the active store is null).
+  obs::RunRecordStore* parent_records = obs::active_run_records();
+  obs::TimelineStore* parent_timeline = obs::active_timeline();
+  std::vector<std::unique_ptr<obs::RunRecordStore>> record_stores(count);
+  std::vector<std::unique_ptr<obs::TimelineStore>> timeline_stores(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (parent_records != nullptr)
+      record_stores[i] = std::make_unique<obs::RunRecordStore>();
+    if (parent_timeline != nullptr)
+      timeline_stores[i] = std::make_unique<obs::TimelineStore>(
+          parent_timeline->sample_period_cycles());
+  }
   std::atomic<std::size_t> next{0};
   const std::size_t workers =
       std::min(static_cast<std::size_t>(jobs), count);
@@ -63,6 +84,11 @@ auto run_sweep(std::size_t count, int jobs, Fn&& fn)
         for (std::size_t i = next.fetch_add(1); i < count;
              i = next.fetch_add(1)) {
           obs::ScopedRegistry scope(*registries[i]);
+          std::optional<obs::ScopedRunRecords> rec_scope;
+          if (record_stores[i] != nullptr) rec_scope.emplace(*record_stores[i]);
+          std::optional<obs::ScopedTimeline> tl_scope;
+          if (timeline_stores[i] != nullptr)
+            tl_scope.emplace(*timeline_stores[i]);
           results[i] = fn(i);
         }
       });
@@ -71,6 +97,10 @@ auto run_sweep(std::size_t count, int jobs, Fn&& fn)
   }
   obs::CounterRegistry& mine = obs::default_registry();
   for (const auto& r : registries) mine.merge_from(*r);
+  for (const auto& r : record_stores)
+    if (r != nullptr) parent_records->merge_from(*r);
+  for (const auto& t : timeline_stores)
+    if (t != nullptr) parent_timeline->merge_from(*t);
   return results;
 }
 

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "core/contracts.hpp"
+#include "obs/run_record.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/fluid.hpp"
 
@@ -210,6 +212,12 @@ class Engine {
     }
   }
 
+  /// Resamples the piecewise-constant activity record onto the timeline
+  /// store's fixed simulated-cycle grid (seconds -> cycles via clock_hz) so
+  /// SMP timelines line up with MTA ones and are --jobs-independent.
+  void export_timeline(const std::vector<TimelineSample>& samples,
+                       Seconds elapsed);
+
   const SmpConfig& cfg_;
   const ObsHooks& obs_;
   std::vector<Worker> workers_;
@@ -217,6 +225,57 @@ class Engine {
   const std::vector<ThreadTrace>* pool_ = nullptr;
   std::size_t next_task_ = 0;
 };
+
+void Engine::export_timeline(const std::vector<TimelineSample>& samples,
+                             Seconds elapsed) {
+  const std::uint64_t period = obs_.timeline->sample_period_cycles();
+  const double cps = cfg_.clock_hz;
+  const auto total_cycles =
+      static_cast<std::uint64_t>(std::llround(elapsed * cps));
+  const std::size_t buckets =
+      static_cast<std::size_t>(total_cycles / period) +
+      (total_cycles % period != 0 ? 1 : 0);
+  std::vector<double> bus(buckets, 0.0);
+  std::vector<double> running(buckets, 0.0);
+  std::vector<double> blocked(buckets, 0.0);
+  for (const TimelineSample& s : samples) {
+    const double c0 = s.start * cps;
+    const double c1 =
+        std::min((s.start + s.duration) * cps, static_cast<double>(total_cycles));
+    if (c1 <= c0) continue;
+    auto k = static_cast<std::size_t>(c0 / static_cast<double>(period));
+    for (; k < buckets; ++k) {
+      const double lo =
+          std::max(c0, static_cast<double>(k) * static_cast<double>(period));
+      const double hi = std::min(
+          c1, static_cast<double>(k + 1) * static_cast<double>(period));
+      if (hi <= lo) break;
+      bus[k] += (hi - lo) * s.bus_fraction;
+      running[k] += (hi - lo) * static_cast<double>(s.running_threads);
+      blocked[k] += (hi - lo) * static_cast<double>(s.blocked_threads);
+    }
+  }
+  obs::MachineTimeline tl;
+  tl.model = "smp";
+  tl.name = cfg_.name.empty() ? "smp" : cfg_.name;
+  tl.sample_period_cycles = period;
+  obs::TimelineSeries bus_s{"bus_occupancy", {}};
+  obs::TimelineSeries run_s{"running_threads", {}};
+  obs::TimelineSeries blk_s{"blocked_threads", {}};
+  for (std::size_t k = 0; k < buckets; ++k) {
+    const std::uint64_t end =
+        std::min((static_cast<std::uint64_t>(k) + 1) * period, total_cycles);
+    const auto width =
+        static_cast<double>(end - static_cast<std::uint64_t>(k) * period);
+    bus_s.points.push_back({end, bus[k] / width});
+    run_s.points.push_back({end, running[k] / width});
+    blk_s.points.push_back({end, blocked[k] / width});
+  }
+  tl.series.push_back(std::move(bus_s));
+  tl.series.push_back(std::move(run_s));
+  tl.series.push_back(std::move(blk_s));
+  obs_.timeline->add(std::move(tl));
+}
 
 RunResult Engine::run() {
   Seconds now = 0.0;
@@ -292,7 +351,8 @@ RunResult Engine::run() {
     }
     TC3I_ASSERT(std::isfinite(dt));
 
-    if (cfg_.record_timeline || obs_.sink != nullptr) {
+    if (cfg_.record_timeline || obs_.sink != nullptr ||
+        obs_.timeline != nullptr) {
       TimelineSample sample;
       sample.start = now;
       sample.duration = dt;
@@ -314,7 +374,8 @@ RunResult Engine::run() {
                            obs_.pid,
                            static_cast<double>(sample.running_threads));
       }
-      if (cfg_.record_timeline) timeline.push_back(sample);
+      if (cfg_.record_timeline || obs_.timeline != nullptr)
+        timeline.push_back(sample);
     }
 
     // Advance everything by dt; jobs whose completion defined dt snap to 0.
@@ -355,7 +416,26 @@ RunResult Engine::run() {
     result.thread_busy.push_back(w.busy);
     result.thread_finish.push_back(w.finish);
   }
-  result.timeline = std::move(timeline);
+  if (obs_.timeline != nullptr) export_timeline(timeline, now);
+  if (cfg_.record_timeline) result.timeline = std::move(timeline);
+
+  if (obs_.records != nullptr) {
+    obs::RunRecord rec;
+    rec.model = "smp";
+    rec.name = cfg_.name.empty() ? "smp" : cfg_.name;
+    rec.processors = cfg_.num_processors;
+    rec.threads = workers_.size();
+    rec.elapsed_seconds = now;
+    rec.bus_utilization = result.bus_utilization;
+    const double capacity =
+        now * cfg_.compute_rate_ips * static_cast<double>(cfg_.num_processors);
+    rec.utilization = capacity > 0.0 ? ops_done / capacity : 0.0;
+    rec.lock_wait_share =
+        now > 0.0 ? result.lock_wait_total /
+                        (now * static_cast<double>(cfg_.num_processors))
+                  : 0.0;
+    obs_.records->add(std::move(rec));
+  }
 
   obs_.ops_executed->add(result.ops_executed);
   obs_.bytes_transferred->add(result.bytes_transferred);
@@ -385,6 +465,8 @@ Machine::Machine(SmpConfig config) : config_(std::move(config)) {
   obs_.lock_wait_seconds = &reg.histogram("smp.run.lock_wait_seconds");
   obs_.last_bus_utilization = &reg.gauge("smp.last.bus_utilization");
   obs_.sink = obs::global_sink();
+  obs_.records = obs::active_run_records();
+  obs_.timeline = obs::active_timeline();
   if (obs_.sink != nullptr)
     obs_.pid = obs_.sink->register_track(
         config_.name.empty() ? "smp" : config_.name);

@@ -24,7 +24,9 @@
 
 namespace tc3i::obs {
 class TraceSink;
-}
+class RunRecordStore;
+class TimelineStore;
+}  // namespace tc3i::obs
 
 namespace tc3i::smp {
 
@@ -44,6 +46,8 @@ struct ObsHooks {
   obs::Histogram* lock_wait_seconds = nullptr;
   obs::Gauge* last_bus_utilization = nullptr;
   obs::TraceSink* sink = nullptr;
+  obs::RunRecordStore* records = nullptr;  ///< active_run_records() at ctor
+  obs::TimelineStore* timeline = nullptr;  ///< active_timeline() at ctor
   std::uint32_t pid = 0;
 };
 

@@ -70,6 +70,16 @@ MtaRunResult expect_golden(
   EXPECT_DOUBLE_EQ(f.seconds, s.seconds) << label;
   EXPECT_DOUBLE_EQ(f.processor_utilization, s.processor_utilization) << label;
   EXPECT_DOUBLE_EQ(f.network_utilization, s.network_utilization) << label;
+  // The issue-slot account must be bit-identical per processor (the fast
+  // path credits stall slots analytically; any crediting drift shows here)
+  // and exhaustive: every slot of every cycle attributed exactly once.
+  EXPECT_EQ(f.slots, s.slots) << label;
+  EXPECT_EQ(f.processor_slots, s.processor_slots) << label;
+  EXPECT_EQ(f.slots.total(),
+            f.cycles * static_cast<std::uint64_t>(cfg.num_processors))
+      << label;
+  for (const auto& per_proc : f.processor_slots)
+    EXPECT_EQ(per_proc.total(), f.cycles) << label;
   return f;
 }
 

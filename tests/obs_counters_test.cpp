@@ -66,6 +66,43 @@ TEST(Histogram, PercentilesWithinBucketError) {
   EXPECT_DOUBLE_EQ(h.percentile(100), 1000.0);
 }
 
+TEST(Histogram, PercentileRelativeErrorBoundedBySubBucketWidth) {
+  // Pin the estimator's accuracy contract: with 8 sub-buckets per octave a
+  // bucket spans a 2^(1/8) ratio, so the midpoint estimate of any recorded
+  // value is within (2^(1/8) - 1) / 2 ~= 4.5% — comfortably under 7%
+  // relative error at every magnitude and every percentile.
+  for (const double scale : {1e-6, 1.0, 1e6}) {
+    Histogram h;
+    for (int i = 1; i <= 1000; ++i) h.record(scale * static_cast<double>(i));
+    for (const double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+      // True percentile of 1000 distinct equally-likely values (rank-choice
+      // ambiguity is at most one value, well under the bucket width).
+      const double exact = scale * 10.0 * p;
+      EXPECT_NEAR(h.percentile(p), exact, 0.07 * exact)
+          << "p=" << p << " scale=" << scale;
+    }
+  }
+}
+
+TEST(Histogram, PercentileEdgeCases) {
+  Histogram empty;
+  EXPECT_EQ(empty.percentile(0), 0.0);
+  EXPECT_EQ(empty.percentile(50), 0.0);
+  EXPECT_EQ(empty.percentile(100), 0.0);
+
+  Histogram single;
+  single.record(42.0);
+  // A single sample answers every percentile, within one bucket's width.
+  EXPECT_NEAR(single.percentile(50), 42.0, 0.07 * 42.0);
+  EXPECT_DOUBLE_EQ(single.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(single.percentile(100), 42.0);
+
+  Histogram repeated;
+  for (int i = 0; i < 1000; ++i) repeated.record(8.0);
+  EXPECT_NEAR(repeated.percentile(1), 8.0, 0.07 * 8.0);
+  EXPECT_NEAR(repeated.percentile(99), 8.0, 0.07 * 8.0);
+}
+
 TEST(Histogram, TinyAndHugeValuesClampToEndBuckets) {
   Histogram h;
   h.record(1e-300);

@@ -5,10 +5,12 @@
 #include <sstream>
 #include <string>
 
+#include "core/cli.hpp"
 #include "mta/machine.hpp"
 #include "mta/stream_program.hpp"
 #include "obs/json.hpp"
 #include "obs/report.hpp"
+#include "obs/session.hpp"
 #include "obs/trace_sink.hpp"
 
 namespace tc3i::obs {
@@ -112,6 +114,41 @@ TEST(TraceSink, CsvTimelineHasHeaderAndOneLinePerEvent) {
   EXPECT_EQ(data_lines, 2);
 }
 
+// Both documented spellings of the counter dump must parse identically:
+// bare `--counters` (next token is another flag or end of line) and the
+// explicit `--counters true`.
+TEST(RunSessionFlags, BareCountersAndExplicitTrueBothWork) {
+  {
+    CliParser cli("test");
+    obs::RunSession::add_cli_flags(cli);
+    const char* argv[] = {"prog", "--counters"};
+    ASSERT_TRUE(cli.parse(2, argv));
+    EXPECT_TRUE(cli.get_bool("counters"));
+  }
+  {
+    CliParser cli("test");
+    obs::RunSession::add_cli_flags(cli);
+    const char* argv[] = {"prog", "--counters", "--jobs", "2"};
+    ASSERT_TRUE(cli.parse(4, argv));
+    EXPECT_TRUE(cli.get_bool("counters"));
+    EXPECT_EQ(cli.get_int("jobs"), 2);
+  }
+  {
+    CliParser cli("test");
+    obs::RunSession::add_cli_flags(cli);
+    const char* argv[] = {"prog", "--counters", "true"};
+    ASSERT_TRUE(cli.parse(3, argv));
+    EXPECT_TRUE(cli.get_bool("counters"));
+  }
+  {
+    CliParser cli("test");
+    obs::RunSession::add_cli_flags(cli);
+    const char* argv[] = {"prog"};
+    ASSERT_TRUE(cli.parse(1, argv));
+    EXPECT_FALSE(cli.get_bool("counters"));
+  }
+}
+
 TEST(RunReport, JsonContainsRowsConfigAndRegistrySnapshot) {
   CounterRegistry reg;
   reg.counter("test.ops").add(11);
@@ -130,7 +167,8 @@ TEST(RunReport, JsonContainsRowsConfigAndRegistrySnapshot) {
   const std::string json = os.str();
   ASSERT_FALSE(json_validate(json).has_value()) << *json_validate(json);
   EXPECT_NE(json.find("\"bench\":\"unit_bench\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"machine_runs\":[]"), std::string::npos);
   EXPECT_NE(json.find("\"label\":\"one_proc\""), std::string::npos);
   EXPECT_NE(json.find("\"test.ops\":11"), std::string::npos);
   EXPECT_NE(json.find("\"test.level\":0.5"), std::string::npos);

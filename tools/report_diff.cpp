@@ -1,0 +1,167 @@
+// Structural diff of two RunReport JSON files under numeric tolerances.
+//
+//   report_diff a.json b.json [--rel-tol R] [--abs-tol A] [--ignore PREFIX]
+//
+// Walks both JSON trees in parallel and reports every difference with its
+// path: missing/extra object members, kind mismatches, string/bool
+// changes, array length changes, and numbers differing by more than
+// abs_tol + rel_tol * max(|a|, |b|). Defaults are exact comparison
+// (rel-tol 0, abs-tol 0), which makes `report_diff r.json r.json` a
+// determinism check. `--ignore` (repeatable) drops every difference whose
+// path starts with the given prefix, e.g. `--ignore config.host` for
+// per-machine config entries. Exits 0 when the reports match, 1 when they
+// differ, 2 on usage or parse errors.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using tc3i::obs::JsonValue;
+
+struct Options {
+  double rel_tol = 0.0;
+  double abs_tol = 0.0;
+  std::vector<std::string> ignore;
+};
+
+struct Diff {
+  const Options* opts = nullptr;
+  int count = 0;
+
+  void report(const std::string& path, const std::string& what) {
+    for (const std::string& prefix : opts->ignore)
+      if (path.compare(0, prefix.size(), prefix) == 0) return;
+    std::printf("  %s: %s\n", path.empty() ? "(root)" : path.c_str(),
+                what.c_str());
+    ++count;
+  }
+
+  void compare(const std::string& path, const JsonValue& a,
+               const JsonValue& b) {
+    if (a.kind != b.kind) {
+      report(path, "kind differs");
+      return;
+    }
+    switch (a.kind) {
+      case JsonValue::Kind::Null:
+        return;
+      case JsonValue::Kind::Bool:
+        if (a.boolean != b.boolean)
+          report(path, a.boolean ? "true -> false" : "false -> true");
+        return;
+      case JsonValue::Kind::Number: {
+        const double tol = opts->abs_tol +
+                           opts->rel_tol * std::max(std::fabs(a.number),
+                                                    std::fabs(b.number));
+        if (std::fabs(a.number - b.number) > tol) {
+          char buf[96];
+          std::snprintf(buf, sizeof buf, "%.17g != %.17g", a.number, b.number);
+          report(path, buf);
+        }
+        return;
+      }
+      case JsonValue::Kind::String:
+        if (a.string != b.string)
+          report(path, "\"" + a.string + "\" != \"" + b.string + "\"");
+        return;
+      case JsonValue::Kind::Array: {
+        if (a.array.size() != b.array.size()) {
+          report(path, "array length " + std::to_string(a.array.size()) +
+                           " != " + std::to_string(b.array.size()));
+          return;
+        }
+        for (std::size_t i = 0; i < a.array.size(); ++i)
+          compare(path + "[" + std::to_string(i) + "]", a.array[i],
+                  b.array[i]);
+        return;
+      }
+      case JsonValue::Kind::Object: {
+        for (const auto& [key, value] : a.object) {
+          const JsonValue* other = b.find(key);
+          const std::string sub = path.empty() ? key : path + "." + key;
+          if (other == nullptr)
+            report(sub, "only in first report");
+          else
+            compare(sub, value, *other);
+        }
+        for (const auto& [key, value] : b.object) {
+          (void)value;
+          if (a.find(key) == nullptr)
+            report(path.empty() ? key : path + "." + key,
+                   "only in second report");
+        }
+        return;
+      }
+    }
+  }
+};
+
+bool load(const char* path, JsonValue* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  auto doc = tc3i::obs::json_parse(buf.str(), &error);
+  if (!doc) {
+    std::fprintf(stderr, "%s: %s\n", path, error.c_str());
+    return false;
+  }
+  *out = std::move(*doc);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_next = i + 1 < argc;
+    if (arg == "--rel-tol" && has_next) {
+      opts.rel_tol = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--abs-tol" && has_next) {
+      opts.abs_tol = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--ignore" && has_next) {
+      opts.ignore.emplace_back(argv[++i]);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: report_diff <a.json> <b.json> [--rel-tol R] "
+                 "[--abs-tol A] [--ignore PREFIX]\n");
+    return 2;
+  }
+
+  JsonValue a;
+  JsonValue b;
+  if (!load(files[0], &a) || !load(files[1], &b)) return 2;
+
+  std::printf("report_diff %s vs %s (rel-tol %g, abs-tol %g)\n", files[0],
+              files[1], opts.rel_tol, opts.abs_tol);
+  Diff diff;
+  diff.opts = &opts;
+  diff.compare("", a, b);
+  if (diff.count == 0) {
+    std::printf("reports match\n");
+    return 0;
+  }
+  std::printf("%d difference%s\n", diff.count, diff.count == 1 ? "" : "s");
+  return 1;
+}
