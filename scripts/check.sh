@@ -26,7 +26,8 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
     --timeline-out "$SMOKE_DIR/tl.csv" \
     --sample-period 2048 \
     --counters >/dev/null
-"$BUILD_DIR"/tools/json_check "$SMOKE_DIR/t.json" "$SMOKE_DIR/r.json"
+"$BUILD_DIR"/tools/json_check "$SMOKE_DIR/t.json" "$SMOKE_DIR/r.json" \
+    "$SMOKE_DIR/tl.csv"
 
 # The trace must carry all four simulator event categories and the report
 # must carry comparison rows plus a populated counter snapshot.
@@ -63,6 +64,32 @@ awk -F, 'NR == 1 { next }
   >/dev/null ||
   { echo "FAIL: report_diff self-diff reported differences"; exit 1; }
 
+echo "== critical-path capture + what-if projections =="
+# Re-run the smoke bench with --critpath: the report gains per-run
+# "critical_path" sections (schema-checked by json_check), whatif_report
+# must print a projection table, and the critical-path verdicts must agree
+# with the slot-account verdicts run for run. The report produced WITHOUT
+# the flag must carry no critical_path section at all (capture is opt-in).
+if grep -q '"critical_path"' "$SMOKE_DIR/r.json"; then
+  echo "FAIL: report without --critpath carries critical_path"; exit 1
+fi
+"$BUILD_DIR"/bench/table05_threat_tera \
+    --critpath \
+    --report-out "$SMOKE_DIR/cp.json" >/dev/null
+"$BUILD_DIR"/tools/json_check "$SMOKE_DIR/cp.json"
+grep -q '"critical_path"' "$SMOKE_DIR/cp.json" ||
+  { echo "FAIL: --critpath report has no critical_path sections"; exit 1; }
+"$BUILD_DIR"/tools/whatif_report "$SMOKE_DIR/cp.json" |
+  grep -q 'memory_latency' ||
+  { echo "FAIL: whatif_report printed no projection rows"; exit 1; }
+# Both modes print identically formatted `verdict run=...` lines, so
+# run-for-run agreement is a plain diff of the two filtered outputs.
+diff <("$BUILD_DIR"/tools/bottleneck_report "$SMOKE_DIR/cp.json" |
+         grep '^verdict run') \
+     <("$BUILD_DIR"/tools/bottleneck_report --critical-path \
+         "$SMOKE_DIR/cp.json" | grep '^verdict run') ||
+  { echo "FAIL: critical-path verdicts disagree with slot account"; exit 1; }
+
 echo "== perf smoke (sim_throughput vs committed baseline) =="
 # Fails (exit 1) when any throughput metric drops below 70% of the
 # committed bench/BENCH_sim_throughput.json (--min-ratio default 0.7,
@@ -71,5 +98,21 @@ echo "== perf smoke (sim_throughput vs committed baseline) =="
     --report-out "$SMOKE_DIR/sim_throughput.json" \
     --baseline bench/BENCH_sim_throughput.json
 "$BUILD_DIR"/tools/json_check "$SMOKE_DIR/sim_throughput.json"
+
+# Capture must stay cheap: the critpath_overhead regime (saturated scenario
+# re-run with a live CritPathStore) must keep at least half the plain
+# saturated throughput, i.e. under a 2x slowdown.
+extract_measured() {
+  grep -o "\"label\":\"$1\",\"paper\":[0-9.eE+-]*,\"measured\":[0-9.eE+-]*" \
+      "$SMOKE_DIR/sim_throughput.json" | sed 's/.*"measured"://'
+}
+SAT="$(extract_measured 'saturated.cycles_per_sec')"
+CPO="$(extract_measured 'critpath_overhead.cycles_per_sec')"
+[ -n "$SAT" ] && [ -n "$CPO" ] ||
+  { echo "FAIL: sim_throughput report missing saturated/critpath rows"; \
+    exit 1; }
+awk -v sat="$SAT" -v cpo="$CPO" 'BEGIN { exit !(cpo >= 0.5 * sat) }' ||
+  { echo "FAIL: critpath_overhead $CPO < 0.5 x saturated $SAT"; exit 1; }
+echo "critpath overhead within budget ($CPO vs saturated $SAT cycles/s)"
 
 echo "ALL CHECKS PASSED"

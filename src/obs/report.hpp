@@ -5,9 +5,10 @@
 // of the counter registry, and serializes it as JSON (schema below) so
 // result trajectories can be produced and diffed mechanically.
 //
-// Schema (schema_version 2; version 1 lacked "machine_runs"):
+// Schema (schema_version 3; version 1 lacked "machine_runs", version 2
+// lacked the optional per-run "critical_path" section):
 //   {
-//     "bench": "<name>", "schema_version": 2,
+//     "bench": "<name>", "schema_version": 3,
 //     "config": { "<key>": "<value>", ... },
 //     "rows": [ { "label": ..., "paper": s, "measured": s, "ratio": r } ],
 //     "counters": { "<name>": u64, ... },
@@ -26,6 +27,15 @@
 //   { "model":"smp", "name":..., "processors":p, "threads":t,
 //     "elapsed_seconds":e, "utilization":u, "bus_utilization":b,
 //     "lock_wait_share":l }
+// A run captured under --critpath additionally carries
+//   "critical_path": { "unit", "total", "path_length", "resource_bound",
+//     "binding_resource", "coverage", "nodes", "edges",
+//     "attribution": {"compute","memory","sync","spawn","queue","gap"},
+//     "resources": [ {"name","bound"} ], "regions": [ {"name","weight"} ],
+//     "projections": [ {"knob","factor","predicted"} ] }
+// and "sthreads" runs (wall-clock host captures from the c3ipbs driver)
+// carry only model/name/processors/threads/utilization, elapsed_seconds,
+// and critical_path.
 #pragma once
 
 #include <ostream>

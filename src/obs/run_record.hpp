@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/critpath.hpp"
+
 namespace tc3i::obs {
 
 /// Exhaustive, exclusive issue-slot account of one MTA run (or the sum over
@@ -65,7 +67,7 @@ struct RegionRollup {
 /// "smp" fills elapsed_seconds/bus_utilization/lock_wait_share (with
 /// `utilization` holding the compute-capacity share).
 struct RunRecord {
-  std::string model;  ///< "mta" or "smp"
+  std::string model;  ///< "mta", "smp", or "sthreads"
   std::string name;   ///< machine config name
   int processors = 1;
   std::uint64_t threads = 0;  ///< peak live streams (mta) / workers (smp)
@@ -84,6 +86,11 @@ struct RunRecord {
 
   /// Both models: fraction of issue/compute capacity actually used.
   double utilization = 0.0;
+
+  /// Critical-path attribution and what-if projections, filled only when
+  /// the run was captured under --critpath (present == false otherwise).
+  /// "sthreads" model records carry only this plus elapsed_seconds.
+  CritPathSummary critical_path;
 };
 
 /// Append-only, thread-safe collection of RunRecords in add() order.

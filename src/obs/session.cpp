@@ -24,7 +24,15 @@ std::string sibling_csv_path(const std::string& json_path) {
   return json_path + ".csv";
 }
 
+bool g_sweep_progress = false;
+
 }  // namespace
+
+bool sweep_progress_requested() { return g_sweep_progress; }
+
+void set_sweep_progress_requested(bool requested) {
+  g_sweep_progress = requested;
+}
 
 void RunSession::add_cli_flags(CliParser& cli) {
   cli.add_flag("trace-out", "",
@@ -44,6 +52,14 @@ void RunSession::add_cli_flags(CliParser& cli) {
   cli.add_flag("jobs", "0",
                "host threads for independent simulation points "
                "(0 = hardware concurrency; incompatible with --trace-out)");
+  cli.add_flag("critpath", "false",
+               "capture per-run dependency graphs and attach critical-path "
+               "attribution + what-if projections to machine runs "
+               "(bare --critpath or --critpath true)");
+  cli.add_flag("progress", "false",
+               "stderr progress ticker for simulation sweeps (runs "
+               "completed / total + ETA; auto-disabled when stderr is not "
+               "a TTY)");
 }
 
 RunSession::RunSession(std::string name, const CliParser& cli)
@@ -97,6 +113,11 @@ RunSession::RunSession(std::string name, const CliParser& cli)
   }
   records_ = std::make_unique<RunRecordStore>();
   set_process_run_records(records_.get());
+  if (cli.get_bool("critpath")) {
+    critpath_ = std::make_unique<CritPathStore>(/*retain_graphs=*/false);
+    set_process_critpath(critpath_.get());
+  }
+  set_sweep_progress_requested(cli.get_bool("progress"));
   if (!timeline_path_.empty()) {
     timeline_ = std::make_unique<TimelineStore>(
         static_cast<std::uint64_t>(sample_period));
@@ -113,6 +134,9 @@ RunSession::~RunSession() {
   if (process_run_records() == records_.get()) set_process_run_records(nullptr);
   if (timeline_ != nullptr && process_timeline() == timeline_.get())
     set_process_timeline(nullptr);
+  if (critpath_ != nullptr && process_critpath() == critpath_.get())
+    set_process_critpath(nullptr);
+  set_sweep_progress_requested(false);
 }
 
 RunSession* RunSession::active() { return g_active; }

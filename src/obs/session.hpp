@@ -7,6 +7,10 @@
 //   --sample-period <n>   simulated cycles per timeline sample (default 4096)
 //   --counters            dump the counter registry to stdout at exit
 //                         (bare flag; `--counters true` also accepted)
+//   --critpath            capture per-run dependency graphs; RunRecords
+//                         gain a critical_path section (bare flag)
+//   --progress            stderr ticker for sim::run_sweep (runs done /
+//                         total + ETA; auto-off when stderr is not a TTY)
 //   --jobs <n>            host threads for independent simulation points
 //                         (0 = hardware concurrency). Tracing requires a
 //                         single deterministic event stream, so --trace-out
@@ -25,12 +29,19 @@
 #include <string>
 
 #include "core/cli.hpp"
+#include "obs/critpath.hpp"
 #include "obs/report.hpp"
 #include "obs/run_record.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace_sink.hpp"
 
 namespace tc3i::obs {
+
+/// --progress flag state, read by sim::run_sweep's stderr ticker (lives
+/// here so the sweep runner can see the session flag without an obs -> sim
+/// dependency). Off by default; RunSession sets it for its lifetime.
+[[nodiscard]] bool sweep_progress_requested();
+void set_sweep_progress_requested(bool requested);
 
 class RunSession {
  public:
@@ -55,6 +66,10 @@ class RunSession {
   [[nodiscard]] RunRecordStore& run_records() { return *records_; }
   /// Non-null iff --timeline-out was given.
   [[nodiscard]] TimelineStore* timeline() { return timeline_.get(); }
+  /// Non-null iff --critpath was given (installed as the process store so
+  /// machine models capture dependency graphs; summaries land in the
+  /// RunRecords, the graphs themselves are not retained).
+  [[nodiscard]] CritPathStore* critpath() { return critpath_.get(); }
 
   /// Resolved host worker-thread count for sim::run_sweep: the --jobs flag
   /// with 0 replaced by std::thread::hardware_concurrency() and tracing
@@ -76,6 +91,7 @@ class RunSession {
   std::unique_ptr<TraceSink> sink_;
   std::unique_ptr<RunRecordStore> records_;
   std::unique_ptr<TimelineStore> timeline_;
+  std::unique_ptr<CritPathStore> critpath_;
   RunReport report_;
 };
 

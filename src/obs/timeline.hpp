@@ -74,6 +74,15 @@ class TimelineStore {
   std::vector<MachineTimeline> timelines_;
 };
 
+/// Validates text as the timeline CSV write_csv produces: the exact
+/// header, six columns per row, numeric run/cycle/value fields, a strictly
+/// increasing cycle grid within each run+series, and non-negative values
+/// (every series is an occupancy/utilization/count average). Returns an
+/// empty string when the text passes, else the first problem prefixed with
+/// its 1-based line number. Shared by tools/json_check (*.csv arguments)
+/// and the timeline tests.
+[[nodiscard]] std::string validate_timeline_csv(const std::string& text);
+
 /// The store machine models sample into: the calling thread's override when
 /// a ScopedTimeline is active, otherwise the process-wide store installed
 /// by RunSession (null when no --timeline-out was given — machines skip

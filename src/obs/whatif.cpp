@@ -1,0 +1,73 @@
+#include "obs/whatif.hpp"
+
+#include <algorithm>
+
+namespace tc3i::obs::whatif {
+
+double Scale::factor(DepKind knob) const {
+  switch (knob) {
+    case DepKind::kCompute: return compute;
+    case DepKind::kMemory: return memory_latency;
+    case DepKind::kSync: return sync_cost;
+    case DepKind::kSpawn: return spawn_cost;
+  }
+  return 1.0;
+}
+
+Projection project(const DepGraph& graph, const Scale& scale) {
+  Projection p;
+  if (graph.nodes.empty()) return p;
+  // Node creation order is a topological order (every edge points at an
+  // earlier node), so one forward pass suffices.
+  std::vector<double> at(graph.nodes.size(), 0.0);
+  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+    const DepNode& n = graph.nodes[i];
+    double best = 0.0;
+    const std::uint32_t last = n.first_edge + n.num_edges;
+    for (std::uint32_t j = n.first_edge; j < last; ++j) {
+      const DepEdge& e = graph.edges[j];
+      const double arrive = at[e.pred] + static_cast<double>(e.fixed) +
+                            scale.factor(e.knob) *
+                                static_cast<double>(e.weight);
+      best = std::max(best, arrive);
+    }
+    at[i] = best;
+  }
+  p.path = at[graph.end_node];
+  for (const DepResource& r : graph.resources) {
+    const double b = r.amount * (r.scaled ? scale.factor(r.knob) : 1.0);
+    if (b > p.bound) {
+      p.bound = b;
+      p.binding_resource = r.name;
+    }
+  }
+  p.predicted = std::max(p.path, p.bound);
+  return p;
+}
+
+std::vector<KnobProjection> standard_projections(const DepGraph& graph) {
+  std::vector<KnobProjection> out;
+  constexpr DepKind kKnobs[] = {DepKind::kCompute, DepKind::kMemory,
+                                DepKind::kSync, DepKind::kSpawn};
+  constexpr double kFactors[] = {0.5, 2.0};
+  out.reserve(std::size(kKnobs) * std::size(kFactors));
+  for (const DepKind knob : kKnobs) {
+    for (const double f : kFactors) {
+      Scale s;
+      switch (knob) {
+        case DepKind::kCompute: s.compute = f; break;
+        case DepKind::kMemory: s.memory_latency = f; break;
+        case DepKind::kSync: s.sync_cost = f; break;
+        case DepKind::kSpawn: s.spawn_cost = f; break;
+      }
+      KnobProjection kp;
+      kp.knob = dep_knob_label(knob);
+      kp.factor = f;
+      kp.predicted = project(graph, s).predicted;
+      out.push_back(std::move(kp));
+    }
+  }
+  return out;
+}
+
+}  // namespace tc3i::obs::whatif

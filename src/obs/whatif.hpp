@@ -1,0 +1,55 @@
+// Coz-style causal what-if projections over captured dependency graphs.
+//
+// project() answers "how long would this run have taken if cost X were
+// f times its value?" without re-simulating: it replays the DepGraph's
+// longest-path recurrence with every edge's scalable weight multiplied by
+// its knob's factor, then takes the max with the (equally scaled)
+// resource-throughput bounds — a dependency path can shrink below the
+// point where a shared resource (issue slots, the memory network, the
+// bus) becomes the binding constraint, and the projection must not
+// predict through that floor. Node slack (arbitration gaps) is *not*
+// replayed: gaps are a symptom of resource contention, which the bounds
+// model, not a dependency.
+//
+// The projections are validated causally: tests/obs_whatif_test.cpp
+// re-simulates with the actually-modified MtaConfig / SmpConfig and
+// asserts the prediction lands within 10% of the measured runtime. See
+// docs/CRITICAL_PATH.md for the tolerance methodology.
+#pragma once
+
+#include <vector>
+
+#include "obs/critpath.hpp"
+
+namespace tc3i::obs::whatif {
+
+/// Multiplicative factors per knob; 1.0 everywhere is the identity (the
+/// projection then reproduces the recorded dependency structure).
+struct Scale {
+  double compute = 1.0;         ///< issue spacing / instruction cost
+  double memory_latency = 1.0;  ///< memory-network round-trip latency
+  double sync_cost = 1.0;       ///< sync hand-off / lock / barrier cost
+  double spawn_cost = 1.0;      ///< stream/thread creation cost
+
+  [[nodiscard]] double factor(DepKind knob) const;
+};
+
+/// A projected runtime and what bound it: the scaled dependency path, the
+/// scaled resource bounds, and the larger of the two.
+struct Projection {
+  double predicted = 0.0;  ///< max(path, bound)
+  double path = 0.0;       ///< longest dependency path under `scale`
+  double bound = 0.0;      ///< largest resource bound under `scale`
+  std::string binding_resource;  ///< resource behind `bound` ("" if none)
+};
+
+/// Recomputes the critical path of `graph` with scaled edge weights and
+/// resource bounds and predicts the new runtime.
+[[nodiscard]] Projection project(const DepGraph& graph, const Scale& scale);
+
+/// The standard projection set stored with every captured run: each of the
+/// four knobs at 0.5x and 2x.
+[[nodiscard]] std::vector<KnobProjection> standard_projections(
+    const DepGraph& graph);
+
+}  // namespace tc3i::obs::whatif

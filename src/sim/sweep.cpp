@@ -1,5 +1,11 @@
 #include "sim/sweep.hpp"
 
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "obs/session.hpp"
+
 namespace tc3i::sim {
 
 int resolve_jobs(int requested) {
@@ -13,5 +19,36 @@ std::vector<double> run_sweep(const std::vector<std::function<double()>>& points
   return run_sweep(points.size(), jobs,
                    [&points](std::size_t i) { return points[i](); });
 }
+
+namespace detail {
+
+SweepProgress::SweepProgress(std::size_t count)
+    : count_(count),
+      enabled_(count > 0 && obs::sweep_progress_requested() &&
+               ::isatty(STDERR_FILENO) != 0),
+      start_(std::chrono::steady_clock::now()) {}
+
+void SweepProgress::tick() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++done_;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const double eta =
+      elapsed / static_cast<double>(done_) *
+      static_cast<double>(count_ - done_);
+  std::fprintf(stderr, "\r[sweep] %zu/%zu eta %.1fs   ", done_, count_, eta);
+  std::fflush(stderr);
+}
+
+SweepProgress::~SweepProgress() {
+  if (!enabled_ || done_ == 0) return;
+  // Blank the ticker line so subsequent stderr output starts clean.
+  std::fprintf(stderr, "\r%*s\r", 60, "");
+  std::fflush(stderr);
+}
+
+}  // namespace detail
 
 }  // namespace tc3i::sim

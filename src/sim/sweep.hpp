@@ -22,9 +22,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <type_traits>
 #include <utility>
@@ -42,6 +44,33 @@ namespace tc3i::sim {
 /// hardware_concurrency, anything else is used as-is (minimum 1).
 [[nodiscard]] int resolve_jobs(int requested);
 
+namespace detail {
+
+/// Stderr progress ticker behind the session --progress flag: one
+/// carriage-returned "[sweep] k/N eta Xs" line per completed point, with
+/// the ETA extrapolated from completed-point wall times. Enabled only when
+/// the flag is set *and* stderr is a TTY; never touches stdout, so the
+/// byte-identical-output guarantees of run_sweep are unaffected.
+class SweepProgress {
+ public:
+  explicit SweepProgress(std::size_t count);
+  SweepProgress(const SweepProgress&) = delete;
+  SweepProgress& operator=(const SweepProgress&) = delete;
+  ~SweepProgress();  // clears the ticker line
+
+  /// Marks one point complete (thread-safe).
+  void tick();
+
+ private:
+  std::size_t count_;
+  bool enabled_;
+  std::chrono::steady_clock::time_point start_;
+  std::mutex mu_;
+  std::size_t done_ = 0;
+};
+
+}  // namespace detail
+
 /// Evaluates fn(0..count-1) with at most `jobs` points in flight and
 /// returns the results indexed by point. fn must not depend on the
 /// evaluation order of other points.
@@ -53,8 +82,12 @@ auto run_sweep(std::size_t count, int jobs, Fn&& fn)
                 "sweep points must return a value (return 0 for effects)");
   TC3I_EXPECTS(jobs >= 1);
   std::vector<Result> results(count);
+  detail::SweepProgress progress(count);
   if (jobs == 1 || count <= 1) {
-    for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+    for (std::size_t i = 0; i < count; ++i) {
+      results[i] = fn(i);
+      progress.tick();
+    }
     return results;
   }
 
@@ -90,6 +123,7 @@ auto run_sweep(std::size_t count, int jobs, Fn&& fn)
           if (timeline_stores[i] != nullptr)
             tl_scope.emplace(*timeline_stores[i]);
           results[i] = fn(i);
+          progress.tick();
         }
       });
     }

@@ -195,4 +195,66 @@ TEST(Timeline, CsvHasHeaderAndStableShape) {
   EXPECT_GT(rows, 0u);
 }
 
+TEST(Timeline, ValidatorAcceptsRealExports) {
+  obs::TimelineStore store(512);
+  {
+    obs::ScopedTimeline scope(store);
+    run_mta_point(0, /*slow=*/false);
+    smp::SmpConfig cfg;
+    cfg.name = "smp_test";
+    cfg.num_processors = 2;
+    cfg.clock_hz = 1e6;
+    cfg.compute_rate_ips = 1e6;
+    cfg.mem_bw_single = 1e6;
+    cfg.mem_bw_total = 2e6;
+    sim::WorkloadTrace workload;
+    for (int t = 0; t < 3; ++t) {
+      sim::ThreadTrace trace;
+      trace.compute(100000, 50000);
+      workload.threads.push_back(std::move(trace));
+    }
+    smp::Machine machine(cfg);
+    (void)machine.run(workload);
+  }
+  std::ostringstream os;
+  store.write_csv(os);
+  EXPECT_EQ(obs::validate_timeline_csv(os.str()), "");
+}
+
+TEST(Timeline, ValidatorRejectsMalformedCsv) {
+  const std::string header = "run,model,name,series,cycle,value\n";
+
+  // Wrong or missing header.
+  EXPECT_NE(obs::validate_timeline_csv(""), "");
+  EXPECT_NE(obs::validate_timeline_csv("cycle,value\n0,1\n"), "");
+
+  // Header alone is a valid (empty) timeline.
+  EXPECT_EQ(obs::validate_timeline_csv(header), "");
+
+  // Column count.
+  EXPECT_NE(obs::validate_timeline_csv(header + "0,mta,m,s,512\n"), "");
+  EXPECT_NE(obs::validate_timeline_csv(header + "0,mta,m,s,512,1,extra\n"),
+            "");
+
+  // Non-numeric run/cycle/value fields.
+  EXPECT_NE(obs::validate_timeline_csv(header + "x,mta,m,s,512,1\n"), "");
+  EXPECT_NE(obs::validate_timeline_csv(header + "0,mta,m,s,abc,1\n"), "");
+  EXPECT_NE(obs::validate_timeline_csv(header + "0,mta,m,s,512,huh\n"), "");
+
+  // Negative occupancy.
+  EXPECT_NE(obs::validate_timeline_csv(header + "0,mta,m,s,512,-0.25\n"), "");
+
+  // Non-monotone sample grid within one run+series...
+  EXPECT_NE(obs::validate_timeline_csv(
+                header + "0,mta,m,s,1024,1\n0,mta,m,s,512,1\n"),
+            "");
+  EXPECT_NE(obs::validate_timeline_csv(
+                header + "0,mta,m,s,512,1\n0,mta,m,s,512,1\n"),
+            "");
+  // ...while the same cycle in another run or series is fine.
+  EXPECT_EQ(obs::validate_timeline_csv(
+                header + "0,mta,m,s,512,1\n0,mta,m,t,512,1\n1,mta,m,s,512,1\n"),
+            "");
+}
+
 }  // namespace

@@ -167,7 +167,7 @@ TEST(RunReport, JsonContainsRowsConfigAndRegistrySnapshot) {
   const std::string json = os.str();
   ASSERT_FALSE(json_validate(json).has_value()) << *json_validate(json);
   EXPECT_NE(json.find("\"bench\":\"unit_bench\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
   EXPECT_NE(json.find("\"machine_runs\":[]"), std::string::npos);
   EXPECT_NE(json.find("\"label\":\"one_proc\""), std::string::npos);
   EXPECT_NE(json.find("\"test.ops\":11"), std::string::npos);

@@ -1,15 +1,21 @@
-// Strict JSON syntax checker for exported traces and reports.
+// Strict syntax/schema checker for exported traces, reports and timelines.
 //
-//   json_check file.json [more.json ...]
+//   json_check file.json [timeline.csv ...]
 //
-// Every file must parse as one complete JSON value. Files that look like a
-// RunReport (an object carrying "schema_version") additionally get a schema
-// pass: the required sections must be present with the right kinds, counter
-// names must stick to the [a-z0-9_.] charset, counter values must be
-// non-negative, and each MTA machine-run's issue-slot account must sum to
-// cycles x processors. Exits 0 when every file passes, 1 otherwise
-// (printing the first error per file). Used by scripts/check.sh to validate
-// --trace-out / --report-out output without a JSON library.
+// Every *.json file must parse as one complete JSON value. Files that look
+// like a RunReport (an object carrying "schema_version") additionally get
+// a schema pass: the required sections must be present with the right
+// kinds, counter names must stick to the [a-z0-9_.] charset, counter
+// values must be non-negative, each MTA machine-run's issue-slot account
+// must sum to cycles x processors, and any "critical_path" section (runs
+// captured under --critpath) must carry non-negative attribution buckets
+// that sum to its total, plus well-formed projections. Arguments ending in
+// .csv are validated as --timeline-out output instead (exact header, six
+// columns, strictly increasing cycle grid per run+series, non-negative
+// values — see obs::validate_timeline_csv). Exits 0 when every file
+// passes, 1 otherwise (printing the first error per file). Used by
+// scripts/check.sh to validate --trace-out / --report-out /
+// --timeline-out output without a JSON library.
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -17,6 +23,7 @@
 #include <string>
 
 #include "obs/json.hpp"
+#include "obs/timeline.hpp"
 
 namespace {
 
@@ -29,6 +36,50 @@ bool valid_metric_name(const std::string& name) {
           c == '.'))
       return false;
   return true;
+}
+
+/// Validates one machine run's optional "critical_path" section. Empty
+/// string when fine, else the first problem.
+std::string check_critical_path(const JsonValue& cp, const std::string& at) {
+  if (!cp.is_object()) return at + " is not an object";
+  const std::string unit = cp.string_or("unit", "");
+  if (unit != "cycles" && unit != "seconds")
+    return at + ".unit is neither \"cycles\" nor \"seconds\"";
+  const JsonValue* total = cp.find_number("total");
+  if (total == nullptr || total->number < 0.0)
+    return at + ".total missing or negative";
+  for (const char* field : {"path_length", "resource_bound", "coverage"}) {
+    const JsonValue* v = cp.find_number(field);
+    if (v == nullptr || v->number < 0.0)
+      return at + "." + field + " missing or negative";
+  }
+  const JsonValue* attribution = cp.find_object("attribution");
+  if (attribution == nullptr) return at + " missing attribution object";
+  double sum = 0.0;
+  for (const char* field :
+       {"compute", "memory", "sync", "spawn", "queue", "gap"}) {
+    const JsonValue* v = attribution->find_number(field);
+    if (v == nullptr) return at + ".attribution missing \"" + field + "\"";
+    if (v->number < 0.0) return at + ".attribution." + field + " is negative";
+    sum += v->number;
+  }
+  // Edge weights are stored as float32; allow that much accumulation slack.
+  if (std::fabs(sum - total->number) > 1e-9 + 1e-4 * total->number)
+    return at + ".attribution sums to " + std::to_string(sum) +
+           ", expected total = " + std::to_string(total->number);
+  const JsonValue* projections = cp.find_array("projections");
+  if (projections == nullptr) return at + " missing projections array";
+  for (std::size_t i = 0; i < projections->array.size(); ++i) {
+    const JsonValue& p = projections->array[i];
+    const std::string pat = at + ".projections[" + std::to_string(i) + "]";
+    if (!p.is_object()) return pat + " is not an object";
+    if (p.find_string("knob") == nullptr) return pat + " missing knob";
+    if (p.number_or("factor", 0.0) <= 0.0) return pat + ".factor <= 0";
+    const JsonValue* predicted = p.find_number("predicted");
+    if (predicted == nullptr || predicted->number < 0.0)
+      return pat + ".predicted missing or negative";
+  }
+  return "";
 }
 
 /// Returns an empty string when `doc` passes the RunReport schema checks,
@@ -73,13 +124,18 @@ std::string check_report_schema(const JsonValue& doc) {
     const std::string at = "machine_runs[" + std::to_string(i) + "]";
     if (!run.is_object()) return at + " is not an object";
     const std::string model = run.string_or("model", "");
-    if (model != "mta" && model != "smp")
-      return at + ".model is neither \"mta\" nor \"smp\"";
+    if (model != "mta" && model != "smp" && model != "sthreads")
+      return at + ".model is not \"mta\", \"smp\" or \"sthreads\"";
     if (run.find_string("name") == nullptr) return at + " missing name";
     const double procs = run.number_or("processors", 0.0);
     if (procs < 1.0) return at + ".processors < 1";
     if (run.find_number("utilization") == nullptr)
       return at + " missing utilization";
+    if (const JsonValue* cp = run.find("critical_path")) {
+      const std::string problem =
+          check_critical_path(*cp, at + ".critical_path");
+      if (!problem.empty()) return problem;
+    }
     if (model != "mta") continue;
     const JsonValue* slots = run.find_object("slots");
     if (slots == nullptr) return at + " missing slots object";
@@ -103,7 +159,7 @@ std::string check_report_schema(const JsonValue& doc) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: json_check <file.json> [...]\n");
+    std::fprintf(stderr, "usage: json_check <file.json|file.csv> [...]\n");
     return 2;
   }
   int failures = 0;
@@ -117,6 +173,19 @@ int main(int argc, char** argv) {
     std::ostringstream buf;
     buf << in.rdbuf();
     const std::string text = buf.str();
+    const std::string path = argv[i];
+    if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+      const std::string problem = tc3i::obs::validate_timeline_csv(text);
+      if (!problem.empty()) {
+        std::fprintf(stderr, "%s: timeline csv: %s\n", argv[i],
+                     problem.c_str());
+        ++failures;
+        continue;
+      }
+      std::printf("%s: ok (%zu bytes, timeline csv ok)\n", argv[i],
+                  text.size());
+      continue;
+    }
     std::string error;
     const auto doc = tc3i::obs::json_parse(text, &error);
     if (!doc) {

@@ -7,10 +7,15 @@
 // changes, array length changes, and numbers differing by more than
 // abs_tol + rel_tol * max(|a|, |b|). Defaults are exact comparison
 // (rel-tol 0, abs-tol 0), which makes `report_diff r.json r.json` a
-// determinism check. `--ignore` (repeatable) drops every difference whose
-// path starts with the given prefix, e.g. `--ignore config.host` for
-// per-machine config entries. Exits 0 when the reports match, 1 when they
-// differ, 2 on usage or parse errors.
+// determinism check. An object member present in only one report is a
+// difference like any other — in particular a "machine_runs" array (or a
+// per-run "critical_path" section) one report has and the other lacks is
+// reported, with the array's length for context, never silently skipped.
+// `--ignore` (repeatable) drops every difference whose path starts with
+// the given prefix (e.g. `--ignore config.host`) or that contains it as a
+// path component — `--ignore critical_path` also drops
+// `machine_runs[3].critical_path.total`. Exits 0 when the reports match,
+// 1 when they differ, 2 on usage or parse errors.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -31,13 +36,51 @@ struct Options {
   std::vector<std::string> ignore;
 };
 
+/// True when `pattern` matches `path` for --ignore purposes: a literal
+/// prefix, or a whole path component anywhere in the path (so a bare
+/// member name like "critical_path" also matches
+/// "machine_runs[3].critical_path.total"). Component boundaries are the
+/// start/end of the path and the '.'/'[' separators.
+bool ignore_matches(const std::string& path, const std::string& pattern) {
+  if (pattern.empty()) return false;
+  for (std::size_t pos = path.find(pattern); pos != std::string::npos;
+       pos = path.find(pattern, pos + 1)) {
+    const bool starts_component =
+        pos == 0 || path[pos - 1] == '.' || path[pos - 1] == '[';
+    const std::size_t end = pos + pattern.size();
+    const bool ends_component =
+        pos == 0 ||  // prefix semantics: any continuation is covered
+        end == path.size() || path[end] == '.' || path[end] == '[' ||
+        path[end] == ']';
+    if (starts_component && ends_component) return true;
+  }
+  return false;
+}
+
+/// Context appended to "only in first/second report" messages so a whole
+/// section appearing on one side (e.g. "machine_runs" from a newer-schema
+/// report, or "critical_path" from a --critpath run) is visibly an array
+/// or object presence difference, not a stray scalar.
+std::string presence_detail(const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::Array:
+      return " (array with " + std::to_string(v.array.size()) + " entr" +
+             (v.array.size() == 1 ? "y" : "ies") + ")";
+    case JsonValue::Kind::Object:
+      return " (object with " + std::to_string(v.object.size()) + " member" +
+             (v.object.size() == 1 ? "" : "s") + ")";
+    default:
+      return "";
+  }
+}
+
 struct Diff {
   const Options* opts = nullptr;
   int count = 0;
 
   void report(const std::string& path, const std::string& what) {
-    for (const std::string& prefix : opts->ignore)
-      if (path.compare(0, prefix.size(), prefix) == 0) return;
+    for (const std::string& pattern : opts->ignore)
+      if (ignore_matches(path, pattern)) return;
     std::printf("  %s: %s\n", path.empty() ? "(root)" : path.c_str(),
                 what.c_str());
     ++count;
@@ -87,15 +130,14 @@ struct Diff {
           const JsonValue* other = b.find(key);
           const std::string sub = path.empty() ? key : path + "." + key;
           if (other == nullptr)
-            report(sub, "only in first report");
+            report(sub, "only in first report" + presence_detail(value));
           else
             compare(sub, value, *other);
         }
         for (const auto& [key, value] : b.object) {
-          (void)value;
           if (a.find(key) == nullptr)
             report(path.empty() ? key : path + "." + key,
-                   "only in second report");
+                   "only in second report" + presence_detail(value));
         }
         return;
       }

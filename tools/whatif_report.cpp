@@ -1,0 +1,97 @@
+// Causal what-if projections from a RunReport JSON.
+//
+//   whatif_report report.json [report2.json ...]
+//
+// For every machine run captured under --critpath (a "critical_path"
+// section in the report's "machine_runs" array), prints the run's
+// critical-path attribution and the stored what-if projections: for each
+// knob (compute, memory_latency, sync_cost, spawn_cost) at 0.5x and 2x,
+// the predicted runtime and the implied speedup. A projected speedup close
+// to 1x means the scaled cost is off the critical path — the Coz-style
+// "virtual speedup" answer to "would making X faster help?". Exits 0 when
+// every report parses and contains at least one projected run, 1 otherwise.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "obs/run_record.hpp"
+
+namespace {
+
+void print_run(std::size_t index, const tc3i::obs::RunRecord& run) {
+  const tc3i::obs::CritPathSummary& cp = run.critical_path;
+  std::printf("run=%zu model=%s name=%s: total %.6g %s, coverage %.1f%%\n",
+              index, run.model.c_str(), run.name.c_str(), cp.total,
+              cp.unit.c_str(), 100.0 * cp.coverage);
+  std::printf(
+      "    path %.6g, bound %.6g%s%s | compute %.1f%% memory %.1f%% "
+      "sync %.1f%% spawn %.1f%% queue %.1f%% gap %.1f%%\n",
+      cp.path_length, cp.resource_bound,
+      cp.binding_resource.empty() ? "" : " via ",
+      cp.binding_resource.c_str(),
+      100.0 * cp.compute / (cp.total > 0 ? cp.total : 1.0),
+      100.0 * cp.memory / (cp.total > 0 ? cp.total : 1.0),
+      100.0 * cp.sync / (cp.total > 0 ? cp.total : 1.0),
+      100.0 * cp.spawn / (cp.total > 0 ? cp.total : 1.0),
+      100.0 * cp.queue / (cp.total > 0 ? cp.total : 1.0),
+      100.0 * cp.gap / (cp.total > 0 ? cp.total : 1.0));
+  std::printf("    %-16s %8s %14s %10s\n", "knob", "factor", "predicted",
+              "speedup");
+  for (const tc3i::obs::KnobProjection& p : cp.projections) {
+    const double speedup = p.predicted > 0.0 ? cp.total / p.predicted : 0.0;
+    std::printf("    %-16s %8.2f %14.6g %9.3fx\n", p.knob.c_str(), p.factor,
+                p.predicted, speedup);
+  }
+}
+
+int process_report(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  const auto doc = tc3i::obs::json_parse(buf.str(), &error);
+  if (!doc) {
+    std::fprintf(stderr, "%s: %s\n", path, error.c_str());
+    return 1;
+  }
+  const std::vector<tc3i::obs::RunRecord> runs =
+      tc3i::obs::machine_runs_from_json(*doc);
+  std::size_t projected = 0;
+  for (const tc3i::obs::RunRecord& r : runs) {
+    if (r.critical_path.present) ++projected;
+  }
+  std::printf("%s: bench %s, %zu machine run%s, %zu with critical_path\n",
+              path, doc->string_or("bench", "?").c_str(), runs.size(),
+              runs.size() == 1 ? "" : "s", projected);
+  if (projected == 0) {
+    std::fprintf(stderr,
+                 "%s: no critical_path sections (re-run the bench with "
+                 "--critpath)\n",
+                 path);
+    return 1;
+  }
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i].critical_path.present) print_run(i, runs[i]);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: whatif_report <report.json> [...]\n");
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) failures += process_report(argv[i]);
+  return failures == 0 ? 0 : 1;
+}
