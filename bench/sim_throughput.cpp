@@ -16,7 +16,13 @@
 // timeline sampling active so the committed baseline pins the cost of the
 // per-cycle sampling hook; a sixth, critpath_overhead, re-runs it with
 // --critpath-style dependency-graph capture installed and pins that cost
-// (budget: at least half the uninstrumented saturated throughput).
+// (budget: at least half the uninstrumented saturated throughput). The
+// sweep_plain / sweep_telemetry pair measures sim::run_sweep itself on a
+// 100-point sweep of a cheap MTA machine — first bare, then with the full
+// sweep-telemetry stack active (scheduler span store, per-run records,
+// cross-run aggregation and SweepReport + Chrome-trace serialization);
+// scripts/check.sh gates the telemetry regime at >= 0.95x the plain one
+// (< 5% overhead).
 //
 // Each scenario runs `--reps` times (default 3); the median wall time
 // produces two RunReport rows per scenario ("<name>.cycles_per_sec" and
@@ -41,9 +47,13 @@
 #include "mta/machine.hpp"
 #include "mta/runtime.hpp"
 #include "mta/stream_program.hpp"
+#include "obs/aggregate.hpp"
 #include "obs/critpath.hpp"
+#include "obs/hostres.hpp"
+#include "obs/run_record.hpp"
 #include "obs/session.hpp"
 #include "obs/timeline.hpp"
+#include "sim/sweep.hpp"
 
 using namespace tc3i;
 
@@ -165,6 +175,76 @@ Measurement measure(const Scenario& s, int reps) {
   return out;
 }
 
+/// One cheap MTA point for the sweep regimes: a single compute/load stream
+/// small enough that 100 points finish in well under a second, so the
+/// run_sweep machinery (queueing, per-point stores, merge) is a visible
+/// fraction of the total and telemetry overhead on top of it is
+/// measurable rather than noise.
+std::uint64_t sweep_point(std::size_t index) {
+  mta::MtaConfig cfg;
+  cfg.num_processors = 1;
+  mta::Machine machine(cfg);
+  mta::ProgramPool pool;
+  mta::VectorProgram* p = pool.make_vector();
+  for (int r = 0; r < 200; ++r) {
+    p->compute(8);
+    p->load(static_cast<mta::Address>((index * 64 + r) & 0xffff));
+  }
+  machine.add_stream(p);
+  return machine.run().cycles;
+}
+
+/// Median wall seconds for one 100-point sweep at `jobs`, with the full
+/// sweep-telemetry stack active when `telemetry` is set: a scheduler span
+/// store collecting one span per point, per-run records, and — after the
+/// sweep — cross-run aggregation plus SweepReport and Chrome-trace
+/// serialization (to in-memory sinks), i.e. everything --sweep-report-out
+/// + --sweep-trace-out would add to a real sweep.
+double measure_sweep_regime(int reps, int jobs, std::size_t points,
+                            bool telemetry) {
+  std::vector<double> times;
+  obs::SweepSchedStore* prev = obs::sweep_sched_store();
+  // Untimed warm-up sweep: the first sweep of the process pays thread
+  // startup and page-fault costs that would otherwise land entirely on
+  // whichever regime runs first and swamp the <5% telemetry budget.
+  obs::set_sweep_sched_store(nullptr);
+  {
+    obs::RunRecordStore warmup_records;
+    obs::ScopedRunRecords warmup_scope(warmup_records);
+    sim::run_sweep(points, jobs, [](std::size_t i) { return sweep_point(i); });
+  }
+  for (int rep = 0; rep < reps; ++rep) {
+    obs::RunRecordStore records;
+    obs::ScopedRunRecords rec_scope(records);
+    obs::SweepSchedStore sched;
+    obs::set_sweep_sched_store(telemetry ? &sched : nullptr);
+    const auto start = std::chrono::steady_clock::now();
+    sim::run_sweep(points, jobs, [](std::size_t i) {
+      return sweep_point(i);
+    });
+    if (telemetry) {
+      const obs::SweepAggregator agg =
+          obs::aggregate_records(records.records());
+      obs::SweepHostSection host;
+      const obs::SweepSchedStore::Summary s = sched.summary();
+      host.sweeps = s.sweeps;
+      host.points = s.points;
+      host.jobs = s.max_jobs;
+      host.queue_wait_seconds = s.queue_wait_seconds;
+      host.execute_seconds = s.execute_seconds;
+      std::ostringstream report_sink;
+      agg.write_report_json(report_sink, "sim_throughput", host);
+      std::ostringstream trace_sink;
+      sched.write_chrome_trace(trace_sink);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    times.push_back(std::chrono::duration<double>(stop - start).count());
+  }
+  obs::set_sweep_sched_store(prev);
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
 /// Pulls {label -> measured} out of a RunReport JSON (schema_version 1)
 /// with plain string scanning — enough for the self-check, no JSON
 /// library needed.
@@ -278,6 +358,28 @@ int main(int argc, char** argv) {
                TextTable::num(cps / 1e6, 1), TextTable::num(ips / 1e6, 1)});
     run.report().add_row("critpath_overhead.cycles_per_sec", 1.0, cps);
     run.report().add_row("critpath_overhead.instr_per_sec", 1.0, ips);
+  }
+
+  {
+    // Sweep-telemetry regime pair: the same 100-point sweep measured bare
+    // and with the full --sweep-report-out + --sweep-trace-out stack
+    // active (see measure_sweep_regime). The points_per_sec ratio is the
+    // telemetry overhead; scripts/check.sh gates it at >= 0.95.
+    constexpr std::size_t kPoints = 100;
+    const int sweep_jobs = run.jobs();
+    run.report().set_config("sweep_jobs", static_cast<double>(sweep_jobs));
+    const double plain =
+        measure_sweep_regime(reps, sweep_jobs, kPoints, /*telemetry=*/false);
+    const double telem =
+        measure_sweep_regime(reps, sweep_jobs, kPoints, /*telemetry=*/true);
+    table.row({"sweep_plain", "-", "-", TextTable::num(plain * 1e3, 2),
+               "-", "-"});
+    table.row({"sweep_telemetry", "-", "-", TextTable::num(telem * 1e3, 2),
+               "-", "-"});
+    run.report().add_row("sweep_plain.points_per_sec", 1.0,
+                         static_cast<double>(kPoints) / plain);
+    run.report().add_row("sweep_telemetry.points_per_sec", 1.0,
+                         static_cast<double>(kPoints) / telem);
   }
   table.render(std::cout);
 

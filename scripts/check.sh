@@ -90,6 +90,31 @@ diff <("$BUILD_DIR"/tools/bottleneck_report "$SMOKE_DIR/cp.json" |
          "$SMOKE_DIR/cp.json" | grep '^verdict run') ||
   { echo "FAIL: critical-path verdicts disagree with slot account"; exit 1; }
 
+echo "== sweep telemetry (report + trace + independent recomputation) =="
+# A --jobs run with sweep telemetry enabled must produce a schema-valid
+# SweepReport and sweep-scheduler trace, and the report's aggregate
+# sections must match an independent recomputation from the per-run
+# RunReport (host accounting differs by construction: --from-runs has no
+# host to sample).
+"$BUILD_DIR"/bench/table05_threat_tera \
+    --jobs 4 \
+    --report-out "$SMOKE_DIR/sw_runs.json" \
+    --sweep-report-out "$SMOKE_DIR/sw.json" \
+    --sweep-trace-out "$SMOKE_DIR/sw_trace.json" >/dev/null
+"$BUILD_DIR"/tools/json_check "$SMOKE_DIR/sw.json" "$SMOKE_DIR/sw_trace.json"
+grep -q '"kind":"sweep_report"' "$SMOKE_DIR/sw.json" ||
+  { echo "FAIL: sweep report missing kind=sweep_report"; exit 1; }
+grep -q '"sweep scheduler"' "$SMOKE_DIR/sw_trace.json" ||
+  { echo "FAIL: sweep trace has no scheduler track"; exit 1; }
+"$BUILD_DIR"/tools/sweep_report --from-runs "$SMOKE_DIR/sw_runs.json" \
+    > "$SMOKE_DIR/sw_recomputed.json"
+"$BUILD_DIR"/tools/json_check "$SMOKE_DIR/sw_recomputed.json"
+"$BUILD_DIR"/tools/report_diff "$SMOKE_DIR/sw.json" \
+    "$SMOKE_DIR/sw_recomputed.json" --ignore host >/dev/null ||
+  { echo "FAIL: sweep report disagrees with recomputation from runs"; \
+    exit 1; }
+echo "sweep report matches independent recomputation"
+
 echo "== perf smoke (sim_throughput vs committed baseline) =="
 # Fails (exit 1) when any throughput metric drops below 70% of the
 # committed bench/BENCH_sim_throughput.json (--min-ratio default 0.7,
@@ -114,5 +139,37 @@ CPO="$(extract_measured 'critpath_overhead.cycles_per_sec')"
 awk -v sat="$SAT" -v cpo="$CPO" 'BEGIN { exit !(cpo >= 0.5 * sat) }' ||
   { echo "FAIL: critpath_overhead $CPO < 0.5 x saturated $SAT"; exit 1; }
 echo "critpath overhead within budget ($CPO vs saturated $SAT cycles/s)"
+
+# Sweep telemetry must stay cheap too: running a 100-point sweep with the
+# full telemetry stack (sched store + aggregation + report/trace
+# serialization) must keep at least 95% of the plain sweep throughput.
+SP="$(extract_measured 'sweep_plain.points_per_sec')"
+ST="$(extract_measured 'sweep_telemetry.points_per_sec')"
+[ -n "$SP" ] && [ -n "$ST" ] ||
+  { echo "FAIL: sim_throughput report missing sweep_plain/telemetry rows"; \
+    exit 1; }
+awk -v sp="$SP" -v st="$ST" 'BEGIN { exit !(st >= 0.95 * sp) }' ||
+  { echo "FAIL: sweep_telemetry $ST < 0.95 x sweep_plain $SP points/s"; \
+    exit 1; }
+echo "sweep telemetry overhead within budget ($ST vs plain $SP points/s)"
+
+echo "== perf trend gate (bench/BENCH_history.jsonl) =="
+# Every check run contributes a datapoint: append this run's sim_throughput
+# rows to the committed history, then gate the newest entry against the
+# trailing window (median - k x MAD robust floor, plus a minimum-drop
+# threshold; see tools/perf_trend.cpp). The gate must also demonstrably
+# fire: the same run appended to a scratch copy at a 2x slowdown must fail.
+"$BUILD_DIR"/tools/perf_trend append bench/BENCH_history.jsonl \
+    "$SMOKE_DIR/sim_throughput.json"
+"$BUILD_DIR"/tools/perf_trend check bench/BENCH_history.jsonl ||
+  { echo "FAIL: perf trend gate flagged this run as a regression"; exit 1; }
+cp bench/BENCH_history.jsonl "$SMOKE_DIR/hist_bad.jsonl"
+"$BUILD_DIR"/tools/perf_trend append "$SMOKE_DIR/hist_bad.jsonl" \
+    "$SMOKE_DIR/sim_throughput.json" --scale 0.5
+if "$BUILD_DIR"/tools/perf_trend check "$SMOKE_DIR/hist_bad.jsonl" \
+    >/dev/null 2>&1; then
+  echo "FAIL: perf trend gate did not flag an injected 2x slowdown"; exit 1
+fi
+echo "perf trend gate passes on this run, fails on injected 2x slowdown"
 
 echo "ALL CHECKS PASSED"

@@ -124,6 +124,7 @@ std::vector<RunRecord> machine_runs_from_json(const JsonValue& report) {
     RunRecord r;
     r.model = jr.string_or("model", "");
     r.name = jr.string_or("name", "");
+    r.scenario = jr.string_or("scenario", "");
     r.processors = static_cast<int>(jr.number_or("processors", 1.0));
     r.threads = u64_or(jr, "threads");
     r.utilization = jr.number_or("utilization", 0.0);
@@ -251,6 +252,9 @@ void RunReport::write_json(std::ostream& out,
     w.begin_object();
     w.field("model", r.model);
     w.field("name", r.name);
+    // Emitted only when labeled, so reports from unlabeled runs keep their
+    // pre-v4 byte layout.
+    if (!r.scenario.empty()) w.field("scenario", r.scenario);
     w.field("processors", r.processors);
     w.field("threads", r.threads);
     w.field("utilization", r.utilization);

@@ -18,7 +18,9 @@
 //     "notes": [ "...", ... ]
 //   }
 //
-// A "machine_runs" entry for an MTA run looks like
+// A "machine_runs" entry for an MTA run looks like (the optional
+// "scenario" member appears after "name" when the run was captured under
+// an obs::ScopedScenarioLabel)
 //   { "model":"mta", "name":..., "processors":p, "threads":peak,
 //     "cycles":c, "memory_ops":m, "utilization":u, "network_utilization":n,
 //     "slots": {"used","no_stream","spacing","spawn","memory","sync"},

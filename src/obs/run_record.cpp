@@ -6,7 +6,12 @@
 
 namespace tc3i::obs {
 
+namespace {
+thread_local std::string t_scenario_label;
+}  // namespace
+
 void RunRecordStore::add(RunRecord record) {
+  if (record.scenario.empty()) record.scenario = t_scenario_label;
   std::lock_guard<std::mutex> lock(mu_);
   records_.push_back(std::move(record));
 }
@@ -49,5 +54,16 @@ ScopedRunRecords::ScopedRunRecords(RunRecordStore& store)
 }
 
 ScopedRunRecords::~ScopedRunRecords() { t_store_override = prev_; }
+
+const std::string& current_scenario_label() { return t_scenario_label; }
+
+ScopedScenarioLabel::ScopedScenarioLabel(std::string label)
+    : prev_(std::move(t_scenario_label)) {
+  t_scenario_label = std::move(label);
+}
+
+ScopedScenarioLabel::~ScopedScenarioLabel() {
+  t_scenario_label = std::move(prev_);
+}
 
 }  // namespace tc3i::obs

@@ -69,6 +69,10 @@ struct RegionRollup {
 struct RunRecord {
   std::string model;  ///< "mta", "smp", or "sthreads"
   std::string name;   ///< machine config name
+  /// Workload scenario the run belonged to, taken from the calling
+  /// thread's ScopedScenarioLabel when the record is added (empty when no
+  /// label is active). Sweep aggregation (obs/aggregate.hpp) groups by it.
+  std::string scenario;
   int processors = 1;
   std::uint64_t threads = 0;  ///< peak live streams (mta) / workers (smp)
 
@@ -135,6 +139,25 @@ class ScopedRunRecords {
 
  private:
   RunRecordStore* prev_;
+};
+
+/// The calling thread's active scenario label ("" when none): RunRecordStore
+/// fills RunRecord::scenario from it, so machine models need no knowledge of
+/// workload naming. Set it around the code that runs one scenario (the
+/// platforms experiment layer does this for the C3I workloads).
+[[nodiscard]] const std::string& current_scenario_label();
+
+/// Installs `label` as the current thread's scenario label for this
+/// object's lifetime (nests; restores the previous label on destruction).
+class ScopedScenarioLabel {
+ public:
+  explicit ScopedScenarioLabel(std::string label);
+  ScopedScenarioLabel(const ScopedScenarioLabel&) = delete;
+  ScopedScenarioLabel& operator=(const ScopedScenarioLabel&) = delete;
+  ~ScopedScenarioLabel();
+
+ private:
+  std::string prev_;
 };
 
 }  // namespace tc3i::obs

@@ -4,9 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <thread>
 
 #include "core/contracts.hpp"
+#include "obs/aggregate.hpp"
 
 namespace tc3i::obs {
 
@@ -60,6 +62,13 @@ void RunSession::add_cli_flags(CliParser& cli) {
                "stderr progress ticker for simulation sweeps (runs "
                "completed / total + ETA; auto-disabled when stderr is not "
                "a TTY)");
+  cli.add_flag("sweep-report-out", "",
+               "aggregate all machine runs into a SweepReport JSON "
+               "(schema v4: per-group rollups, quantiles, outliers, "
+               "host-resource + sweep-scheduler accounting)");
+  cli.add_flag("sweep-trace-out", "",
+               "write a Chrome trace of the sweep scheduler (one lane per "
+               "--jobs worker, queue-wait vs execute spans per point)");
 }
 
 RunSession::RunSession(std::string name, const CliParser& cli)
@@ -67,16 +76,21 @@ RunSession::RunSession(std::string name, const CliParser& cli)
       trace_path_(cli.get("trace-out")),
       report_path_(cli.get("report-out")),
       timeline_path_(cli.get("timeline-out")),
+      sweep_report_path_(cli.get("sweep-report-out")),
+      sweep_trace_path_(cli.get("sweep-trace-out")),
       dump_counters_(cli.get_bool("counters")),
+      host_begin_(sample_host_usage()),
       report_(name_) {
   TC3I_EXPECTS(g_active == nullptr && "only one RunSession may be active");
   // A bare `--trace-out` / `--report-out` parses as the boolean sentinel
   // "true" (CliParser bare-flag rule); these flags need real paths.
   if (trace_path_ == "true" || report_path_ == "true" ||
-      timeline_path_ == "true") {
+      timeline_path_ == "true" || sweep_report_path_ == "true" ||
+      sweep_trace_path_ == "true") {
     std::fprintf(stderr,
-                 "error: --trace-out, --report-out and --timeline-out "
-                 "require a file path\n");
+                 "error: --trace-out, --report-out, --timeline-out, "
+                 "--sweep-report-out and --sweep-trace-out require a file "
+                 "path\n");
     std::exit(2);
   }
   const std::int64_t sample_period = cli.get_int("sample-period");
@@ -118,6 +132,10 @@ RunSession::RunSession(std::string name, const CliParser& cli)
     set_process_critpath(critpath_.get());
   }
   set_sweep_progress_requested(cli.get_bool("progress"));
+  if (!sweep_report_path_.empty() || !sweep_trace_path_.empty()) {
+    sched_ = std::make_unique<SweepSchedStore>();
+    set_sweep_sched_store(sched_.get());
+  }
   if (!timeline_path_.empty()) {
     timeline_ = std::make_unique<TimelineStore>(
         static_cast<std::uint64_t>(sample_period));
@@ -136,6 +154,8 @@ RunSession::~RunSession() {
     set_process_timeline(nullptr);
   if (critpath_ != nullptr && process_critpath() == critpath_.get())
     set_process_critpath(nullptr);
+  if (sched_ != nullptr && sweep_sched_store() == sched_.get())
+    set_sweep_sched_store(nullptr);
   set_sweep_progress_requested(false);
 }
 
@@ -169,6 +189,59 @@ void RunSession::finish() {
                       timeline_->sample_period_cycles()));
     } else {
       std::fprintf(stderr, "[obs] timeline write failed: %s\n", error.c_str());
+    }
+  }
+
+  if (sched_ != nullptr && !sweep_trace_path_.empty()) {
+    std::string error;
+    if (sched_->write_chrome_trace_file(sweep_trace_path_, &error)) {
+      std::printf("[obs] sweep trace: %s (%zu point spans; open in "
+                  "chrome://tracing or ui.perfetto.dev)\n",
+                  sweep_trace_path_.c_str(), sched_->size());
+    } else {
+      std::fprintf(stderr, "[obs] sweep trace write failed: %s\n",
+                   error.c_str());
+    }
+  }
+
+  if (!sweep_report_path_.empty()) {
+    const SweepAggregator agg = aggregate_records(records_->records());
+    SweepHostSection host;
+    const HostResUsage delta =
+        host_usage_delta(host_begin_, sample_host_usage());
+    host.wall_seconds = delta.wall_seconds;
+    host.user_cpu_seconds = delta.user_cpu_seconds;
+    host.sys_cpu_seconds = delta.sys_cpu_seconds;
+    host.max_rss_kb = delta.max_rss_kb;
+    host.minor_faults = delta.minor_faults;
+    host.major_faults = delta.major_faults;
+    // The testbed profile cache is the dominant startup I/O; its counters
+    // localize "slow sweep" to recompute-vs-cache before anything else.
+    CounterRegistry& reg = default_registry();
+    host.testbed_cache_hits = reg.counter("testbed.cache.hit").value();
+    host.testbed_cache_misses = reg.counter("testbed.cache.miss").value();
+    if (sched_ != nullptr) {
+      const SweepSchedStore::Summary s = sched_->summary();
+      host.sweeps = s.sweeps;
+      host.points = s.points;
+      host.jobs = s.max_jobs;
+      host.queue_wait_seconds = s.queue_wait_seconds;
+      host.execute_seconds = s.execute_seconds;
+    }
+    std::error_code ec;
+    const auto parent =
+        std::filesystem::path(sweep_report_path_).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+    std::ofstream out(sweep_report_path_);
+    if (out) {
+      agg.write_report_json(out, name_, host);
+      std::printf("[obs] sweep report: %s (%llu runs, %zu groups)\n",
+                  sweep_report_path_.c_str(),
+                  static_cast<unsigned long long>(agg.runs()),
+                  agg.groups().size());
+    } else {
+      std::fprintf(stderr, "[obs] sweep report write failed: cannot open %s\n",
+                   sweep_report_path_.c_str());
     }
   }
 

@@ -11,6 +11,15 @@
 //                         gain a critical_path section (bare flag)
 //   --progress            stderr ticker for sim::run_sweep (runs done /
 //                         total + ETA; auto-off when stderr is not a TTY)
+//   --sweep-report-out <path>  aggregate every machine run into a
+//                         SweepReport JSON (schema v4: per-group rollups,
+//                         quantile sketches, outlier runs, host-resource
+//                         and sweep-scheduler accounting)
+//   --sweep-trace-out <path>   write a Chrome trace of the sweep scheduler
+//                         itself (one lane per --jobs worker, queue-wait
+//                         vs execute spans per point); unlike --trace-out
+//                         this is host-time telemetry and composes with
+//                         any --jobs value
 //   --jobs <n>            host threads for independent simulation points
 //                         (0 = hardware concurrency). Tracing requires a
 //                         single deterministic event stream, so --trace-out
@@ -30,6 +39,7 @@
 
 #include "core/cli.hpp"
 #include "obs/critpath.hpp"
+#include "obs/hostres.hpp"
 #include "obs/report.hpp"
 #include "obs/run_record.hpp"
 #include "obs/timeline.hpp"
@@ -70,6 +80,9 @@ class RunSession {
   /// machine models capture dependency graphs; summaries land in the
   /// RunRecords, the graphs themselves are not retained).
   [[nodiscard]] CritPathStore* critpath() { return critpath_.get(); }
+  /// Non-null iff --sweep-report-out or --sweep-trace-out was given
+  /// (installed as the global store sim::run_sweep feeds spans to).
+  [[nodiscard]] SweepSchedStore* sweep_sched() { return sched_.get(); }
 
   /// Resolved host worker-thread count for sim::run_sweep: the --jobs flag
   /// with 0 replaced by std::thread::hardware_concurrency() and tracing
@@ -85,6 +98,8 @@ class RunSession {
   std::string trace_path_;
   std::string report_path_;
   std::string timeline_path_;
+  std::string sweep_report_path_;
+  std::string sweep_trace_path_;
   int jobs_ = 1;
   bool dump_counters_ = false;
   bool finished_ = false;
@@ -92,6 +107,8 @@ class RunSession {
   std::unique_ptr<RunRecordStore> records_;
   std::unique_ptr<TimelineStore> timeline_;
   std::unique_ptr<CritPathStore> critpath_;
+  std::unique_ptr<SweepSchedStore> sched_;
+  HostResUsage host_begin_;
   RunReport report_;
 };
 

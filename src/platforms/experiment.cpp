@@ -6,6 +6,7 @@
 #include "c3i/terrain/scenario_gen.hpp"
 #include "c3i/threat/scenario_gen.hpp"
 #include "core/contracts.hpp"
+#include "obs/run_record.hpp"
 #include "platforms/paper.hpp"
 
 namespace tc3i::platforms {
@@ -164,6 +165,7 @@ Testbed build_testbed() {
 // --- conventional-platform experiments --------------------------------------
 
 double threat_seq_seconds(const Testbed& tb, const smp::SmpConfig& cfg) {
+  const obs::ScopedScenarioLabel scenario_label("threat_seq");
   const smp::Machine machine(cfg);
   double total = 0.0;
   for (const auto& p : tb.threat_profiles)
@@ -175,6 +177,7 @@ double threat_seq_seconds(const Testbed& tb, const smp::SmpConfig& cfg) {
 
 double threat_chunked_seconds(const Testbed& tb, const smp::SmpConfig& cfg,
                               int chunks, int processors) {
+  const obs::ScopedScenarioLabel scenario_label("threat_chunked");
   smp::SmpConfig c = cfg;
   c.num_processors = processors;
   const smp::Machine machine(c);
@@ -186,6 +189,7 @@ double threat_chunked_seconds(const Testbed& tb, const smp::SmpConfig& cfg,
 }
 
 double terrain_seq_seconds(const Testbed& tb, const smp::SmpConfig& cfg) {
+  const obs::ScopedScenarioLabel scenario_label("terrain_seq");
   const smp::Machine machine(cfg);
   double total = 0.0;
   for (const auto& p : tb.terrain_profiles) {
@@ -201,6 +205,7 @@ double terrain_seq_seconds(const Testbed& tb, const smp::SmpConfig& cfg) {
 double terrain_coarse_seconds(const Testbed& tb, const smp::SmpConfig& cfg,
                               int workers, int processors,
                               int blocks_per_side) {
+  const obs::ScopedScenarioLabel scenario_label("terrain_coarse");
   smp::SmpConfig c = cfg;
   c.num_processors = processors;
   const smp::Machine machine(c);
@@ -220,6 +225,7 @@ double terrain_coarse_seconds(const Testbed& tb, const smp::SmpConfig& cfg,
 double terrain_coarse_static_seconds(const Testbed& tb,
                                      const smp::SmpConfig& cfg, int workers,
                                      int processors, int blocks_per_side) {
+  const obs::ScopedScenarioLabel scenario_label("terrain_coarse_static");
   smp::SmpConfig c = cfg;
   c.num_processors = processors;
   const smp::Machine machine(c);
@@ -238,6 +244,7 @@ double terrain_coarse_static_seconds(const Testbed& tb,
 // --- Tera MTA experiments ----------------------------------------------------
 
 double mta_threat_seq_seconds(const Testbed& tb) {
+  const obs::ScopedScenarioLabel scenario_label("threat_seq");
   mta::Machine machine(make_mta_config(1));
   mta::ProgramPool pool;
   threat::build_mta_sequential(pool, machine, tb.threat_profile_scaled,
@@ -247,6 +254,7 @@ double mta_threat_seq_seconds(const Testbed& tb) {
 
 double mta_threat_chunked_seconds(const Testbed& tb, int chunks,
                                   int processors) {
+  const obs::ScopedScenarioLabel scenario_label("threat_chunked");
   mta::Machine machine(make_mta_config(processors));
   mta::ProgramPool pool;
   threat::build_mta_chunked(pool, machine, tb.threat_profile_scaled,
@@ -256,6 +264,7 @@ double mta_threat_chunked_seconds(const Testbed& tb, int chunks,
 }
 
 double mta_threat_finegrained_seconds(const Testbed& tb, int processors) {
+  const obs::ScopedScenarioLabel scenario_label("threat_fine");
   mta::Machine machine(make_mta_config(processors));
   mta::ProgramPool pool;
   threat::build_mta_finegrained(pool, machine, tb.threat_profile_scaled,
@@ -264,6 +273,7 @@ double mta_threat_finegrained_seconds(const Testbed& tb, int processors) {
 }
 
 double mta_terrain_seq_seconds(const Testbed& tb) {
+  const obs::ScopedScenarioLabel scenario_label("terrain_seq");
   mta::Machine machine(make_mta_config(1));
   mta::ProgramPool pool;
   terrain::build_mta_sequential(pool, machine, tb.terrain_profile_scaled,
@@ -278,6 +288,7 @@ double mta_terrain_fine_seconds(const Testbed& tb, int processors) {
 
 double mta_terrain_fine_seconds(const Testbed& tb, int processors,
                                 const terrain::MtaFineParams& params) {
+  const obs::ScopedScenarioLabel scenario_label("terrain_fine");
   mta::Machine machine(make_mta_config(processors));
   mta::ProgramPool pool;
   terrain::build_mta_finegrained(pool, machine, tb.terrain_profile_scaled,

@@ -1,5 +1,7 @@
 #include "platforms/testbed_cache.hpp"
 
+#include "obs/counters.hpp"
+
 #include <bit>
 #include <cstdint>
 #include <cstdio>
@@ -249,11 +251,23 @@ Testbed load_or_build_testbed() {
   const TestbedScenarios scenarios = testbed_scenarios();
   const std::uint64_t fp = fingerprint(scenarios);
   const fs::path path = cache_file_path(fp);
-  if (path.empty()) return assemble_testbed(profile_testbed_kernels(scenarios));
+  // Hit/miss counters feed the SweepReport host section: a sweep that
+  // suddenly spends seconds in kernel profiling shows up as misses there
+  // instead of as an unexplained wall-time regression. A disabled cache
+  // counts as a miss (the profiles are recomputed either way).
+  obs::CounterRegistry& reg = obs::default_registry();
+  if (path.empty()) {
+    reg.counter("testbed.cache.miss").add();
+    return assemble_testbed(profile_testbed_kernels(scenarios));
+  }
 
   TestbedProfiles profiles;
-  if (try_load(path, fp, profiles)) return assemble_testbed(std::move(profiles));
+  if (try_load(path, fp, profiles)) {
+    reg.counter("testbed.cache.hit").add();
+    return assemble_testbed(std::move(profiles));
+  }
 
+  reg.counter("testbed.cache.miss").add();
   profiles = profile_testbed_kernels(scenarios);
   std::error_code ec;
   fs::create_directories(path.parent_path(), ec);

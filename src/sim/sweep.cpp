@@ -44,8 +44,15 @@ void SweepProgress::tick() {
 
 SweepProgress::~SweepProgress() {
   if (!enabled_ || done_ == 0) return;
-  // Blank the ticker line so subsequent stderr output starts clean.
-  std::fprintf(stderr, "\r%*s\r", 60, "");
+  // Replace the carriage-returned ticker with a final, newline-terminated
+  // summary. A bare "\r"-blanked line left the cursor mid-line, so when a
+  // sweep finished instantly (e.g. every point served from the testbed
+  // cache) the last update was clobbered by whatever stdout printed next.
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  std::fprintf(stderr, "\r%*s\r[sweep] %zu/%zu done in %.1fs\n", 60, "",
+               done_, count_, elapsed);
   std::fflush(stderr);
 }
 

@@ -18,6 +18,12 @@
 // jobs == 1 runs the points inline on the caller's thread and registry, with
 // no pool and no isolation: byte-for-byte identical to the pre-sweep serial
 // code path.
+//
+// Scheduler telemetry: when a session installed an obs::SweepSchedStore
+// (--sweep-trace-out / --sweep-report-out), every point additionally
+// records a host-time span (submit/start/end + worker lane) so the sweep
+// scheduler itself can be traced and its queue-wait vs execute time
+// attributed. With no store installed the sweep makes no clock calls.
 #pragma once
 
 #include <algorithm>
@@ -34,6 +40,7 @@
 
 #include "core/contracts.hpp"
 #include "obs/counters.hpp"
+#include "obs/hostres.hpp"
 #include "obs/run_record.hpp"
 #include "obs/timeline.hpp"
 #include "sthreads/thread.hpp"
@@ -83,9 +90,22 @@ auto run_sweep(std::size_t count, int jobs, Fn&& fn)
   TC3I_EXPECTS(jobs >= 1);
   std::vector<Result> results(count);
   detail::SweepProgress progress(count);
+  // Scheduler telemetry (opt-in): one span per point with submit/start/end
+  // host timestamps and the worker lane, fed to the session's
+  // SweepSchedStore. Null store means no clock calls at all, so the
+  // default path is unchanged.
+  obs::SweepSchedStore* sched = obs::sweep_sched_store();
   if (jobs == 1 || count <= 1) {
+    const std::uint32_t sweep_id =
+        sched != nullptr && count > 0 ? sched->begin_sweep(count, 1) : 0;
+    const double submit_us = sched != nullptr ? sched->now_us() : 0.0;
     for (std::size_t i = 0; i < count; ++i) {
+      const double start_us = sched != nullptr ? sched->now_us() : 0.0;
       results[i] = fn(i);
+      if (sched != nullptr)
+        sched->add_span(obs::SweepJobSpan{
+            sweep_id, static_cast<std::uint32_t>(i), 0, submit_us, start_us,
+            sched->now_us()});
       progress.tick();
     }
     return results;
@@ -109,13 +129,19 @@ auto run_sweep(std::size_t count, int jobs, Fn&& fn)
   std::atomic<std::size_t> next{0};
   const std::size_t workers =
       std::min(static_cast<std::size_t>(jobs), count);
+  const std::uint32_t sweep_id =
+      sched != nullptr
+          ? sched->begin_sweep(count, static_cast<int>(workers))
+          : 0;
+  const double submit_us = sched != nullptr ? sched->now_us() : 0.0;
   {
     std::vector<sthreads::Thread> pool;
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&]() {
+      pool.emplace_back([&, w]() {
         for (std::size_t i = next.fetch_add(1); i < count;
              i = next.fetch_add(1)) {
+          const double start_us = sched != nullptr ? sched->now_us() : 0.0;
           obs::ScopedRegistry scope(*registries[i]);
           std::optional<obs::ScopedRunRecords> rec_scope;
           if (record_stores[i] != nullptr) rec_scope.emplace(*record_stores[i]);
@@ -123,6 +149,11 @@ auto run_sweep(std::size_t count, int jobs, Fn&& fn)
           if (timeline_stores[i] != nullptr)
             tl_scope.emplace(*timeline_stores[i]);
           results[i] = fn(i);
+          if (sched != nullptr)
+            sched->add_span(obs::SweepJobSpan{
+                sweep_id, static_cast<std::uint32_t>(i),
+                static_cast<std::uint32_t>(w), submit_us, start_us,
+                sched->now_us()});
           progress.tick();
         }
       });

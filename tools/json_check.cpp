@@ -9,13 +9,19 @@
 // values must be non-negative, each MTA machine-run's issue-slot account
 // must sum to cycles x processors, and any "critical_path" section (runs
 // captured under --critpath) must carry non-negative attribution buckets
-// that sum to its total, plus well-formed projections. Arguments ending in
-// .csv are validated as --timeline-out output instead (exact header, six
-// columns, strictly increasing cycle grid per run+series, non-negative
-// values — see obs::validate_timeline_csv). Exits 0 when every file
-// passes, 1 otherwise (printing the first error per file). Used by
-// scripts/check.sh to validate --trace-out / --report-out /
-// --timeline-out output without a JSON library.
+// that sum to its total, plus well-formed projections. Files carrying
+// "kind":"sweep_report" (--sweep-report-out, schema_version 4) get the
+// SweepReport pass instead: every group needs the full metric set with
+// internally consistent summaries (count/sum/mean agree, min <= p10 <=
+// p50 <= p90 <= max, non-negative rank_error), MTA groups' six
+// slot_share.* means must sum to 1, and the host/sched accounting must be
+// present and non-negative. Arguments ending in .csv are validated as
+// --timeline-out output instead (exact header, six columns, strictly
+// increasing cycle grid per run+series, non-negative values — see
+// obs::validate_timeline_csv). Exits 0 when every file passes, 1
+// otherwise (printing the first error per file). Used by scripts/check.sh
+// to validate --trace-out / --report-out / --timeline-out /
+// --sweep-report-out output without a JSON library.
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -155,6 +161,123 @@ std::string check_report_schema(const JsonValue& doc) {
   return "";
 }
 
+/// One aggregated metric of a sweep-report group: {count, sum, min, max,
+/// mean, p10, p50, p90, rank_error} with internally consistent values.
+std::string check_sweep_metric(const JsonValue& m, const std::string& at) {
+  if (!m.is_object()) return at + " is not an object";
+  for (const char* field : {"count", "sum", "min", "max", "mean", "p10",
+                            "p50", "p90", "rank_error"})
+    if (m.find_number(field) == nullptr)
+      return at + " missing number \"" + field + "\"";
+  const double count = m.number_or("count", 0.0);
+  if (count < 1.0) return at + ".count < 1";
+  if (m.number_or("rank_error", -1.0) < 0.0)
+    return at + ".rank_error is negative";
+  // Quantiles are order statistics of the same stream: monotone and
+  // bracketed by min/max.
+  const double seq[5] = {m.number_or("min", 0.0), m.number_or("p10", 0.0),
+                         m.number_or("p50", 0.0), m.number_or("p90", 0.0),
+                         m.number_or("max", 0.0)};
+  const char* names[5] = {"min", "p10", "p50", "p90", "max"};
+  for (int i = 0; i + 1 < 5; ++i)
+    if (seq[i] > seq[i + 1] + 1e-12)
+      return at + ": " + names[i] + " > " + names[i + 1];
+  const double mean = m.number_or("mean", 0.0);
+  const double tol = 1e-9 + 1e-9 * std::fabs(m.number_or("sum", 0.0));
+  if (std::fabs(mean * count - m.number_or("sum", 0.0)) > tol)
+    return at + ": mean x count != sum";
+  if (mean < seq[0] - 1e-12 || mean > seq[4] + 1e-12)
+    return at + ": mean outside [min, max]";
+  return "";
+}
+
+/// Returns an empty string when `doc` passes the SweepReport
+/// (schema_version 4, kind "sweep_report") checks, else the first problem.
+std::string check_sweep_report_schema(const JsonValue& doc) {
+  if (doc.find_string("bench") == nullptr) return "missing string \"bench\"";
+  const JsonValue* version = doc.find_number("schema_version");
+  if (version == nullptr) return "missing number \"schema_version\"";
+  if (version->number < 4.0) return "sweep_report needs schema_version >= 4";
+  const JsonValue* runs = doc.find_number("runs");
+  if (runs == nullptr || runs->number < 0.0)
+    return "missing or negative \"runs\"";
+  if (doc.number_or("outlier_k", 0.0) <= 0.0) return "outlier_k <= 0";
+  const JsonValue* groups = doc.find_array("groups");
+  if (groups == nullptr) return "missing array \"groups\"";
+  double total_count = 0.0;
+  for (std::size_t i = 0; i < groups->array.size(); ++i) {
+    const JsonValue& g = groups->array[i];
+    const std::string at = "groups[" + std::to_string(i) + "]";
+    if (!g.is_object()) return at + " is not an object";
+    const std::string model = g.string_or("model", "");
+    if (model != "mta" && model != "smp" && model != "sthreads")
+      return at + ".model is not \"mta\", \"smp\" or \"sthreads\"";
+    if (g.find_string("name") == nullptr) return at + " missing name";
+    if (g.find_string("scenario") == nullptr) return at + " missing scenario";
+    if (g.number_or("processors", 0.0) < 1.0) return at + ".processors < 1";
+    const double count = g.number_or("count", 0.0);
+    if (count < 1.0) return at + ".count < 1";
+    total_count += count;
+    const std::string unit = g.string_or("wall_unit", "");
+    if (unit != "cycles" && unit != "seconds")
+      return at + ".wall_unit is neither \"cycles\" nor \"seconds\"";
+    const JsonValue* metrics = g.find_object("metrics");
+    if (metrics == nullptr) return at + " missing metrics object";
+    for (const char* name : {"wall", "utilization", "threads"}) {
+      const JsonValue* m = metrics->find(name);
+      if (m == nullptr) return at + ".metrics missing \"" + name + "\"";
+      const std::string problem =
+          check_sweep_metric(*m, at + ".metrics." + name);
+      if (!problem.empty()) return problem;
+    }
+    if (model == "mta") {
+      double share_sum = 0.0;
+      for (const char* cat :
+           {"used", "no_stream", "spacing", "spawn", "memory", "sync"}) {
+        const std::string name = std::string("slot_share.") + cat;
+        const JsonValue* m = metrics->find(name);
+        if (m == nullptr) return at + ".metrics missing \"" + name + "\"";
+        const std::string problem =
+            check_sweep_metric(*m, at + ".metrics." + name);
+        if (!problem.empty()) return problem;
+        share_sum += m->number_or("mean", 0.0);
+      }
+      // Shares are slots.<cat>/slots.total() per run, so the six means of
+      // any group must sum to 1 (up to fp accumulation).
+      if (std::fabs(share_sum - 1.0) > 1e-6)
+        return at + ".metrics slot_share means sum to " +
+               std::to_string(share_sum) + ", expected 1";
+    }
+    const JsonValue* outliers = g.find_array("outlier_runs");
+    if (outliers == nullptr) return at + " missing outlier_runs array";
+    for (const JsonValue& o : outliers->array)
+      if (!o.is_number() || o.number < 0.0 || o.number >= runs->number)
+        return at + ".outlier_runs has an out-of-range run index";
+  }
+  if (total_count != runs->number)
+    return "group counts sum to " + std::to_string(total_count) +
+           ", expected runs = " + std::to_string(runs->number);
+  const JsonValue* host = doc.find_object("host");
+  if (host == nullptr) return "missing object \"host\"";
+  for (const char* field :
+       {"wall_seconds", "user_cpu_seconds", "sys_cpu_seconds", "max_rss_kb",
+        "minor_faults", "major_faults", "testbed_cache_hits",
+        "testbed_cache_misses"}) {
+    const JsonValue* v = host->find_number(field);
+    if (v == nullptr || v->number < 0.0)
+      return std::string("host.") + field + " missing or negative";
+  }
+  const JsonValue* sched = host->find_object("sched");
+  if (sched == nullptr) return "missing object \"host.sched\"";
+  for (const char* field : {"sweeps", "points", "jobs", "queue_wait_seconds",
+                            "execute_seconds"}) {
+    const JsonValue* v = sched->find_number(field);
+    if (v == nullptr || v->number < 0.0)
+      return std::string("host.sched.") + field + " missing or negative";
+  }
+  return "";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -193,7 +316,17 @@ int main(int argc, char** argv) {
       ++failures;
       continue;
     }
-    if (doc->is_object() && doc->find("schema_version") != nullptr) {
+    if (doc->is_object() && doc->string_or("kind", "") == "sweep_report") {
+      const std::string problem = check_sweep_report_schema(*doc);
+      if (!problem.empty()) {
+        std::fprintf(stderr, "%s: sweep report schema: %s\n", argv[i],
+                     problem.c_str());
+        ++failures;
+        continue;
+      }
+      std::printf("%s: ok (%zu bytes, sweep report schema ok)\n", argv[i],
+                  text.size());
+    } else if (doc->is_object() && doc->find("schema_version") != nullptr) {
       const std::string problem = check_report_schema(*doc);
       if (!problem.empty()) {
         std::fprintf(stderr, "%s: report schema: %s\n", argv[i],

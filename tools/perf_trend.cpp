@@ -1,0 +1,272 @@
+// Perf-trend history and regression gate for throughput benches.
+//
+//   perf_trend append <history.jsonl> <runreport.json> [--scale F]
+//   perf_trend check  <history.jsonl> [--window N] [--min-runs M]
+//                     [--k K] [--min-drop D]
+//
+// `append` pulls the {label -> measured} rows out of a RunReport JSON
+// (e.g. bench/sim_throughput --report-out) and appends them as one JSONL
+// line: {"bench":"...","rows":{"saturated.cycles_per_sec":1.2e8,...}}.
+// --scale multiplies every value before appending — the injection hook
+// scripts/check.sh uses to prove the gate actually trips on a slowdown.
+//
+// `check` gates the *last* line against the trailing window of up to N
+// (default 10) earlier lines. Rows are throughputs, so higher is better;
+// a row regresses when its latest value is BOTH
+//   (a) statistically low:  value < median - K * max(MAD, 1% of median)
+//       (robust z-score; K default 6 tolerates noisy shared CI hosts), and
+//   (b) practically low:    value < (1 - D) * median  (D default 0.3,
+//       matching the 0.7 min-ratio philosophy of the bench's own gates),
+// so a tight-variance history can't fail on a 2% wobble and a noisy one
+// can't hide a 2x cliff. Rows need at least M (default 4) prior samples
+// before they gate at all; until then check reports "warming up" and
+// passes. Exits 0 on pass, 1 on regression, 2 on usage/parse errors.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using tc3i::obs::JsonValue;
+
+struct HistoryLine {
+  std::string bench;
+  std::vector<std::pair<std::string, double>> rows;
+};
+
+bool parse_history(const char* path, std::vector<HistoryLine>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path);
+    return false;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::string error;
+    const auto doc = tc3i::obs::json_parse(line, &error);
+    if (!doc || !doc->is_object()) {
+      std::fprintf(stderr, "%s:%zu: %s\n", path, lineno,
+                   error.empty() ? "not an object" : error.c_str());
+      return false;
+    }
+    HistoryLine h;
+    h.bench = doc->string_or("bench", "");
+    if (const JsonValue* rows = doc->find_object("rows"))
+      for (const auto& [label, value] : rows->object)
+        if (value.is_number()) h.rows.emplace_back(label, value.number);
+    out->push_back(std::move(h));
+  }
+  return true;
+}
+
+double median_of(std::vector<double> v) {
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  double m = v[mid];
+  if (v.size() % 2 == 0)
+    m = 0.5 * (m + *std::max_element(
+                        v.begin(),
+                        v.begin() + static_cast<std::ptrdiff_t>(mid)));
+  return m;
+}
+
+int do_append(const char* history_path, const char* report_path,
+              double scale) {
+  std::ifstream in(report_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", report_path);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  const auto doc = tc3i::obs::json_parse(buf.str(), &error);
+  if (!doc) {
+    std::fprintf(stderr, "%s: %s\n", report_path, error.c_str());
+    return 2;
+  }
+  const JsonValue* rows = doc->find_array("rows");
+  if (rows == nullptr || rows->array.empty()) {
+    std::fprintf(stderr, "%s: no rows to append\n", report_path);
+    return 2;
+  }
+  std::ofstream out(history_path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "%s: cannot open for append\n", history_path);
+    return 2;
+  }
+  tc3i::obs::JsonWriter w(out);
+  w.begin_object();
+  w.field("bench", doc->string_or("bench", "unknown"));
+  w.key("rows");
+  w.begin_object();
+  std::size_t appended = 0;
+  for (const JsonValue& row : rows->array) {
+    const JsonValue* measured = row.find_number("measured");
+    const std::string label = row.string_or("label", "");
+    if (measured == nullptr || label.empty()) continue;
+    w.field(label, measured->number * scale);
+    ++appended;
+  }
+  w.end_object();
+  w.end_object();
+  out << '\n';
+  std::printf("perf_trend: appended %zu rows to %s%s\n", appended,
+              history_path,
+              scale == 1.0
+                  ? ""
+                  : (" (scaled x" + std::to_string(scale) + ")").c_str());
+  return 0;
+}
+
+int do_check(const char* history_path, std::size_t window,
+             std::size_t min_runs, double k, double min_drop) {
+  std::vector<HistoryLine> history;
+  if (!parse_history(history_path, &history)) return 2;
+  if (history.empty()) {
+    std::fprintf(stderr, "%s: empty history\n", history_path);
+    return 2;
+  }
+  const HistoryLine& latest = history.back();
+  std::printf("perf_trend check: %s (%zu lines, window %zu, k %g, "
+              "min-drop %g)\n",
+              history_path, history.size(), window, k, min_drop);
+  int regressions = 0;
+  for (const auto& [label, value] : latest.rows) {
+    // Trailing window: the most recent `window` earlier lines that carry
+    // this label (older lines may predate a row's introduction).
+    std::vector<double> prior;
+    for (std::size_t i = history.size() - 1; i-- > 0 && prior.size() < window;)
+      for (const auto& [plabel, pvalue] : history[i].rows)
+        if (plabel == label) {
+          prior.push_back(pvalue);
+          break;
+        }
+    if (prior.size() < min_runs) {
+      std::printf("  %-40s %12.4g  warming up (%zu/%zu prior runs)\n",
+                  label.c_str(), value, prior.size(), min_runs);
+      continue;
+    }
+    const double med = median_of(prior);
+    std::vector<double> dev;
+    dev.reserve(prior.size());
+    for (const double p : prior) dev.push_back(std::fabs(p - med));
+    const double mad = median_of(dev);
+    const double stat_floor = med - k * std::max(mad, 0.01 * std::fabs(med));
+    const double drop_floor = (1.0 - min_drop) * med;
+    if (value < stat_floor && value < drop_floor) {
+      std::printf("  %-40s %12.4g  REGRESSION: median %.4g, floor "
+                  "max-of(%.4g stat, %.4g drop)\n",
+                  label.c_str(), value, med, stat_floor, drop_floor);
+      ++regressions;
+    } else {
+      std::printf("  %-40s %12.4g  ok (median %.4g over %zu runs)\n",
+                  label.c_str(), value, med, prior.size());
+    }
+  }
+  if (regressions > 0) {
+    std::printf("perf_trend: %d regression%s\n", regressions,
+                regressions == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("perf_trend: no regressions\n");
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: perf_trend append <history.jsonl> <runreport.json> "
+               "[--scale F]\n"
+               "       perf_trend check <history.jsonl> [--window N] "
+               "[--min-runs M] [--k K] [--min-drop D]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
+    return 2;
+  }
+  const std::string mode = argv[1];
+  if (mode == "append") {
+    double scale = 1.0;
+    const char* history = nullptr;
+    const char* report = nullptr;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--scale" && i + 1 < argc) {
+        scale = std::strtod(argv[++i], nullptr);
+        if (!(scale > 0.0)) {
+          std::fprintf(stderr, "--scale must be > 0\n");
+          return 2;
+        }
+      } else if (arg.rfind("--", 0) == 0) {
+        std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+        return 2;
+      } else if (history == nullptr) {
+        history = argv[i];
+      } else if (report == nullptr) {
+        report = argv[i];
+      } else {
+        usage();
+        return 2;
+      }
+    }
+    if (history == nullptr || report == nullptr) {
+      usage();
+      return 2;
+    }
+    return do_append(history, report, scale);
+  }
+  if (mode == "check") {
+    const char* history = nullptr;
+    long window = 10;
+    long min_runs = 4;
+    double k = 6.0;
+    double min_drop = 0.3;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const bool has_next = i + 1 < argc;
+      if (arg == "--window" && has_next) {
+        window = std::strtol(argv[++i], nullptr, 10);
+      } else if (arg == "--min-runs" && has_next) {
+        min_runs = std::strtol(argv[++i], nullptr, 10);
+      } else if (arg == "--k" && has_next) {
+        k = std::strtod(argv[++i], nullptr);
+      } else if (arg == "--min-drop" && has_next) {
+        min_drop = std::strtod(argv[++i], nullptr);
+      } else if (arg.rfind("--", 0) == 0) {
+        std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+        return 2;
+      } else if (history == nullptr) {
+        history = argv[i];
+      } else {
+        usage();
+        return 2;
+      }
+    }
+    if (history == nullptr || window < 1 || min_runs < 1 || !(k > 0.0) ||
+        min_drop < 0.0 || min_drop >= 1.0) {
+      usage();
+      return 2;
+    }
+    return do_check(history, static_cast<std::size_t>(window),
+                    static_cast<std::size_t>(min_runs), k, min_drop);
+  }
+  usage();
+  return 2;
+}

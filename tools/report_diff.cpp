@@ -14,8 +14,14 @@
 // `--ignore` (repeatable) drops every difference whose path starts with
 // the given prefix (e.g. `--ignore config.host`) or that contains it as a
 // path component — `--ignore critical_path` also drops
-// `machine_runs[3].critical_path.total`. Exits 0 when the reports match,
-// 1 when they differ, 2 on usage or parse errors.
+// `machine_runs[3].critical_path.total`. SweepReport "groups" arrays
+// (--sweep-report-out, schema v4) are diffed group-wise: entries are
+// matched by their (model, name, scenario, processors) key instead of
+// array position, so two sweeps that enumerated the same points in a
+// different order still line up, and a group present on only one side is
+// reported by key (paths look like groups[mta/Tera MTA/threat_seq/p4]).
+// Exits 0 when the reports match, 1 when they differ, 2 on usage or parse
+// errors.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -74,6 +80,28 @@ std::string presence_detail(const JsonValue& v) {
   }
 }
 
+/// SweepReport group identity, used to match "groups" entries across the
+/// two reports regardless of array order. Empty when `g` is not a group
+/// object (missing any key member).
+std::string group_key(const JsonValue& g) {
+  if (!g.is_object() || g.find_string("model") == nullptr ||
+      g.find_string("name") == nullptr ||
+      g.find_string("scenario") == nullptr ||
+      g.find_number("processors") == nullptr)
+    return "";
+  return g.string_or("model", "") + "/" + g.string_or("name", "") + "/" +
+         g.string_or("scenario", "") + "/p" +
+         std::to_string(static_cast<long long>(g.number_or("processors", 0)));
+}
+
+/// True when `v` is a non-empty array of sweep-report group objects.
+bool is_group_array(const JsonValue& v) {
+  if (!v.is_array() || v.array.empty()) return false;
+  for (const JsonValue& g : v.array)
+    if (group_key(g).empty()) return false;
+  return true;
+}
+
 struct Diff {
   const Options* opts = nullptr;
   int count = 0;
@@ -115,6 +143,15 @@ struct Diff {
           report(path, "\"" + a.string + "\" != \"" + b.string + "\"");
         return;
       case JsonValue::Kind::Array: {
+        // SweepReport groups match by key, not position (see file comment).
+        const bool groups_path =
+            path == "groups" ||
+            (path.size() > 7 &&
+             path.compare(path.size() - 7, 7, ".groups") == 0);
+        if (groups_path && is_group_array(a) && is_group_array(b)) {
+          compare_groups(path, a, b);
+          return;
+        }
         if (a.array.size() != b.array.size()) {
           report(path, "array length " + std::to_string(a.array.size()) +
                            " != " + std::to_string(b.array.size()));
@@ -141,6 +178,34 @@ struct Diff {
         }
         return;
       }
+    }
+  }
+
+  void compare_groups(const std::string& path, const JsonValue& a,
+                      const JsonValue& b) {
+    for (const JsonValue& ga : a.array) {
+      const std::string key = group_key(ga);
+      const JsonValue* match = nullptr;
+      for (const JsonValue& gb : b.array)
+        if (group_key(gb) == key) {
+          match = &gb;
+          break;
+        }
+      const std::string sub = path + "[" + key + "]";
+      if (match == nullptr)
+        report(sub, "group only in first report");
+      else
+        compare(sub, ga, *match);
+    }
+    for (const JsonValue& gb : b.array) {
+      const std::string key = group_key(gb);
+      bool found = false;
+      for (const JsonValue& ga : a.array)
+        if (group_key(ga) == key) {
+          found = true;
+          break;
+        }
+      if (!found) report(path + "[" + key + "]", "group only in second report");
     }
   }
 };

@@ -1,0 +1,215 @@
+// Renders, diffs and recomputes SweepReport JSON (schema_version 4).
+//
+//   sweep_report <sweep.json>                render the group rollup table
+//   sweep_report <a.json> <b.json>           group-keyed delta of two reports
+//   sweep_report --from-runs <runreport.json>
+//                                            aggregate the machine_runs of a
+//                                            RunReport into a SweepReport on
+//                                            stdout (host section zeroed)
+//
+// The delta view matches groups by (model, name, scenario, processors) —
+// not array position — so reports whose sweeps enumerated points in a
+// different order still line up; groups present on only one side are
+// listed. --from-runs is the independent-recomputation path used by
+// scripts/check.sh: a session-emitted SweepReport must match the aggregate
+// recomputed here from the same session's --report-out machine_runs
+// (`report_diff a b --ignore host`, since only the session knows host
+// resource usage). Exits 0 on success (delta mode: reports printed, even
+// when they differ), 2 on usage or parse errors.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/aggregate.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+using tc3i::obs::JsonValue;
+
+bool load(const char* path, JsonValue* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  auto doc = tc3i::obs::json_parse(buf.str(), &error);
+  if (!doc) {
+    std::fprintf(stderr, "%s: %s\n", path, error.c_str());
+    return false;
+  }
+  *out = std::move(*doc);
+  return true;
+}
+
+/// "mta/Tera MTA/threat_seq/p4" — the display + matching key of one group.
+std::string group_key(const JsonValue& g) {
+  return g.string_or("model", "?") + "/" + g.string_or("name", "?") + "/" +
+         g.string_or("scenario", "-") + "/p" +
+         std::to_string(static_cast<long long>(g.number_or("processors", 0)));
+}
+
+double metric(const JsonValue& g, const char* name, const char* stat) {
+  const JsonValue* metrics = g.find_object("metrics");
+  if (metrics == nullptr) return 0.0;
+  const JsonValue* m = metrics->find_object(name);
+  return m == nullptr ? 0.0 : m->number_or(stat, 0.0);
+}
+
+int render(const char* path) {
+  JsonValue doc;
+  if (!load(path, &doc)) return 2;
+  const JsonValue* groups = doc.find_array("groups");
+  if (groups == nullptr) {
+    std::fprintf(stderr, "%s: no \"groups\" array (not a sweep report?)\n",
+                 path);
+    return 2;
+  }
+  std::printf("%s: %s, %lld runs, %zu groups\n", path,
+              doc.string_or("bench", "?").c_str(),
+              static_cast<long long>(doc.number_or("runs", 0)),
+              groups->array.size());
+  std::printf("  %-44s %5s %12s %12s %12s %6s %8s\n", "group", "count",
+              "wall p50", "wall p90", "wall max", "util", "outliers");
+  for (const JsonValue& g : groups->array) {
+    const JsonValue* outliers = g.find_array("outlier_runs");
+    std::printf("  %-44s %5lld %12.4g %12.4g %12.4g %6.3f %8zu\n",
+                group_key(g).c_str(),
+                static_cast<long long>(g.number_or("count", 0)),
+                metric(g, "wall", "p50"), metric(g, "wall", "p90"),
+                metric(g, "wall", "max"), metric(g, "utilization", "mean"),
+                outliers == nullptr ? 0 : outliers->array.size());
+  }
+  const JsonValue* host = doc.find_object("host");
+  if (host != nullptr) {
+    std::printf("  host: wall %.2fs user %.2fs sys %.2fs rss %lld KB "
+                "cache %lld hit / %lld miss\n",
+                host->number_or("wall_seconds", 0.0),
+                host->number_or("user_cpu_seconds", 0.0),
+                host->number_or("sys_cpu_seconds", 0.0),
+                static_cast<long long>(host->number_or("max_rss_kb", 0)),
+                static_cast<long long>(
+                    host->number_or("testbed_cache_hits", 0)),
+                static_cast<long long>(
+                    host->number_or("testbed_cache_misses", 0)));
+    if (const JsonValue* sched = host->find_object("sched"))
+      std::printf("  sched: %lld points on %lld jobs, queue-wait %.3fs, "
+                  "execute %.3fs\n",
+                  static_cast<long long>(sched->number_or("points", 0)),
+                  static_cast<long long>(sched->number_or("jobs", 0)),
+                  sched->number_or("queue_wait_seconds", 0.0),
+                  sched->number_or("execute_seconds", 0.0));
+  }
+  return 0;
+}
+
+int delta(const char* path_a, const char* path_b) {
+  JsonValue a;
+  JsonValue b;
+  if (!load(path_a, &a) || !load(path_b, &b)) return 2;
+  const JsonValue* ga = a.find_array("groups");
+  const JsonValue* gb = b.find_array("groups");
+  if (ga == nullptr || gb == nullptr) {
+    std::fprintf(stderr, "both files need a \"groups\" array\n");
+    return 2;
+  }
+  std::printf("sweep delta %s -> %s\n", path_a, path_b);
+  std::printf("  %-44s %12s %12s %8s %8s\n", "group", "wall p50 a",
+              "wall p50 b", "ratio", "d util");
+  for (const JsonValue& g : ga->array) {
+    const std::string key = group_key(g);
+    const JsonValue* other = nullptr;
+    for (const JsonValue& h : gb->array)
+      if (group_key(h) == key) {
+        other = &h;
+        break;
+      }
+    if (other == nullptr) {
+      std::printf("  %-44s only in %s\n", key.c_str(), path_a);
+      continue;
+    }
+    const double wa = metric(g, "wall", "p50");
+    const double wb = metric(*other, "wall", "p50");
+    std::printf("  %-44s %12.4g %12.4g %8.3f %+8.3f\n", key.c_str(), wa, wb,
+                wa > 0.0 ? wb / wa : 0.0,
+                metric(*other, "utilization", "mean") -
+                    metric(g, "utilization", "mean"));
+  }
+  for (const JsonValue& h : gb->array) {
+    const std::string key = group_key(h);
+    bool found = false;
+    for (const JsonValue& g : ga->array)
+      if (group_key(g) == key) {
+        found = true;
+        break;
+      }
+    if (!found) std::printf("  %-44s only in %s\n", key.c_str(), path_b);
+  }
+  return 0;
+}
+
+int from_runs(const char* path, double outlier_k) {
+  JsonValue doc;
+  if (!load(path, &doc)) return 2;
+  const std::vector<tc3i::obs::RunRecord> records =
+      tc3i::obs::machine_runs_from_json(doc);
+  if (records.empty()) {
+    std::fprintf(stderr, "%s: no machine_runs to aggregate (need a "
+                 "--report-out file with schema_version >= 2)\n",
+                 path);
+    return 2;
+  }
+  const tc3i::obs::SweepAggregator agg =
+      tc3i::obs::aggregate_records(records, outlier_k);
+  // Host accounting belongs to the emitting session; a recomputation has
+  // none, so the section is all zeros (diff with --ignore host).
+  agg.write_report_json(std::cout, doc.string_or("bench", "unknown"),
+                        tc3i::obs::SweepHostSection{});
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<const char*> files;
+  const char* runs_path = nullptr;
+  double outlier_k = 5.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_next = i + 1 < argc;
+    if (arg == "--from-runs" && has_next) {
+      runs_path = argv[++i];
+    } else if (arg == "--outlier-k" && has_next) {
+      outlier_k = std::strtod(argv[++i], nullptr);
+      if (!(outlier_k > 0.0)) {
+        std::fprintf(stderr, "--outlier-k must be > 0\n");
+        return 2;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (runs_path != nullptr && files.empty()) return from_runs(runs_path,
+                                                              outlier_k);
+  if (runs_path == nullptr && files.size() == 1) return render(files[0]);
+  if (runs_path == nullptr && files.size() == 2)
+    return delta(files[0], files[1]);
+  std::fprintf(stderr,
+               "usage: sweep_report <sweep.json>\n"
+               "       sweep_report <a.json> <b.json>\n"
+               "       sweep_report --from-runs <runreport.json> "
+               "[--outlier-k K]\n");
+  return 2;
+}
