@@ -32,6 +32,9 @@ class Session {
   /// Resolved --jobs value (see obs::RunSession::jobs()).
   [[nodiscard]] int jobs() const { return run_->jobs(); }
 
+  /// Resolved --lanes value (see obs::RunSession::lanes()).
+  [[nodiscard]] int lanes() const { return run_->lanes(); }
+
  private:
   std::unique_ptr<obs::RunSession> run_;
 };

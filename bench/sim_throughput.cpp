@@ -22,7 +22,10 @@
 // sweep-telemetry stack active (scheduler span store, per-run records,
 // cross-run aggregation and SweepReport + Chrome-trace serialization);
 // scripts/check.sh gates the telemetry regime at >= 0.95x the plain one
-// (< 5% overhead).
+// (< 5% overhead). sweep_batched runs the identical 100 points through the
+// batched lockstep engine (mta::run_batched_sweep, --lanes in-flight
+// machines with arena-recycled sync memory); scripts/check.sh gates its
+// points_per_sec at >= 5x sweep_plain.
 //
 // Each scenario runs `--reps` times (default 3); the median wall time
 // produces two RunReport rows per scenario ("<name>.cycles_per_sec" and
@@ -44,6 +47,7 @@
 
 #include "core/cli.hpp"
 #include "core/table.hpp"
+#include "mta/batched_machine.hpp"
 #include "mta/machine.hpp"
 #include "mta/runtime.hpp"
 #include "mta/stream_program.hpp"
@@ -245,6 +249,56 @@ double measure_sweep_regime(int reps, int jobs, std::size_t points,
   return times[times.size() / 2];
 }
 
+/// The sweep_point workload as batch points for the batched lockstep
+/// engine — identical program per index, so sweep_batched measures the
+/// same work as sweep_plain with only the execution engine swapped.
+std::vector<mta::BatchPoint> sweep_batch_points(std::size_t count) {
+  std::vector<mta::BatchPoint> batch;
+  batch.reserve(count);
+  for (std::size_t index = 0; index < count; ++index) {
+    mta::BatchPoint p;
+    p.config.num_processors = 1;
+    p.build = [index](mta::Machine& machine, mta::ProgramPool& pool) {
+      mta::VectorProgram* v = pool.make_vector();
+      for (int r = 0; r < 200; ++r) {
+        v->compute(8);
+        v->load(static_cast<mta::Address>((index * 64 + r) & 0xffff));
+      }
+      machine.add_stream(v);
+    };
+    batch.push_back(std::move(p));
+  }
+  return batch;
+}
+
+/// Median wall seconds for the same 100-point sweep routed through
+/// mta::run_batched_sweep instead of one Machine per point. Per-rep
+/// record-store scoping mirrors measure_sweep_regime so the two regimes
+/// differ only in the execution engine.
+double measure_sweep_batched(int reps, int lanes, int jobs,
+                             std::size_t points) {
+  std::vector<double> times;
+  obs::SweepSchedStore* prev = obs::sweep_sched_store();
+  obs::set_sweep_sched_store(nullptr);
+  const std::vector<mta::BatchPoint> batch = sweep_batch_points(points);
+  {
+    obs::RunRecordStore warmup_records;
+    obs::ScopedRunRecords warmup_scope(warmup_records);
+    mta::run_batched_sweep(batch, lanes, jobs);
+  }
+  for (int rep = 0; rep < reps; ++rep) {
+    obs::RunRecordStore records;
+    obs::ScopedRunRecords rec_scope(records);
+    const auto start = std::chrono::steady_clock::now();
+    mta::run_batched_sweep(batch, lanes, jobs);
+    const auto stop = std::chrono::steady_clock::now();
+    times.push_back(std::chrono::duration<double>(stop - start).count());
+  }
+  obs::set_sweep_sched_store(prev);
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
 /// Pulls {label -> measured} out of a RunReport JSON (schema_version 1)
 /// with plain string scanning — enough for the self-check, no JSON
 /// library needed.
@@ -380,6 +434,18 @@ int main(int argc, char** argv) {
                          static_cast<double>(kPoints) / plain);
     run.report().add_row("sweep_telemetry.points_per_sec", 1.0,
                          static_cast<double>(kPoints) / telem);
+
+    // Batched lockstep regime: the identical 100 points through
+    // mta::run_batched_sweep (SoA multi-lane engine, arena-recycled sync
+    // memory). scripts/check.sh gates points_per_sec at >= 5x sweep_plain.
+    const int sweep_lanes = run.lanes();
+    run.report().set_config("sweep_lanes", static_cast<double>(sweep_lanes));
+    const double batched =
+        measure_sweep_batched(reps, sweep_lanes, sweep_jobs, kPoints);
+    table.row({"sweep_batched", "-", "-", TextTable::num(batched * 1e3, 2),
+               "-", "-"});
+    run.report().add_row("sweep_batched.points_per_sec", 1.0,
+                         static_cast<double>(kPoints) / batched);
   }
   table.render(std::cout);
 

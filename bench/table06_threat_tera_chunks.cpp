@@ -12,10 +12,12 @@ int main(int argc, char** argv) {
   const auto& tb = bench::testbed();
 
   const auto& rows = platforms::paper::threat_tera_chunk_rows();
+  std::vector<platforms::MtaPoint> points;
+  points.reserve(rows.size());
+  for (const auto& row : rows)
+    points.push_back(platforms::mta_threat_chunked_point(tb, row.chunks, 2));
   const std::vector<double> swept =
-      sim::run_sweep(rows.size(), session.jobs(), [&](std::size_t i) {
-        return platforms::mta_threat_chunked_seconds(tb, rows[i].chunks, 2);
-      });
+      platforms::run_mta_points(points, session.lanes(), session.jobs());
 
   TextTable table(
       "Table 6: Threat Analysis on Tera MTA vs number of chunks (2 procs)");

@@ -11,11 +11,11 @@ int main(int argc, char** argv) {
   using namespace tc3i;
   const auto& tb = bench::testbed();
 
-  const std::vector<double> swept = sim::run_sweep(
-      {[&] { return platforms::mta_terrain_fine_seconds(tb, 1); },
-       [&] { return platforms::mta_terrain_fine_seconds(tb, 2); },
-       [&] { return platforms::mta_terrain_seq_seconds(tb); }},
-      session.jobs());
+  const std::vector<double> swept = platforms::run_mta_points(
+      {platforms::mta_terrain_fine_point(tb, 1),
+       platforms::mta_terrain_fine_point(tb, 2),
+       platforms::mta_terrain_seq_point(tb)},
+      session.lanes(), session.jobs());
   const double t1 = swept[0];
   const double t2 = swept[1];
 

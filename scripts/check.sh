@@ -115,6 +115,19 @@ grep -q '"sweep scheduler"' "$SMOKE_DIR/sw_trace.json" ||
     exit 1; }
 echo "sweep report matches independent recomputation"
 
+echo "== batched sweep engine (lanes byte-identity) =="
+# The batched lockstep engine must be invisible in the output: the same
+# table 5 sweep at --lanes 1 (scalar fallback) and --lanes 4 must produce
+# byte-identical reports modulo wall-clock timings.
+"$BUILD_DIR"/bench/table05_threat_tera --lanes 1 \
+    --report-out "$SMOKE_DIR/lanes1.json" >/dev/null
+"$BUILD_DIR"/bench/table05_threat_tera --lanes 4 \
+    --report-out "$SMOKE_DIR/lanes4.json" >/dev/null
+"$BUILD_DIR"/tools/report_diff "$SMOKE_DIR/lanes1.json" \
+    "$SMOKE_DIR/lanes4.json" --ignore mta.run.wall_seconds >/dev/null ||
+  { echo "FAIL: --lanes 4 report differs from --lanes 1"; exit 1; }
+echo "lanes=4 report byte-identical to lanes=1 (modulo wall time)"
+
 echo "== perf smoke (sim_throughput vs committed baseline) =="
 # Fails (exit 1) when any throughput metric drops below 70% of the
 # committed bench/BENCH_sim_throughput.json (--min-ratio default 0.7,
@@ -152,6 +165,17 @@ awk -v sp="$SP" -v st="$ST" 'BEGIN { exit !(st >= 0.95 * sp) }' ||
   { echo "FAIL: sweep_telemetry $ST < 0.95 x sweep_plain $SP points/s"; \
     exit 1; }
 echo "sweep telemetry overhead within budget ($ST vs plain $SP points/s)"
+
+# The batched lockstep engine must actually pay for itself: sweep_batched
+# throughput at least 5x sweep_plain. The measured margin is ~40x (see
+# docs/PERFORMANCE.md); the 5x floor leaves room for noisy CI hosts while
+# still catching a lost arena-recycling path instantly.
+SB="$(extract_measured 'sweep_batched.points_per_sec')"
+[ -n "$SB" ] ||
+  { echo "FAIL: sim_throughput report missing sweep_batched row"; exit 1; }
+awk -v sp="$SP" -v sb="$SB" 'BEGIN { exit !(sb >= 5.0 * sp) }' ||
+  { echo "FAIL: sweep_batched $SB < 5 x sweep_plain $SP points/s"; exit 1; }
+echo "batched sweep throughput above floor ($SB vs plain $SP points/s)"
 
 echo "== perf trend gate (bench/BENCH_history.jsonl) =="
 # Every check run contributes a datapoint: append this run's sim_throughput

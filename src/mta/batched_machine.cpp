@@ -1,0 +1,253 @@
+#include "mta/batched_machine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
+
+#include "core/contracts.hpp"
+#include "obs/counters.hpp"
+#include "obs/critpath.hpp"
+#include "obs/hostres.hpp"
+#include "obs/run_record.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace_sink.hpp"
+#include "sim/sweep.hpp"
+#include "sthreads/thread.hpp"
+
+namespace tc3i::mta {
+
+namespace {
+
+// Process-wide bank of released arenas. Every engine's lanes start cold;
+// without this, each sweep (and each rep of a benchmark loop) re-pays
+// `lanes` fresh 16 MiB word-array allocations, which gprof shows dwarfing
+// the simulation itself. The bank is touched only on an engine's local
+// pool miss and in its destructor, so the per-point hot path stays
+// lock-free. Capped: at the default config a full bank is 1 GiB.
+std::mutex g_arena_bank_mu;
+std::vector<SyncMemory::Arena> g_arena_bank;  // NOLINT
+constexpr std::size_t kArenaBankCap = 64;
+
+bool take_from_bank(std::size_t size, SyncMemory::Arena& out) {
+  const std::lock_guard<std::mutex> lock(g_arena_bank_mu);
+  for (std::size_t a = 0; a < g_arena_bank.size(); ++a) {
+    if (g_arena_bank[a].size() == size) {
+      out = std::move(g_arena_bank[a]);
+      g_arena_bank.erase(g_arena_bank.begin() +
+                         static_cast<std::ptrdiff_t>(a));
+      return true;
+    }
+  }
+  return false;
+}
+
+void give_to_bank(std::vector<SyncMemory::Arena>&& arenas) {
+  const std::lock_guard<std::mutex> lock(g_arena_bank_mu);
+  for (SyncMemory::Arena& a : arenas) {
+    if (g_arena_bank.size() >= kArenaBankCap) break;
+    g_arena_bank.push_back(std::move(a));
+  }
+}
+
+}  // namespace
+
+BatchedMachine::BatchedMachine(int lanes, std::uint64_t window_cycles)
+    : lanes_(lanes), window_(window_cycles) {
+  TC3I_EXPECTS(lanes >= 1 && window_cycles >= 1);
+  lane_now_.assign(static_cast<std::size_t>(lanes), 0);
+  lane_active_.assign(static_cast<std::size_t>(lanes), 0);
+  cold_.resize(static_cast<std::size_t>(lanes));
+  arenas_.reserve(static_cast<std::size_t>(lanes));
+}
+
+void BatchedMachine::admit(std::size_t index, const BatchPoint& point,
+                           obs::CounterRegistry* registry,
+                           obs::RunRecordStore* records,
+                           obs::TimelineStore* timeline) {
+  TC3I_EXPECTS(has_free_lane());
+  int slot = -1;
+  for (int i = 0; i < lanes_; ++i) {
+    if (lane_active_[static_cast<std::size_t>(i)] == 0) {
+      slot = i;
+      break;
+    }
+  }
+  TC3I_ASSERT(slot >= 0);
+  Lane& lane = cold_[static_cast<std::size_t>(slot)];
+
+  // The machine captures its metric/record/timeline pointers at
+  // construction, so installing the point's scopes here binds the whole
+  // lane — including every later advance_until slice, which runs outside
+  // any scope — to the point's own stores.
+  std::optional<obs::ScopedRegistry> reg_scope;
+  if (registry != nullptr) reg_scope.emplace(*registry);
+  std::optional<obs::ScopedRunRecords> rec_scope;
+  if (records != nullptr) rec_scope.emplace(*records);
+  std::optional<obs::ScopedTimeline> tl_scope;
+  if (timeline != nullptr) tl_scope.emplace(*timeline);
+  const obs::ScopedScenarioLabel label(point.scenario);
+
+  SyncMemory::Arena arena;
+  bool recycled = false;
+  for (std::size_t a = 0; a < arenas_.size(); ++a) {
+    if (arenas_[a].size() == point.config.memory_words) {
+      arena = std::move(arenas_[a]);
+      arenas_.erase(arenas_.begin() + static_cast<std::ptrdiff_t>(a));
+      recycled = true;
+      break;
+    }
+  }
+  if (!recycled) recycled = take_from_bank(point.config.memory_words, arena);
+  if (recycled) ++stats_.arena_reuses;
+  lane.machine = std::make_unique<Machine>(point.config, std::move(arena));
+  TC3I_EXPECTS(!lane.machine->uses_slow_reference());
+  lane.pool = std::make_unique<ProgramPool>();
+  point.build(*lane.machine, *lane.pool);
+  lane.machine->begin_run();
+
+  lane.scenario = point.scenario;
+  lane.point_index = index;
+  lane_now_[static_cast<std::size_t>(slot)] = 0;
+  lane_active_[static_cast<std::size_t>(slot)] = 1;
+  ++active_count_;
+  ++stats_.points_admitted;
+}
+
+BatchedMachine::~BatchedMachine() { give_to_bank(std::move(arenas_)); }
+
+void BatchedMachine::advance_window() {
+  ++stats_.windows;
+  for (int i = 0; i < lanes_; ++i) {
+    const auto li = static_cast<std::size_t>(i);
+    if (lane_active_[li] == 0) continue;
+    ++stats_.lane_advances;
+    Machine& m = *cold_[li].machine;
+    const bool done = m.advance_until(lane_now_[li] + window_);
+    lane_now_[li] = m.now();
+    if (done) retire(i);
+  }
+}
+
+void BatchedMachine::retire(int lane_index) {
+  const auto li = static_cast<std::size_t>(lane_index);
+  Lane& lane = cold_[li];
+  {
+    // RunRecordStore::add stamps the thread-local scenario label at add
+    // time; finish_run must therefore run under this lane's label.
+    const obs::ScopedScenarioLabel label(lane.scenario);
+    finished_.emplace_back(lane.point_index, lane.machine->finish_run());
+  }
+  if (arenas_.size() < static_cast<std::size_t>(lanes_))
+    arenas_.push_back(std::move(*lane.machine).release_memory_arena());
+  lane.machine.reset();
+  lane.pool.reset();
+  lane_active_[li] = 0;
+  --active_count_;
+}
+
+std::vector<std::pair<std::size_t, MtaRunResult>>
+BatchedMachine::take_finished() {
+  std::vector<std::pair<std::size_t, MtaRunResult>> out;
+  out.swap(finished_);
+  return out;
+}
+
+std::vector<MtaRunResult> run_batched_sweep(
+    const std::vector<BatchPoint>& points, int lanes, int jobs) {
+  const std::size_t count = points.size();
+  TC3I_EXPECTS(jobs >= 1);
+  bool needs_slow = slow_sim_forced();
+  for (const BatchPoint& p : points)
+    needs_slow = needs_slow || p.config.slow_reference;
+  const bool scalar = lanes <= 1 || count <= 1 || needs_slow ||
+                      obs::global_sink() != nullptr ||
+                      obs::active_critpath() != nullptr;
+  if (scalar) {
+    // Byte-for-byte the pre-batched code shape: one machine per point,
+    // run_sweep providing the host-parallel isolation contract.
+    return sim::run_sweep(count, jobs, [&](std::size_t i) {
+      const BatchPoint& p = points[i];
+      const obs::ScopedScenarioLabel label(p.scenario);
+      Machine machine(p.config);
+      ProgramPool pool;
+      p.build(machine, pool);
+      return machine.run();
+    });
+  }
+
+  // Batched path. Unlike scalar jobs == 1, isolation is mandatory at any
+  // worker count: lanes interleave on one thread, so last-write-wins
+  // gauges (and record/timeline ordering) only match a serial run if every
+  // point writes to its own stores, merged in submission order below.
+  std::vector<MtaRunResult> results(count);
+  sim::detail::SweepProgress progress(count);
+  obs::SweepSchedStore* sched = obs::sweep_sched_store();
+  std::vector<std::unique_ptr<obs::CounterRegistry>> registries(count);
+  for (auto& r : registries) r = std::make_unique<obs::CounterRegistry>();
+  obs::RunRecordStore* parent_records = obs::active_run_records();
+  obs::TimelineStore* parent_timeline = obs::active_timeline();
+  std::vector<std::unique_ptr<obs::RunRecordStore>> record_stores(count);
+  std::vector<std::unique_ptr<obs::TimelineStore>> timeline_stores(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (parent_records != nullptr)
+      record_stores[i] = std::make_unique<obs::RunRecordStore>();
+    if (parent_timeline != nullptr)
+      timeline_stores[i] = std::make_unique<obs::TimelineStore>(
+          parent_timeline->sample_period_cycles());
+  }
+
+  const std::size_t lane_count = static_cast<std::size_t>(lanes);
+  const std::size_t engines_needed = (count + lane_count - 1) / lane_count;
+  const std::size_t workers =
+      std::min(static_cast<std::size_t>(jobs), engines_needed);
+  std::atomic<std::size_t> next{0};
+  const std::uint32_t sweep_id =
+      sched != nullptr ? sched->begin_sweep(count, static_cast<int>(workers))
+                       : 0;
+  const double submit_us = sched != nullptr ? sched->now_us() : 0.0;
+  std::vector<double> start_us(sched != nullptr ? count : 0, 0.0);
+
+  const auto drive = [&](std::size_t w) {
+    BatchedMachine engine(lanes);
+    for (;;) {
+      while (engine.has_free_lane()) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= count) break;
+        if (sched != nullptr) start_us[i] = sched->now_us();
+        engine.admit(i, points[i], registries[i].get(),
+                     record_stores[i].get(), timeline_stores[i].get());
+      }
+      if (engine.active_lanes() == 0) break;
+      engine.advance_window();
+      for (auto& [idx, res] : engine.take_finished()) {
+        results[idx] = std::move(res);
+        if (sched != nullptr)
+          sched->add_span(obs::SweepJobSpan{
+              sweep_id, static_cast<std::uint32_t>(idx),
+              static_cast<std::uint32_t>(w), submit_us, start_us[idx],
+              sched->now_us()});
+        progress.tick();
+      }
+    }
+  };
+  if (workers <= 1) {
+    drive(0);
+  } else {
+    std::vector<sthreads::Thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+      pool.emplace_back([&drive, w]() { drive(w); });
+    // Thread destructors join.
+  }
+
+  obs::CounterRegistry& mine = obs::default_registry();
+  for (const auto& r : registries) mine.merge_from(*r);
+  for (const auto& r : record_stores)
+    if (r != nullptr) parent_records->merge_from(*r);
+  for (const auto& t : timeline_stores)
+    if (t != nullptr) parent_timeline->merge_from(*t);
+  return results;
+}
+
+}  // namespace tc3i::mta

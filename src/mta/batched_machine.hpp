@@ -1,0 +1,148 @@
+// Batched lockstep sweep engine: N independent MTA runs per thread.
+//
+// A sweep evaluates many independent (config x workload) points; the scalar
+// path pays a full machine construction per point — dominated by allocating
+// and faulting in the sync-memory word array (16 MiB at the default
+// memory_words) — and retires points one at a time per host thread.
+// BatchedMachine instead keeps N runs ("lanes") in flight at once,
+// advancing each lane through the *identical* fast-path simulation loop in
+// fixed-size windows of its own clock (structure-of-arrays over the hot
+// per-lane state: current cycle, point index, live flag). Lanes that finish
+// early retire immediately and are backfilled from the pending sweep queue,
+// and a retired lane's sync-memory arena is recycled into the next
+// same-sized lane in O(1) (see SyncMemory::Arena) — the batched engine's
+// dominant win.
+//
+// Bit-exactness: a lane executes Machine::begin_run / advance_until /
+// finish_run — the same code Machine::run is composed of — so per-lane
+// counters, issue-slot accounts, and RunRecords are bit-identical with the
+// scalar fast path (the invariant tests/mta_golden_test extends to lanes).
+// Each lane's machine is constructed under its point's own CounterRegistry
+// / RunRecordStore / TimelineStore scopes and the stores are merged in
+// submission order, exactly the run_sweep --jobs contract, so report output
+// is byte-identical at any --lanes x --jobs combination.
+//
+// Refusal rules (run_batched_sweep falls back to the scalar path): a trace
+// sink is installed (--trace-out), a critical-path store is installed
+// (--critpath), or any point demands the slow reference loop
+// (slow_reference config / TC3I_SLOW_SIM) — the same conditions that pin
+// --jobs today.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mta/machine.hpp"
+
+namespace tc3i::obs {
+class RunRecordStore;
+class TimelineStore;
+}  // namespace tc3i::obs
+
+namespace tc3i::mta {
+
+/// One sweep point: a machine configuration plus the workload builder that
+/// populates it. `scenario` labels the point's RunRecords
+/// (obs::ScopedScenarioLabel semantics).
+struct BatchPoint {
+  MtaConfig config;
+  std::string scenario;
+  std::function<void(Machine&, ProgramPool&)> build;
+};
+
+class BatchedMachine {
+ public:
+  /// Default lockstep window: how many cycles of its own clock each active
+  /// lane advances per advance_window() pass. Large enough to amortize the
+  /// per-lane dispatch, small enough that a short run retires (and its lane
+  /// backfills) promptly.
+  static constexpr std::uint64_t kDefaultWindowCycles = 4096;
+
+  explicit BatchedMachine(int lanes,
+                          std::uint64_t window_cycles = kDefaultWindowCycles);
+  BatchedMachine(const BatchedMachine&) = delete;
+  BatchedMachine& operator=(const BatchedMachine&) = delete;
+  /// Drains the engine's arena pool into the process-wide cache (below).
+  ~BatchedMachine();
+
+  [[nodiscard]] int lanes() const { return lanes_; }
+  [[nodiscard]] int active_lanes() const { return active_count_; }
+  [[nodiscard]] bool has_free_lane() const { return active_count_ < lanes_; }
+
+  /// Admits point `index` into a free lane: constructs the lane's machine
+  /// (recycling a matching sync-memory arena when one is pooled), builds
+  /// the workload, and begins the run. The machine and its workload are
+  /// constructed under the given per-point scopes (any may be null), so
+  /// counters, records, and timelines land in the point's own stores.
+  void admit(std::size_t index, const BatchPoint& point,
+             obs::CounterRegistry* registry, obs::RunRecordStore* records,
+             obs::TimelineStore* timeline);
+
+  /// Advances every active lane by one window of its own clock. Lanes that
+  /// complete retire: their results queue for take_finished() and their
+  /// arenas join the recycle pool.
+  void advance_window();
+
+  /// Returns (point index, result) for every lane retired since the last
+  /// call, in retirement order.
+  std::vector<std::pair<std::size_t, MtaRunResult>> take_finished();
+
+  /// Internal effectiveness tallies (not published as counters: the engine
+  /// must add zero always-on metrics or batched output would not be
+  /// byte-identical to scalar).
+  struct Stats {
+    std::uint64_t points_admitted = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t lane_advances = 0;
+    std::uint64_t arena_reuses = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Lane {
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<ProgramPool> pool;
+    std::string scenario;
+    std::size_t point_index = 0;
+  };
+
+  void retire(int lane);
+
+  int lanes_;
+  std::uint64_t window_;
+  int active_count_ = 0;
+  // Hot per-lane state, scanned every window (SoA so the scan touches a
+  // few contiguous words per lane, not the cold Lane structs).
+  std::vector<std::uint64_t> lane_now_;
+  std::vector<std::uint8_t> lane_active_;
+  std::vector<Lane> cold_;
+  // Released sync-memory arenas keyed by linear search on size (lane
+  // counts are small); bounded by lanes_, the steady-state need. Cold
+  // misses fall back to the process-wide cache: an engine's lanes all
+  // start cold, and — unlike the scalar loop, whose freed array is
+  // immediately recycled by the allocator — N live arenas force N fresh
+  // 16 MiB mappings whose page-in cost dwarfs the simulation. Seeding
+  // from arenas banked by earlier engines (the destructor drains this
+  // pool back) makes every sweep after the first fully warm.
+  std::vector<SyncMemory::Arena> arenas_;
+  std::vector<std::pair<std::size_t, MtaRunResult>> finished_;
+  Stats stats_;
+};
+
+/// Runs `points` through the batched engine and returns the results in
+/// submission order. `lanes` is the in-flight run count per worker thread,
+/// `jobs` the worker-thread count (the run_sweep meaning; both composable).
+/// Per-point counter/record/timeline isolation with submission-order merge
+/// makes the output byte-identical to the scalar path at any lanes x jobs.
+/// Falls back to scalar sim::run_sweep when lanes <= 1, when a trace sink
+/// or critical-path store is installed, or when any point demands the slow
+/// reference loop.
+std::vector<MtaRunResult> run_batched_sweep(const std::vector<BatchPoint>& points,
+                                            int lanes, int jobs);
+
+}  // namespace tc3i::mta

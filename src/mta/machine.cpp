@@ -1,6 +1,7 @@
 #include "mta/machine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <sstream>
@@ -21,6 +22,8 @@ bool slow_sim_env() {
 
 }  // namespace
 
+bool slow_sim_forced() { return slow_sim_env(); }
+
 std::string MtaConfig::validate() const {
   std::ostringstream os;
   if (num_processors < 1) os << "num_processors < 1; ";
@@ -40,7 +43,11 @@ std::string MtaConfig::validate() const {
 }
 
 Machine::Machine(MtaConfig config)
-    : config_(std::move(config)), memory_(config_.memory_words) {
+    : Machine(std::move(config), SyncMemory::Arena{}) {}
+
+Machine::Machine(MtaConfig config, SyncMemory::Arena&& arena)
+    : config_(std::move(config)),
+      memory_(config_.memory_words, std::move(arena)) {
   const std::string err = config_.validate();
   if (!err.empty())
     contract_failure("MtaConfig", err.c_str(), __FILE__, __LINE__);
@@ -84,6 +91,7 @@ Machine::Machine(MtaConfig config)
   obs_.run_utilization = &reg.histogram("mta.run.processor_utilization");
   obs_.run_wall_seconds = &reg.histogram("mta.run.wall_seconds");
   obs_.stream_instructions = &reg.histogram("mta.stream.instructions");
+  obs_.registry = &reg;
   obs_.sink = obs::global_sink();
   if (obs_.sink != nullptr)
     obs_.pid = obs_.sink->register_track(config_.name);
@@ -673,46 +681,60 @@ void Machine::finish_timeline(std::uint64_t now) {
 }
 
 MtaRunResult Machine::run(std::uint64_t max_cycles) {
+  begin_run(max_cycles);
+  if (slow_)
+    run_slow_loop();
+  else
+    advance_until(kNoLimit);
+  return finish_run();
+}
+
+void Machine::begin_run(std::uint64_t max_cycles) {
   TC3I_EXPECTS(!ran_);
   ran_ = true;
+  begun_ = true;
+  max_cycles_ = max_cycles;
   obs_.runs->add();
-  obs::Scope wall_timer(*obs_.run_wall_seconds);
-
-  std::uint64_t now = 0;
-  // Hoisted so the issue loop branches on a register-resident local instead
-  // of reloading the member every iteration (issue() may alias obs_).
-  const bool tracing = obs_.sink != nullptr;
-  const std::uint64_t bucket = config_.timeline_bucket_cycles;
-  std::vector<std::uint64_t> bucket_issues;
-
+  run_start_ns_ = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  tracing_ = obs_.sink != nullptr;
   // Per-bucket counter tracks for the trace (issue utilization and memory
   // traffic); defaults to 4096-cycle buckets when no timeline is requested.
-  const std::uint64_t trace_bucket = bucket > 0 ? bucket : 4096;
-  std::uint64_t trace_next = trace_bucket;
-  std::uint64_t trace_last_instr = 0;
-  std::uint64_t trace_last_mem = 0;
-  const auto emit_trace_buckets = [&](std::uint64_t upto, bool final) {
-    if (obs_.sink == nullptr) return;
-    std::uint64_t instr_now = 0;
-    for (const auto& p : procs_) instr_now += p.issues();
-    while (trace_next <= upto || (final && trace_last_instr < instr_now)) {
-      const std::uint64_t at = std::min(trace_next, upto);
-      const double slots = static_cast<double>(trace_bucket) *
-                           static_cast<double>(config_.num_processors);
-      obs_.sink->counter(
-          obs::Category::Issue, "issue_utilization", ts_us(at), obs_.pid,
-          static_cast<double>(instr_now - trace_last_instr) / slots);
-      obs_.sink->counter(
-          obs::Category::Memory, "memory_ops_per_bucket", ts_us(at), obs_.pid,
-          static_cast<double>(memory_ops_ - trace_last_mem));
-      trace_last_instr = instr_now;
-      trace_last_mem = memory_ops_;
-      if (trace_next > upto) break;
-      trace_next += trace_bucket;
-    }
-  };
+  const std::uint64_t bucket = config_.timeline_bucket_cycles;
+  trace_bucket_ = bucket > 0 ? bucket : 4096;
+  trace_next_ = trace_bucket_;
+}
 
-  if (slow_) {
+void Machine::emit_trace_buckets(std::uint64_t upto, bool final) {
+  if (obs_.sink == nullptr) return;
+  std::uint64_t instr_now = 0;
+  for (const auto& p : procs_) instr_now += p.issues();
+  while (trace_next_ <= upto || (final && trace_last_instr_ < instr_now)) {
+    const std::uint64_t at = std::min(trace_next_, upto);
+    const double slots = static_cast<double>(trace_bucket_) *
+                         static_cast<double>(config_.num_processors);
+    obs_.sink->counter(
+        obs::Category::Issue, "issue_utilization", ts_us(at), obs_.pid,
+        static_cast<double>(instr_now - trace_last_instr_) / slots);
+    obs_.sink->counter(
+        obs::Category::Memory, "memory_ops_per_bucket", ts_us(at), obs_.pid,
+        static_cast<double>(memory_ops_ - trace_last_mem_));
+    trace_last_instr_ = instr_now;
+    trace_last_mem_ = memory_ops_;
+    if (trace_next_ > upto) break;
+    trace_next_ += trace_bucket_;
+  }
+}
+
+void Machine::run_slow_loop() {
+  TC3I_EXPECTS(begun_ && slow_);
+  std::uint64_t now = now_;
+  const std::uint64_t max_cycles = max_cycles_;
+  const bool tracing = tracing_;
+  const std::uint64_t bucket = config_.timeline_bucket_cycles;
+  {
     // Reference loop: the pre-timing-wheel simulator, kept verbatim for
     // golden-equivalence testing. Binary-heap wake queue, every instruction
     // re-enters issue(), cycles advance one at a time between wakes.
@@ -739,8 +761,8 @@ MtaRunResult Machine::run(std::uint64_t max_cycles) {
           issue(p.pop_ready(), now);
           if (bucket > 0) {
             const std::size_t b = static_cast<std::size_t>(now / bucket);
-            if (b >= bucket_issues.size()) bucket_issues.resize(b + 1, 0);
-            ++bucket_issues[b];
+            if (b >= bucket_issues_.size()) bucket_issues_.resize(b + 1, 0);
+            ++bucket_issues_[b];
           }
         } else {
           account_idle(p.id(), 1);
@@ -762,10 +784,26 @@ MtaRunResult Machine::run(std::uint64_t max_cycles) {
         TC3I_ASSERT(live_streams_ == 0 && pending_.empty());
       }
     }
-  } else {
+  }
+  now_ = now;
+}
+
+bool Machine::advance_until(std::uint64_t until) {
+  TC3I_EXPECTS(begun_ && !slow_);
+  std::uint64_t now = now_;
+  // Hoisted so the issue loop branches on register-resident locals instead
+  // of reloading members every iteration (issue() may alias them).
+  const std::uint64_t max_cycles = max_cycles_;
+  const bool tracing = tracing_;
+  const std::uint64_t bucket = config_.timeline_bucket_cycles;
+  {
     const auto spacing =
         static_cast<std::uint64_t>(config_.issue_spacing_cycles);
-    while (live_streams_ > 0 || !pending_.empty()) {
+    // `until` bounds when the loop stops being (re)entered, not the issue
+    // window: a window that started before `until` may overshoot it by up
+    // to `spacing` cycles, and an idle jump may land past it. Lanes are
+    // independent runs, so overshoot never changes simulated behavior.
+    while ((live_streams_ > 0 || !pending_.empty()) && now < until) {
       TC3I_ASSERT(now < max_cycles && "MTA simulation exceeded max_cycles");
       if (tracing) emit_trace_buckets(now, /*final=*/false);
 
@@ -818,8 +856,8 @@ MtaRunResult Machine::run(std::uint64_t max_cycles) {
             issue(p.pop_ready(), now);
             if (bucket > 0) {
               const std::size_t b = static_cast<std::size_t>(now / bucket);
-              if (b >= bucket_issues.size()) bucket_issues.resize(b + 1, 0);
-              ++bucket_issues[b];
+              if (b >= bucket_issues_.size()) bucket_issues_.resize(b + 1, 0);
+              ++bucket_issues_[b];
             }
           } else {
             account_idle(p.id(), 1);
@@ -851,6 +889,15 @@ MtaRunResult Machine::run(std::uint64_t max_cycles) {
       }
     }
   }
+  now_ = now;
+  return live_streams_ == 0 && pending_.empty();
+}
+
+MtaRunResult Machine::finish_run() {
+  TC3I_EXPECTS(begun_ && live_streams_ == 0 && pending_.empty());
+  begun_ = false;
+  const std::uint64_t now = now_;
+  const std::uint64_t bucket = config_.timeline_bucket_cycles;
 
   std::uint64_t used = 0;
   for (const auto& p : procs_) used += p.issues();
@@ -920,18 +967,20 @@ MtaRunResult Machine::run(std::uint64_t max_cycles) {
   obs_.peak_live->set(static_cast<double>(peak_live_));
   obs_.run_utilization->record(result.processor_utilization);
   if (bucket > 0) {
-    result.utilization_timeline.reserve(bucket_issues.size());
+    result.utilization_timeline.reserve(bucket_issues_.size());
     const double slots_per_bucket =
         static_cast<double>(bucket) *
         static_cast<double>(config_.num_processors);
-    for (const std::uint64_t issues_in_bucket : bucket_issues)
+    for (const std::uint64_t issues_in_bucket : bucket_issues_)
       result.utilization_timeline.push_back(
           static_cast<double>(issues_in_bucket) / slots_per_bucket);
   }
 
   // Per-region counters (named after the regions actually used) and the
-  // run's accounting record for the report's "machine_runs" section.
-  obs::CounterRegistry& reg = obs::default_registry();
+  // run's accounting record for the report's "machine_runs" section. The
+  // registry was captured at construction: under the batched engine,
+  // finalization runs outside the per-point registry scope.
+  obs::CounterRegistry& reg = *obs_.registry;
   std::vector<obs::RegionRollup> rollups;
   for (std::size_t rid = 0; rid < region_tallies_.size(); ++rid) {
     const RegionTally& t = region_tallies_[rid];
@@ -960,6 +1009,12 @@ MtaRunResult Machine::run(std::uint64_t max_cycles) {
   } else {
     cap_finish_run(now, nullptr);
   }
+  const auto end_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  obs_.run_wall_seconds->record(static_cast<double>(end_ns - run_start_ns_) *
+                                1e-9);
   return result;
 }
 

@@ -118,6 +118,12 @@ class Machine {
  public:
   explicit Machine(MtaConfig config);
 
+  /// Arena-recycling constructor (the batched sweep engine's fast path):
+  /// when `arena` holds a released word array of exactly
+  /// `config.memory_words` cells, it is adopted instead of allocating and
+  /// zeroing a fresh one. Simulation behavior is bit-identical either way.
+  Machine(MtaConfig config, SyncMemory::Arena&& arena);
+
   [[nodiscard]] const MtaConfig& config() const { return config_; }
   [[nodiscard]] SyncMemory& memory() { return memory_; }
   [[nodiscard]] const SyncMemory& memory() const { return memory_; }
@@ -128,7 +134,48 @@ class Machine {
 
   /// Runs until all streams have quit. Aborts (deadlock) if streams remain
   /// but none can ever become ready. `max_cycles` is a runaway guard.
+  /// Exactly begin_run(max_cycles) + the full simulation loop +
+  /// finish_run(); the windowed API below exposes the same loop in
+  /// resumable slices for the batched lockstep engine.
   MtaRunResult run(std::uint64_t max_cycles = (1ull << 62));
+
+  // --- Windowed execution (mta::BatchedMachine's interface) --------------
+  // A run may be split into begin_run(), any number of advance_until()
+  // slices, and finish_run(). Every slice executes the same fast-path loop
+  // body run() executes, so counters, slot accounts, and RunRecords are
+  // bit-identical to a monolithic run() at any slicing. The slow reference
+  // path does not support slicing (advance_until contract-checks !slow_);
+  // batched callers must route slow-reference configs through run().
+
+  /// No-limit sentinel for advance_until (the runaway guard `max_cycles`
+  /// still applies).
+  static constexpr std::uint64_t kNoLimit = ~0ull;
+
+  /// Starts a run (streams must already be added). Call exactly once.
+  void begin_run(std::uint64_t max_cycles = (1ull << 62));
+
+  /// Advances the simulation until all streams have quit or the clock
+  /// reaches `limit`, whichever is first. Returns true when the run is
+  /// complete and finish_run() may be called. Fast path only.
+  bool advance_until(std::uint64_t limit);
+
+  /// Finalizes a completed run: slot-account invariants, counter
+  /// publication, RunRecord emission. Call exactly once, after
+  /// advance_until returned true.
+  MtaRunResult finish_run();
+
+  /// Current simulation cycle (valid between begin_run and finish_run).
+  [[nodiscard]] std::uint64_t now() const { return now_; }
+
+  /// True when this machine runs the slow reference loop (config flag or
+  /// TC3I_SLOW_SIM), which the windowed API does not support.
+  [[nodiscard]] bool uses_slow_reference() const { return slow_; }
+
+  /// Releases the sync-memory backing store for reuse by a later machine
+  /// of the same memory_words (call only after the run finished).
+  [[nodiscard]] SyncMemory::Arena release_memory_arena() && {
+    return std::move(memory_).release_arena();
+  }
 
  private:
   /// Why a parked stream is not ready. Mirrors the stall categories of
@@ -217,6 +264,11 @@ class Machine {
     obs::Histogram* run_utilization = nullptr;
     obs::Histogram* run_wall_seconds = nullptr;
     obs::Histogram* stream_instructions = nullptr;
+    /// The registry the metric pointers above resolve into, kept so
+    /// finish_run() publishes dynamically named per-region counters into
+    /// the same (possibly thread-scoped) registry the run was built under
+    /// even when finalization happens on another scope (batched engine).
+    obs::CounterRegistry* registry = nullptr;
     obs::TraceSink* sink = nullptr;
     obs::RunRecordStore* records = nullptr;  ///< active_run_records() at ctor
     obs::TimelineStore* timeline = nullptr;  ///< active_timeline() at ctor
@@ -304,6 +356,12 @@ class Machine {
   /// machine-wide (see docs/PERFORMANCE.md for the legality argument).
   /// Returns the cycle the generic loop resumes at.
   std::uint64_t run_solo(std::uint64_t now, std::uint64_t max_cycles);
+  /// The reference simulation loop (slow_ only): binary-heap wake queue,
+  /// one cycle at a time, run in a single unsliced pass by run().
+  void run_slow_loop();
+  /// Per-bucket counter tracks for the trace sink (issue utilization and
+  /// memory traffic); no-op without a sink.
+  void emit_trace_buckets(std::uint64_t upto, bool final);
 
   // --- Dependency-graph capture (cap_ != nullptr iff capturing; see
   // docs/CRITICAL_PATH.md). Hooks live only in functions shared by the
@@ -406,6 +464,25 @@ class Machine {
   std::uint64_t sync_blocks_ = 0;
   std::uint64_t sync_handoffs_ = 0;
   bool ran_ = false;
+
+  // Windowed-run state (begin_run .. finish_run). advance_until works on a
+  // local copy of `now_` so the hot loop keeps it in a register, writing it
+  // back before returning.
+  std::uint64_t now_ = 0;
+  std::uint64_t max_cycles_ = 0;
+  bool begun_ = false;      ///< between begin_run and finish_run
+  bool tracing_ = false;    ///< obs_.sink != nullptr, hoisted at begin_run
+  std::uint64_t run_start_ns_ = 0;  ///< wall clock for mta.run.wall_seconds
+  std::uint64_t trace_bucket_ = 0;
+  std::uint64_t trace_next_ = 0;
+  std::uint64_t trace_last_instr_ = 0;
+  std::uint64_t trace_last_mem_ = 0;
+  std::vector<std::uint64_t> bucket_issues_;  // timeline_bucket_cycles only
 };
+
+/// True when the TC3I_SLOW_SIM environment variable forces every machine
+/// onto the slow reference loop (used by batched-sweep compatibility
+/// checks, which must then fall back to scalar run()).
+[[nodiscard]] bool slow_sim_forced();
 
 }  // namespace tc3i::mta

@@ -4,25 +4,49 @@
 
 namespace tc3i::mta {
 
-SyncMemory::SyncMemory(std::size_t size) : words_(size) {
+SyncMemory::SyncMemory(std::size_t size) : SyncMemory(size, Arena{}) {}
+
+SyncMemory::SyncMemory(std::size_t size, Arena&& arena) {
   TC3I_EXPECTS(size > 0);
+  if (arena.cells.size() == size) {
+    // Adopt the released array and advance the generation: every cell whose
+    // epoch now lags reads as {0, EMPTY}. On wrap-around the stamps become
+    // ambiguous, so fall back to a hard clear (once every 2^32 recycles).
+    words_ = std::move(arena.cells);
+    epoch_ = arena.epoch + 1;
+    if (epoch_ == 0) words_.assign(size, Cell{});
+  } else {
+    words_.resize(size);
+  }
   obs::CounterRegistry& reg = obs::default_registry();
   c_ops_ = &reg.counter("mta.syncmem.ops");
   c_retries_ = &reg.counter("mta.syncmem.failed_attempts");
   c_handoffs_ = &reg.counter("mta.syncmem.handoffs");
 }
 
+SyncMemory::Arena SyncMemory::release_arena() && {
+  Arena arena;
+  arena.cells = std::move(words_);
+  arena.epoch = epoch_;
+  return arena;
+}
+
 SyncMemory::Cell& SyncMemory::cell(Address addr) {
   TC3I_EXPECTS(addr < words_.size());
-  return words_[addr];
+  Cell& c = words_[addr];
+  if (c.epoch != epoch_) {
+    c.value = 0;
+    c.full = false;
+    c.epoch = epoch_;
+  }
+  return c;
 }
 
-const SyncMemory::Cell& SyncMemory::cell(Address addr) const {
+Word SyncMemory::load(Address addr) const {
   TC3I_EXPECTS(addr < words_.size());
-  return words_[addr];
+  const Cell& c = words_[addr];
+  return c.epoch == epoch_ ? c.value : 0;
 }
-
-Word SyncMemory::load(Address addr) const { return cell(addr).value; }
 
 void SyncMemory::store(Address addr, Word value) { cell(addr).value = value; }
 
@@ -42,7 +66,11 @@ void SyncMemory::reset_empty(Address addr) {
   c.full = false;
 }
 
-bool SyncMemory::is_full(Address addr) const { return cell(addr).full; }
+bool SyncMemory::is_full(Address addr) const {
+  TC3I_EXPECTS(addr < words_.size());
+  const Cell& c = words_[addr];
+  return c.epoch == epoch_ && c.full;
+}
 
 SyncAttempt SyncMemory::try_sync_load(Address addr, StreamId stream) {
   Cell& c = cell(addr);

@@ -123,6 +123,7 @@ struct KnobProjection {
   std::string knob;
   double factor = 1.0;
   double predicted = 0.0;
+  bool operator==(const KnobProjection&) const = default;
 };
 
 /// A resource bound restated as part of the summary (service time share of
@@ -130,12 +131,14 @@ struct KnobProjection {
 struct CritPathResource {
   std::string name;
   double bound = 0.0;  ///< total service time in the run's unit
+  bool operator==(const CritPathResource&) const = default;
 };
 
 /// Per-region share of the critical path (weight in the run's unit).
 struct CritPathRegion {
   std::string name;
   double weight = 0.0;
+  bool operator==(const CritPathRegion&) const = default;
 };
 
 /// Everything the RunReport keeps from a captured graph: the recorded
@@ -166,6 +169,7 @@ struct CritPathSummary {
   std::vector<CritPathResource> resources;
   std::vector<CritPathRegion> regions;
   std::vector<KnobProjection> projections;
+  bool operator==(const CritPathSummary&) const = default;
 };
 
 /// Extracts the critical path of `graph`, attributes the recorded runtime,

@@ -155,6 +155,13 @@ std::vector<RunRecord> machine_runs_from_json(const JsonValue& report) {
     r.lock_wait_share = jr.number_or("lock_wait_share", 0.0);
     if (const JsonValue* jcp = jr.find_object("critical_path"))
       r.critical_path = critical_path_from_json(*jcp);
+    // Compact form: one record object stands for `reps` consecutive
+    // identical records (the writer run-length encodes repeats). Absent or
+    // 1 means a single record; clamp so a corrupt file cannot OOM us.
+    std::uint64_t reps = u64_or(jr, "reps");
+    if (reps == 0) reps = 1;
+    TC3I_EXPECTS(reps <= 1000000);
+    for (std::uint64_t i = 1; i < reps; ++i) out.push_back(r);
     out.push_back(std::move(r));
   }
   return out;
@@ -248,10 +255,20 @@ void RunReport::write_json(std::ostream& out,
 
   w.key("machine_runs");
   w.begin_array();
-  for (const RunRecord& r : machine_runs_) {
+  for (std::size_t ri = 0; ri < machine_runs_.size();) {
+    const RunRecord& r = machine_runs_[ri];
+    // Run-length encode repeats: rep loops (bench --reps) produce byte-
+    // identical consecutive records, so one object with a "reps" count
+    // stands for the whole run. machine_runs_from_json expands it back.
+    std::size_t reps = 1;
+    while (ri + reps < machine_runs_.size() &&
+           machine_runs_[ri + reps] == r)
+      ++reps;
+    ri += reps;
     w.begin_object();
     w.field("model", r.model);
     w.field("name", r.name);
+    if (reps > 1) w.field("reps", static_cast<std::uint64_t>(reps));
     // Emitted only when labeled, so reports from unlabeled runs keep their
     // pre-v4 byte layout.
     if (!r.scenario.empty()) w.field("scenario", r.scenario);

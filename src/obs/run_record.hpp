@@ -60,6 +60,7 @@ struct RegionRollup {
   std::uint64_t streams = 0;        ///< streams completed in this region
   std::uint64_t instructions = 0;   ///< instructions those streams issued
   std::uint64_t stream_cycles = 0;  ///< summed activate->quit lifetimes
+  bool operator==(const RegionRollup&) const = default;
 };
 
 /// One machine run's accounting. `model` selects which fields are
@@ -95,6 +96,10 @@ struct RunRecord {
   /// the run was captured under --critpath (present == false otherwise).
   /// "sthreads" model records carry only this plus elapsed_seconds.
   CritPathSummary critical_path;
+
+  /// Memberwise equality — what the report writer's run-length encoding of
+  /// repeated machine_runs records (the "reps" field) relies on.
+  bool operator==(const RunRecord&) const = default;
 };
 
 /// Append-only, thread-safe collection of RunRecords in add() order.

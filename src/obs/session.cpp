@@ -54,6 +54,10 @@ void RunSession::add_cli_flags(CliParser& cli) {
   cli.add_flag("jobs", "0",
                "host threads for independent simulation points "
                "(0 = hardware concurrency; incompatible with --trace-out)");
+  cli.add_flag("lanes", "0",
+               "simulation runs kept in flight per host thread by the "
+               "batched sweep engine (0 = default 8, 1 = scalar path; "
+               "composes with --jobs; --trace-out/--critpath pin to 1)");
   cli.add_flag("critpath", "false",
                "capture per-run dependency graphs and attach critical-path "
                "attribution + what-if projections to machine runs "
@@ -120,6 +124,26 @@ RunSession::RunSession(std::string name, const CliParser& cli)
     jobs_ = hc == 0 ? 1 : static_cast<int>(hc);
   } else {
     jobs_ = static_cast<int>(jobs_flag);
+  }
+  const std::int64_t lanes_flag = cli.get_int("lanes");
+  if (lanes_flag < 0) {
+    std::fprintf(stderr, "error: --lanes must be >= 0 (got %lld)\n",
+                 static_cast<long long>(lanes_flag));
+    std::exit(2);
+  }
+  if (!trace_path_.empty() && cli.is_set("lanes") && lanes_flag > 1) {
+    std::fprintf(stderr,
+                 "error: --trace-out requires --lanes 1 (tracing pins the "
+                 "scalar simulation path)\n");
+    std::exit(2);
+  }
+  if (!trace_path_.empty() || cli.get_bool("critpath")) {
+    // Both modes observe individual instructions of a single machine;
+    // mta::run_batched_sweep refuses them too, this just keeps lanes()
+    // honest about the path actually taken.
+    lanes_ = 1;
+  } else {
+    lanes_ = lanes_flag == 0 ? kDefaultLanes : static_cast<int>(lanes_flag);
   }
   if (!trace_path_.empty()) {
     sink_ = std::make_unique<TraceSink>();

@@ -25,6 +25,13 @@
 //                         single deterministic event stream, so --trace-out
 //                         forces jobs to 1 (an explicit --jobs > 1 with
 //                         --trace-out is an error).
+//   --lanes <n>           simulation runs kept in flight per host thread by
+//                         the batched sweep engine (0 = default 8; 1 =
+//                         scalar path; composes with --jobs for lanes x
+//                         threads scaling). Output is byte-identical at any
+//                         value; --trace-out and --critpath pin lanes to 1
+//                         because both observe a single machine's
+//                         instruction stream.
 //
 // Construction installs the global trace sink (when --trace-out is given)
 // and the process-wide RunRecordStore / TimelineStore the machine models
@@ -89,6 +96,15 @@ class RunSession {
   /// runs pinned to 1. Always >= 1.
   [[nodiscard]] int jobs() const { return jobs_; }
 
+  /// Default in-flight lane count per worker for the batched sweep engine
+  /// (--lanes 0).
+  static constexpr int kDefaultLanes = 8;
+
+  /// Resolved lane count for mta::run_batched_sweep: the --lanes flag with
+  /// 0 replaced by kDefaultLanes; --trace-out and --critpath pin to 1 (the
+  /// scalar path, mirroring how tracing pins --jobs). Always >= 1.
+  [[nodiscard]] int lanes() const { return lanes_; }
+
   /// Writes trace/report/counter outputs now (idempotent; the destructor
   /// calls it). Prints one line per file written.
   void finish();
@@ -101,6 +117,7 @@ class RunSession {
   std::string sweep_report_path_;
   std::string sweep_trace_path_;
   int jobs_ = 1;
+  int lanes_ = 1;
   bool dump_counters_ = false;
   bool finished_ = false;
   std::unique_ptr<TraceSink> sink_;

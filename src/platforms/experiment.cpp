@@ -243,42 +243,118 @@ double terrain_coarse_static_seconds(const Testbed& tb,
 
 // --- Tera MTA experiments ----------------------------------------------------
 
-double mta_threat_seq_seconds(const Testbed& tb) {
-  const obs::ScopedScenarioLabel scenario_label("threat_seq");
-  mta::Machine machine(make_mta_config(1));
+namespace {
+
+/// Runs one point on a scalar machine, byte-for-byte the pre-batched code
+/// shape (the seconds functions below are often called from inside an
+/// outer sim::run_sweep, so they must not start a nested sweep).
+double run_point_scalar(const MtaPoint& p) {
+  const obs::ScopedScenarioLabel scenario_label(p.batch.scenario);
+  mta::Machine machine(p.batch.config);
   mta::ProgramPool pool;
-  threat::build_mta_sequential(pool, machine, tb.threat_profile_scaled,
-                               tb.threat_costs_scaled);
-  return machine.run().seconds * tb.threat_mta_factor;
+  p.batch.build(machine, pool);
+  return machine.run().seconds * p.seconds_factor;
+}
+
+}  // namespace
+
+MtaPoint mta_threat_seq_point(const Testbed& tb) {
+  MtaPoint p;
+  p.batch.config = make_mta_config(1);
+  p.batch.scenario = "threat_seq";
+  p.batch.build = [&tb](mta::Machine& machine, mta::ProgramPool& pool) {
+    threat::build_mta_sequential(pool, machine, tb.threat_profile_scaled,
+                                 tb.threat_costs_scaled);
+  };
+  p.seconds_factor = tb.threat_mta_factor;
+  return p;
+}
+
+MtaPoint mta_threat_chunked_point(const Testbed& tb, int chunks,
+                                  int processors) {
+  MtaPoint p;
+  p.batch.config = make_mta_config(processors);
+  p.batch.scenario = "threat_chunked";
+  p.batch.build = [&tb, chunks](mta::Machine& machine,
+                                mta::ProgramPool& pool) {
+    threat::build_mta_chunked(pool, machine, tb.threat_profile_scaled,
+                              static_cast<std::size_t>(chunks),
+                              tb.threat_costs_scaled);
+  };
+  p.seconds_factor = tb.threat_mta_factor;
+  return p;
+}
+
+MtaPoint mta_threat_finegrained_point(const Testbed& tb, int processors) {
+  MtaPoint p;
+  p.batch.config = make_mta_config(processors);
+  p.batch.scenario = "threat_fine";
+  p.batch.build = [&tb](mta::Machine& machine, mta::ProgramPool& pool) {
+    threat::build_mta_finegrained(pool, machine, tb.threat_profile_scaled,
+                                  tb.threat_costs_scaled);
+  };
+  p.seconds_factor = tb.threat_mta_factor;
+  return p;
+}
+
+MtaPoint mta_terrain_seq_point(const Testbed& tb) {
+  MtaPoint p;
+  p.batch.config = make_mta_config(1);
+  p.batch.scenario = "terrain_seq";
+  p.batch.build = [&tb](mta::Machine& machine, mta::ProgramPool& pool) {
+    terrain::build_mta_sequential(pool, machine, tb.terrain_profile_scaled,
+                                  tb.terrain_costs_scaled);
+  };
+  p.seconds_factor = tb.terrain_mta_factor;
+  return p;
+}
+
+MtaPoint mta_terrain_fine_point(const Testbed& tb, int processors) {
+  return mta_terrain_fine_point(tb, processors, terrain::MtaFineParams{});
+}
+
+MtaPoint mta_terrain_fine_point(const Testbed& tb, int processors,
+                                const terrain::MtaFineParams& params) {
+  MtaPoint p;
+  p.batch.config = make_mta_config(processors);
+  p.batch.scenario = "terrain_fine";
+  p.batch.build = [&tb, params](mta::Machine& machine,
+                                mta::ProgramPool& pool) {
+    terrain::build_mta_finegrained(pool, machine, tb.terrain_profile_scaled,
+                                   tb.terrain_costs_scaled, params);
+  };
+  p.seconds_factor = tb.terrain_mta_factor;
+  return p;
+}
+
+std::vector<double> run_mta_points(const std::vector<MtaPoint>& points,
+                                   int lanes, int jobs) {
+  std::vector<mta::BatchPoint> batch;
+  batch.reserve(points.size());
+  for (const MtaPoint& p : points) batch.push_back(p.batch);
+  const std::vector<mta::MtaRunResult> results =
+      mta::run_batched_sweep(batch, lanes, jobs);
+  std::vector<double> seconds(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    seconds[i] = results[i].seconds * points[i].seconds_factor;
+  return seconds;
+}
+
+double mta_threat_seq_seconds(const Testbed& tb) {
+  return run_point_scalar(mta_threat_seq_point(tb));
 }
 
 double mta_threat_chunked_seconds(const Testbed& tb, int chunks,
                                   int processors) {
-  const obs::ScopedScenarioLabel scenario_label("threat_chunked");
-  mta::Machine machine(make_mta_config(processors));
-  mta::ProgramPool pool;
-  threat::build_mta_chunked(pool, machine, tb.threat_profile_scaled,
-                            static_cast<std::size_t>(chunks),
-                            tb.threat_costs_scaled);
-  return machine.run().seconds * tb.threat_mta_factor;
+  return run_point_scalar(mta_threat_chunked_point(tb, chunks, processors));
 }
 
 double mta_threat_finegrained_seconds(const Testbed& tb, int processors) {
-  const obs::ScopedScenarioLabel scenario_label("threat_fine");
-  mta::Machine machine(make_mta_config(processors));
-  mta::ProgramPool pool;
-  threat::build_mta_finegrained(pool, machine, tb.threat_profile_scaled,
-                                tb.threat_costs_scaled);
-  return machine.run().seconds * tb.threat_mta_factor;
+  return run_point_scalar(mta_threat_finegrained_point(tb, processors));
 }
 
 double mta_terrain_seq_seconds(const Testbed& tb) {
-  const obs::ScopedScenarioLabel scenario_label("terrain_seq");
-  mta::Machine machine(make_mta_config(1));
-  mta::ProgramPool pool;
-  terrain::build_mta_sequential(pool, machine, tb.terrain_profile_scaled,
-                                tb.terrain_costs_scaled);
-  return machine.run().seconds * tb.terrain_mta_factor;
+  return run_point_scalar(mta_terrain_seq_point(tb));
 }
 
 double mta_terrain_fine_seconds(const Testbed& tb, int processors) {
@@ -288,12 +364,7 @@ double mta_terrain_fine_seconds(const Testbed& tb, int processors) {
 
 double mta_terrain_fine_seconds(const Testbed& tb, int processors,
                                 const terrain::MtaFineParams& params) {
-  const obs::ScopedScenarioLabel scenario_label("terrain_fine");
-  mta::Machine machine(make_mta_config(processors));
-  mta::ProgramPool pool;
-  terrain::build_mta_finegrained(pool, machine, tb.terrain_profile_scaled,
-                                 tb.terrain_costs_scaled, params);
-  return machine.run().seconds * tb.terrain_mta_factor;
+  return run_point_scalar(mta_terrain_fine_point(tb, processors, params));
 }
 
 }  // namespace tc3i::platforms

@@ -14,6 +14,7 @@
 #include "c3i/threat/scenario_gen.hpp"
 #include "c3i/threat/sequential.hpp"
 #include "c3i/threat/trace_builder.hpp"
+#include "mta/batched_machine.hpp"
 #include "platforms/calibration.hpp"
 #include "platforms/platform.hpp"
 #include "smp/machine.hpp"
@@ -120,5 +121,39 @@ struct TestbedProfiles {
 [[nodiscard]] double mta_terrain_fine_seconds(
     const Testbed& tb, int processors,
     const c3i::terrain::MtaFineParams& params);
+
+// --- Batched MTA sweep points ----------------------------------------------
+// The mta_*_seconds functions above run one scalar machine per call. The
+// point constructors below expose the same experiments as
+// mta::BatchPoint values so the table benches can hand a whole grid to the
+// batched lockstep engine (--lanes x --jobs); the seconds functions are
+// implemented over the same points, so every reported number still flows
+// through one code path. `seconds_factor` is the testbed's
+// instruction-scaling extrapolation (threat_mta_factor /
+// terrain_mta_factor), applied to MtaRunResult::seconds by
+// run_mta_points(). A point's build closure captures `tb` by reference;
+// the testbed must outlive the point.
+struct MtaPoint {
+  mta::BatchPoint batch;
+  double seconds_factor = 1.0;
+};
+
+[[nodiscard]] MtaPoint mta_threat_seq_point(const Testbed& tb);
+[[nodiscard]] MtaPoint mta_threat_chunked_point(const Testbed& tb, int chunks,
+                                                int processors);
+[[nodiscard]] MtaPoint mta_threat_finegrained_point(const Testbed& tb,
+                                                    int processors);
+[[nodiscard]] MtaPoint mta_terrain_seq_point(const Testbed& tb);
+[[nodiscard]] MtaPoint mta_terrain_fine_point(const Testbed& tb,
+                                              int processors);
+[[nodiscard]] MtaPoint mta_terrain_fine_point(
+    const Testbed& tb, int processors,
+    const c3i::terrain::MtaFineParams& params);
+
+/// Runs the points through mta::run_batched_sweep (scalar fallback rules
+/// apply; see batched_machine.hpp) and returns the extrapolated seconds per
+/// point in submission order.
+[[nodiscard]] std::vector<double> run_mta_points(
+    const std::vector<MtaPoint>& points, int lanes, int jobs);
 
 }  // namespace tc3i::platforms

@@ -133,6 +133,12 @@ std::string check_report_schema(const JsonValue& doc) {
     if (model != "mta" && model != "smp" && model != "sthreads")
       return at + ".model is not \"mta\", \"smp\" or \"sthreads\"";
     if (run.find_string("name") == nullptr) return at + " missing name";
+    if (const JsonValue* reps = run.find("reps")) {
+      // Compact form: the object stands for `reps` consecutive identical
+      // records (RunReport's run-length encoding).
+      if (!reps->is_number() || reps->number < 1.0)
+        return at + ".reps is not a number >= 1";
+    }
     const double procs = run.number_or("processors", 0.0);
     if (procs < 1.0) return at + ".processors < 1";
     if (run.find_number("utilization") == nullptr)

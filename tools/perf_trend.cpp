@@ -10,8 +10,11 @@
 // --scale multiplies every value before appending — the injection hook
 // scripts/check.sh uses to prove the gate actually trips on a slowdown.
 //
-// `check` gates the *last* line against the trailing window of up to N
-// (default 10) earlier lines. Rows are throughputs, so higher is better;
+// `check` gates the newest line of EVERY distinct bench in the history
+// against the trailing window of up to N (default 10) earlier lines of
+// that same bench — a history interleaving sim_throughput and other
+// regimes gates each one, not just whichever appended last. Rows are
+// throughputs, so higher is better;
 // a row regresses when its latest value is BOTH
 //   (a) statistically low:  value < median - K * max(MAD, 1% of median)
 //       (robust z-score; K default 6 tolerates noisy shared CI hosts), and
@@ -132,29 +135,27 @@ int do_append(const char* history_path, const char* report_path,
   return 0;
 }
 
-int do_check(const char* history_path, std::size_t window,
-             std::size_t min_runs, double k, double min_drop) {
-  std::vector<HistoryLine> history;
-  if (!parse_history(history_path, &history)) return 2;
-  if (history.empty()) {
-    std::fprintf(stderr, "%s: empty history\n", history_path);
-    return 2;
-  }
-  const HistoryLine& latest = history.back();
-  std::printf("perf_trend check: %s (%zu lines, window %zu, k %g, "
-              "min-drop %g)\n",
-              history_path, history.size(), window, k, min_drop);
+/// Gates the line at `latest_idx` (the newest line of its bench) against
+/// the trailing window of earlier lines of the same bench. Returns the
+/// number of regressing rows.
+int check_bench(const std::vector<HistoryLine>& history,
+                std::size_t latest_idx, std::size_t window,
+                std::size_t min_runs, double k, double min_drop) {
+  const HistoryLine& latest = history[latest_idx];
   int regressions = 0;
   for (const auto& [label, value] : latest.rows) {
-    // Trailing window: the most recent `window` earlier lines that carry
-    // this label (older lines may predate a row's introduction).
+    // Trailing window: the most recent `window` earlier lines of this
+    // bench that carry this label (older lines may predate a row's
+    // introduction).
     std::vector<double> prior;
-    for (std::size_t i = history.size() - 1; i-- > 0 && prior.size() < window;)
+    for (std::size_t i = latest_idx; i-- > 0 && prior.size() < window;) {
+      if (history[i].bench != latest.bench) continue;
       for (const auto& [plabel, pvalue] : history[i].rows)
         if (plabel == label) {
           prior.push_back(pvalue);
           break;
         }
+    }
     if (prior.size() < min_runs) {
       std::printf("  %-40s %12.4g  warming up (%zu/%zu prior runs)\n",
                   label.c_str(), value, prior.size(), min_runs);
@@ -176,6 +177,41 @@ int do_check(const char* history_path, std::size_t window,
       std::printf("  %-40s %12.4g  ok (median %.4g over %zu runs)\n",
                   label.c_str(), value, med, prior.size());
     }
+  }
+  return regressions;
+}
+
+int do_check(const char* history_path, std::size_t window,
+             std::size_t min_runs, double k, double min_drop) {
+  std::vector<HistoryLine> history;
+  if (!parse_history(history_path, &history)) return 2;
+  if (history.empty()) {
+    std::fprintf(stderr, "%s: empty history\n", history_path);
+    return 2;
+  }
+  // Newest line per distinct bench, in order of each bench's first
+  // appearance — every regime in the history gates, not just the last
+  // line appended.
+  std::vector<std::size_t> newest;
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    bool seen = false;
+    for (std::size_t& idx : newest)
+      if (history[idx].bench == history[i].bench) {
+        idx = i;
+        seen = true;
+        break;
+      }
+    if (!seen) newest.push_back(i);
+  }
+  std::printf("perf_trend check: %s (%zu lines, %zu bench%s, window %zu, "
+              "k %g, min-drop %g)\n",
+              history_path, history.size(), newest.size(),
+              newest.size() == 1 ? "" : "es", window, k, min_drop);
+  int regressions = 0;
+  for (const std::size_t idx : newest) {
+    std::printf(" bench %s (line %zu):\n", history[idx].bench.c_str(),
+                idx + 1);
+    regressions += check_bench(history, idx, window, min_runs, k, min_drop);
   }
   if (regressions > 0) {
     std::printf("perf_trend: %d regression%s\n", regressions,

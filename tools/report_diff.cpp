@@ -20,8 +20,11 @@
 // array position, so two sweeps that enumerated the same points in a
 // different order still line up, and a group present on only one side is
 // reported by key (paths look like groups[mta/Tera MTA/threat_seq/p4]).
-// Exits 0 when the reports match, 1 when they differ, 2 on usage or parse
-// errors.
+// "machine_runs" entries carrying a "reps" count (RunReport's run-length
+// encoding of consecutive identical records) are expanded before the
+// comparison, so compact and expanded reports diff clean against each
+// other. Exits 0 when the reports match, 1 when they differ, 2 on usage
+// or parse errors.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -210,6 +213,37 @@ struct Diff {
   }
 };
 
+/// Expands the compact "machine_runs" form in place: an entry carrying a
+/// "reps" count (RunReport's run-length encoding of consecutive identical
+/// records) becomes that many copies without the field, so a compact
+/// report diffs clean against an expanded one.
+void expand_machine_run_reps(JsonValue& doc) {
+  if (!doc.is_object()) return;
+  JsonValue* runs = nullptr;
+  for (auto& [key, value] : doc.object)
+    if (key == "machine_runs" && value.is_array()) runs = &value;
+  if (runs == nullptr) return;
+  std::vector<JsonValue> expanded;
+  expanded.reserve(runs->array.size());
+  for (JsonValue& run : runs->array) {
+    std::size_t reps = 1;
+    if (run.is_object()) {
+      for (std::size_t m = 0; m < run.object.size(); ++m) {
+        if (run.object[m].first == "reps" && run.object[m].second.is_number()) {
+          const double n = run.object[m].second.number;
+          if (n >= 1.0 && n <= 1e6) reps = static_cast<std::size_t>(n);
+          run.object.erase(run.object.begin() +
+                           static_cast<std::ptrdiff_t>(m));
+          break;
+        }
+      }
+    }
+    for (std::size_t i = 1; i < reps; ++i) expanded.push_back(run);
+    expanded.push_back(std::move(run));
+  }
+  runs->array = std::move(expanded);
+}
+
 bool load(const char* path, JsonValue* out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -259,6 +293,8 @@ int main(int argc, char** argv) {
   JsonValue a;
   JsonValue b;
   if (!load(files[0], &a) || !load(files[1], &b)) return 2;
+  expand_machine_run_reps(a);
+  expand_machine_run_reps(b);
 
   std::printf("report_diff %s vs %s (rel-tol %g, abs-tol %g)\n", files[0],
               files[1], opts.rel_tol, opts.abs_tol);
