@@ -20,7 +20,8 @@
 // sweep_plain / sweep_telemetry pair measures sim::run_sweep itself on a
 // 100-point sweep of a cheap MTA machine — first bare, then with the full
 // sweep-telemetry stack active (scheduler span store, per-run records,
-// cross-run aggregation and SweepReport + Chrome-trace serialization);
+// live status bus, cross-run aggregation and SweepReport + Chrome-trace +
+// LiveStatus serialization);
 // scripts/check.sh gates the telemetry regime at >= 0.95x the plain one
 // (< 5% overhead). sweep_batched runs the identical 100 points through the
 // batched lockstep engine (mta::run_batched_sweep, --lanes in-flight
@@ -217,11 +218,17 @@ double measure_sweep_regime(int reps, int jobs, std::size_t points,
     obs::ScopedRunRecords warmup_scope(warmup_records);
     sim::run_sweep(points, jobs, [](std::size_t i) { return sweep_point(i); });
   }
+  obs::LiveBus* prev_bus = obs::live_bus();
   for (int rep = 0; rep < reps; ++rep) {
     obs::RunRecordStore records;
     obs::ScopedRunRecords rec_scope(records);
     obs::SweepSchedStore sched;
     obs::set_sweep_sched_store(telemetry ? &sched : nullptr);
+    // The telemetry regime also feeds a live bus (the per-point wait-free
+    // cell writes every monitored sweep pays) and folds one status
+    // snapshot, so the 0.95x gate covers --status-out's worker-side cost.
+    obs::LiveBus bus;
+    obs::set_live_bus(telemetry ? &bus : prev_bus);
     const auto start = std::chrono::steady_clock::now();
     sim::run_sweep(points, jobs, [](std::size_t i) {
       return sweep_point(i);
@@ -237,14 +244,19 @@ double measure_sweep_regime(int reps, int jobs, std::size_t points,
       host.queue_wait_seconds = s.queue_wait_seconds;
       host.execute_seconds = s.execute_seconds;
       std::ostringstream report_sink;
-      agg.write_report_json(report_sink, "sim_throughput", host);
+      agg.write_report_json(report_sink, "sim_throughput", host,
+                            bus.anomalies());
       std::ostringstream trace_sink;
       sched.write_chrome_trace(trace_sink);
+      std::ostringstream status_sink;
+      obs::LiveBus::write_status_json(bus.snapshot(/*done=*/true),
+                                      status_sink);
     }
     const auto stop = std::chrono::steady_clock::now();
     times.push_back(std::chrono::duration<double>(stop - start).count());
   }
   obs::set_sweep_sched_store(prev);
+  obs::set_live_bus(prev_bus);
   std::sort(times.begin(), times.end());
   return times[times.size() / 2];
 }

@@ -128,6 +128,79 @@ echo "== batched sweep engine (lanes byte-identity) =="
   { echo "FAIL: --lanes 4 report differs from --lanes 1"; exit 1; }
 echo "lanes=4 report byte-identical to lanes=1 (modulo wall time)"
 
+echo "== live status bus (--status-out + sweep_monitor) =="
+# The live-telemetry tentpole: a sweep run with --status-out must publish
+# monotonically-advancing snapshots while it runs, finish with a done=true
+# snapshot whose point counts match the SweepReport's scheduler section,
+# validate against json_check's live_status schema, and be readable by
+# sweep_monitor in both CI (--once) and follow modes.
+STATUS="$SMOKE_DIR/live.json"
+"$BUILD_DIR"/bench/table05_threat_tera --jobs 2 \
+    --status-out "$STATUS" --status-period 50 \
+    --sweep-report-out "$SMOKE_DIR/live_sweep.json" >/dev/null &
+LIVE_PID=$!
+LAST_VER=0
+MONO=ok
+while kill -0 "$LIVE_PID" 2>/dev/null; do
+  if [ -f "$STATUS" ]; then
+    VER="$(grep -o '"version":[0-9][0-9]*' "$STATUS" | head -1 |
+           cut -d: -f2 || true)"
+    if [ -n "$VER" ]; then
+      [ "$VER" -ge "$LAST_VER" ] ||
+        { echo "FAIL: status version went backwards ($LAST_VER -> $VER)"; \
+          MONO=bad; }
+      LAST_VER="$VER"
+    fi
+  fi
+  sleep 0.05
+done
+wait "$LIVE_PID" ||
+  { echo "FAIL: table05 with --status-out exited nonzero"; exit 1; }
+[ "$MONO" = ok ] || exit 1
+[ "$LAST_VER" -ge 1 ] ||
+  { echo "FAIL: no live status snapshot was published"; exit 1; }
+"$BUILD_DIR"/tools/json_check "$STATUS"
+grep -q '"done":true' "$STATUS" ||
+  { echo "FAIL: final status snapshot is not done=true"; exit 1; }
+# [0-9][0-9]* (one-or-more): with a bare *, the boolean top-level
+# "done":true would match with zero digits and yield an empty value.
+LIVE_DONE="$(grep -o '"done":[0-9][0-9]*' "$STATUS" | head -1 |
+             cut -d: -f2)"
+LIVE_TOTAL="$(grep -o '"total":[0-9][0-9]*' "$STATUS" | head -1 |
+              cut -d: -f2)"
+SCHED_PTS="$(sed -n \
+    's/.*"sched":{"sweeps":[0-9]*,"points":\([0-9]*\).*/\1/p' \
+    "$SMOKE_DIR/live_sweep.json")"
+[ -n "$LIVE_DONE" ] && [ "$LIVE_DONE" = "$LIVE_TOTAL" ] &&
+    [ "$LIVE_DONE" = "$SCHED_PTS" ] ||
+  { echo "FAIL: status counts done=$LIVE_DONE total=$LIVE_TOTAL disagree" \
+         "with sweep report points=$SCHED_PTS"; exit 1; }
+"$BUILD_DIR"/tools/sweep_monitor "$STATUS" --once | grep -q 'done=1' ||
+  { echo "FAIL: sweep_monitor --once did not report done=1"; exit 1; }
+# done=true is already on disk, so follow mode must exit 0 immediately.
+"$BUILD_DIR"/tools/sweep_monitor "$STATUS" --follow --timeout 10 >/dev/null ||
+  { echo "FAIL: sweep_monitor --follow did not exit cleanly"; exit 1; }
+echo "live status: $LAST_VER snapshots, final counts match sweep report" \
+     "($LIVE_DONE/$LIVE_TOTAL points)"
+
+echo "== TSan smoke (obs_live_test under -fsanitize=thread) =="
+# The bus's worker path is wait-free by design; prove it data-race-free
+# under ThreadSanitizer where the toolchain supports it (the
+# LivePublisherTest cases hammer worker cells against the publisher fold).
+if printf 'int main(){return 0;}' |
+    c++ -fsanitize=thread -x c++ - -o "$SMOKE_DIR/tsan_probe" 2>/dev/null &&
+    "$SMOKE_DIR/tsan_probe" 2>/dev/null; then
+  TSAN_DIR="build-tsan"
+  cmake -B "$TSAN_DIR" -S . -DTC3I_SANITIZE=thread -DTC3I_WERROR=ON \
+      >/dev/null
+  cmake --build "$TSAN_DIR" --target obs_live_test -j >/dev/null
+  "$TSAN_DIR"/tests/obs_live_test >/dev/null ||
+    { echo "FAIL: obs_live_test failed under TSan"; exit 1; }
+  echo "obs_live_test clean under ThreadSanitizer"
+else
+  echo "skipped: toolchain lacks -fsanitize=thread support"
+fi
+
 echo "== perf smoke (sim_throughput vs committed baseline) =="
 # Fails (exit 1) when any throughput metric drops below 70% of the
 # committed bench/BENCH_sim_throughput.json (--min-ratio default 0.7,

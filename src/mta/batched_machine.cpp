@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <optional>
 
@@ -9,6 +10,7 @@
 #include "obs/counters.hpp"
 #include "obs/critpath.hpp"
 #include "obs/hostres.hpp"
+#include "obs/live.hpp"
 #include "obs/run_record.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace_sink.hpp"
@@ -208,6 +210,20 @@ std::vector<MtaRunResult> run_batched_sweep(
   const double submit_us = sched != nullptr ? sched->now_us() : 0.0;
   std::vector<double> start_us(sched != nullptr ? count : 0, 0.0);
 
+  // Live telemetry (opt-in, sampled): lanes interleave, so each point's
+  // duration is tracked engine-locally from admit to retire and fed to the
+  // bus on completion; the per-window heartbeat reports lane occupancy and
+  // proves the drive loop is advancing.
+  obs::LiveBus* bus = obs::live_bus();
+  if (bus != nullptr && count > 0) bus->add_points(count);
+  const auto live_now_ns = []() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  };
+  std::vector<std::uint64_t> live_start_ns(bus != nullptr ? count : 0, 0);
+
   const auto drive = [&](std::size_t w) {
     BatchedMachine engine(lanes);
     for (;;) {
@@ -215,11 +231,18 @@ std::vector<MtaRunResult> run_batched_sweep(
         const std::size_t i = next.fetch_add(1);
         if (i >= count) break;
         if (sched != nullptr) start_us[i] = sched->now_us();
+        if (bus != nullptr) {
+          live_start_ns[i] = live_now_ns();
+          bus->begin_point(static_cast<std::uint32_t>(w), i);
+        }
         engine.admit(i, points[i], registries[i].get(),
                      record_stores[i].get(), timeline_stores[i].get());
       }
       if (engine.active_lanes() == 0) break;
       engine.advance_window();
+      if (bus != nullptr)
+        bus->heartbeat(static_cast<std::uint32_t>(w),
+                       static_cast<std::uint32_t>(engine.active_lanes()));
       for (auto& [idx, res] : engine.take_finished()) {
         results[idx] = std::move(res);
         if (sched != nullptr)
@@ -227,9 +250,19 @@ std::vector<MtaRunResult> run_batched_sweep(
               sweep_id, static_cast<std::uint32_t>(idx),
               static_cast<std::uint32_t>(w), submit_us, start_us[idx],
               sched->now_us()});
+        if (bus != nullptr) {
+          const std::uint64_t now = live_now_ns();
+          bus->complete_point(static_cast<std::uint32_t>(w), idx,
+                              now > live_start_ns[idx]
+                                  ? now - live_start_ns[idx]
+                                  : 0);
+        }
         progress.tick();
       }
     }
+    // Drained: clear the running-point marker and lane occupancy so the
+    // watchdog stops counting this worker as holding work.
+    if (bus != nullptr) bus->idle(static_cast<std::uint32_t>(w));
   };
   if (workers <= 1) {
     drive(0);

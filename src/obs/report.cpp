@@ -198,6 +198,10 @@ void RunReport::set_machine_runs(std::vector<RunRecord> runs) {
   machine_runs_ = std::move(runs);
 }
 
+void RunReport::set_anomalies(std::vector<LiveAnomaly> anomalies) {
+  anomalies_ = std::move(anomalies);
+}
+
 void RunReport::write_json(std::ostream& out,
                            const CounterRegistry& registry) const {
   const std::vector<MetricSnapshot> metrics = registry.snapshot();
@@ -205,7 +209,7 @@ void RunReport::write_json(std::ostream& out,
   JsonWriter w(out);
   w.begin_object();
   w.field("bench", bench_);
-  w.field("schema_version", std::uint64_t{3});
+  w.field("schema_version", std::uint64_t{5});
 
   w.key("config");
   w.begin_object();
@@ -310,6 +314,9 @@ void RunReport::write_json(std::ostream& out,
     w.end_object();
   }
   w.end_array();
+
+  w.key("anomalies");
+  write_anomalies_json(w, anomalies_);
 
   w.key("notes");
   w.begin_array();

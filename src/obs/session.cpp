@@ -73,6 +73,18 @@ void RunSession::add_cli_flags(CliParser& cli) {
   cli.add_flag("sweep-trace-out", "",
                "write a Chrome trace of the sweep scheduler (one lane per "
                "--jobs worker, queue-wait vs execute spans per point)");
+  cli.add_flag("status-out", "",
+               "publish a live LiveStatus JSON snapshot (progress, ETA, "
+               "per-worker state, watchdog anomalies) to this path every "
+               "--status-period ms via atomic rename");
+  cli.add_flag("status-period", "500",
+               "publish interval in milliseconds for --status-out");
+  cli.add_flag("watchdog-k", "8",
+               "flag a running sweep point as a slow_point anomaly past "
+               "k x the median completed-point duration");
+  cli.add_flag("watchdog-timeout", "5",
+               "flag a worker as a stalled_worker anomaly when its "
+               "heartbeat is silent this many seconds while holding work");
 }
 
 RunSession::RunSession(std::string name, const CliParser& cli)
@@ -82,6 +94,7 @@ RunSession::RunSession(std::string name, const CliParser& cli)
       timeline_path_(cli.get("timeline-out")),
       sweep_report_path_(cli.get("sweep-report-out")),
       sweep_trace_path_(cli.get("sweep-trace-out")),
+      status_path_(cli.get("status-out")),
       dump_counters_(cli.get_bool("counters")),
       host_begin_(sample_host_usage()),
       report_(name_) {
@@ -90,11 +103,11 @@ RunSession::RunSession(std::string name, const CliParser& cli)
   // "true" (CliParser bare-flag rule); these flags need real paths.
   if (trace_path_ == "true" || report_path_ == "true" ||
       timeline_path_ == "true" || sweep_report_path_ == "true" ||
-      sweep_trace_path_ == "true") {
+      sweep_trace_path_ == "true" || status_path_ == "true") {
     std::fprintf(stderr,
                  "error: --trace-out, --report-out, --timeline-out, "
-                 "--sweep-report-out and --sweep-trace-out require a file "
-                 "path\n");
+                 "--sweep-report-out, --sweep-trace-out and --status-out "
+                 "require a file path\n");
     std::exit(2);
   }
   const std::int64_t sample_period = cli.get_int("sample-period");
@@ -165,6 +178,33 @@ RunSession::RunSession(std::string name, const CliParser& cli)
         static_cast<std::uint64_t>(sample_period));
     set_process_timeline(timeline_.get());
   }
+  // The live bus backs both --status-out (publisher thread) and the
+  // --progress ticker (throughput/ETA fold); install it when either asks.
+  if (!status_path_.empty() || cli.get_bool("progress")) {
+    const std::int64_t status_period = cli.get_int("status-period");
+    const double watchdog_k = cli.get_double("watchdog-k");
+    const double watchdog_timeout = cli.get_double("watchdog-timeout");
+    if (status_period < 1) {
+      std::fprintf(stderr, "error: --status-period must be >= 1 ms (got "
+                   "%lld)\n",
+                   static_cast<long long>(status_period));
+      std::exit(2);
+    }
+    if (!(watchdog_k > 0.0) || !(watchdog_timeout > 0.0)) {
+      std::fprintf(stderr,
+                   "error: --watchdog-k and --watchdog-timeout must be > 0\n");
+      std::exit(2);
+    }
+    WatchdogConfig watchdog;
+    watchdog.slow_point_k = watchdog_k;
+    watchdog.heartbeat_timeout_seconds = watchdog_timeout;
+    live_ = std::make_unique<LiveBus>(watchdog);
+    live_->set_bench(name_);
+    set_live_bus(live_.get());
+    if (!status_path_.empty())
+      publisher_ = std::make_unique<LivePublisher>(
+          *live_, status_path_, static_cast<int>(status_period));
+  }
   g_active = this;
 }
 
@@ -180,6 +220,9 @@ RunSession::~RunSession() {
     set_process_critpath(nullptr);
   if (sched_ != nullptr && sweep_sched_store() == sched_.get())
     set_sweep_sched_store(nullptr);
+  // Publisher first (it still reads the bus), then the workers' pointer.
+  publisher_.reset();
+  if (live_ != nullptr && live_bus() == live_.get()) set_live_bus(nullptr);
   set_sweep_progress_requested(false);
 }
 
@@ -188,6 +231,24 @@ RunSession* RunSession::active() { return g_active; }
 void RunSession::finish() {
   if (finished_) return;
   finished_ = true;
+
+  // Stop live publishing first: the final done=true snapshot runs one last
+  // watchdog pass, so the anomaly list persisted into the reports below is
+  // complete.
+  std::vector<LiveAnomaly> anomalies;
+  if (live_ != nullptr) {
+    if (publisher_ != nullptr) {
+      const std::uint64_t published = publisher_->finish();
+      std::printf("[obs] live status: %s (%llu snapshot%s)\n",
+                  status_path_.c_str(),
+                  static_cast<unsigned long long>(published),
+                  published == 1 ? "" : "s");
+    } else {
+      (void)live_->snapshot(/*done=*/true);
+    }
+    anomalies = live_->anomalies();
+    report_.set_anomalies(anomalies);
+  }
 
   if (sink_ != nullptr && !trace_path_.empty()) {
     std::error_code ec;
@@ -258,7 +319,7 @@ void RunSession::finish() {
     if (!parent.empty()) std::filesystem::create_directories(parent, ec);
     std::ofstream out(sweep_report_path_);
     if (out) {
-      agg.write_report_json(out, name_, host);
+      agg.write_report_json(out, name_, host, anomalies);
       std::printf("[obs] sweep report: %s (%llu runs, %zu groups)\n",
                   sweep_report_path_.c_str(),
                   static_cast<unsigned long long>(agg.runs()),

@@ -10,7 +10,18 @@
 //   --critpath            capture per-run dependency graphs; RunRecords
 //                         gain a critical_path section (bare flag)
 //   --progress            stderr ticker for sim::run_sweep (runs done /
-//                         total + ETA; auto-off when stderr is not a TTY)
+//                         total + throughput + ETA from the live bus;
+//                         auto-off when stderr is not a TTY)
+//   --status-out <path>   publish a live LiveStatus JSON snapshot to this
+//                         path every --status-period ms (atomic rename, so
+//                         readers like tools/sweep_monitor never see a torn
+//                         file); the final snapshot carries done=true
+//   --status-period <ms>  publish interval for --status-out (default 500)
+//   --watchdog-k <k>      a running point is anomalous past k x the median
+//                         completed-point duration (default 8)
+//   --watchdog-timeout <s>  a worker heartbeat silent past this many
+//                         seconds while holding work is a stalled_worker
+//                         anomaly (default 5)
 //   --sweep-report-out <path>  aggregate every machine run into a
 //                         SweepReport JSON (schema v4: per-group rollups,
 //                         quantile sketches, outlier runs, host-resource
@@ -47,6 +58,7 @@
 #include "core/cli.hpp"
 #include "obs/critpath.hpp"
 #include "obs/hostres.hpp"
+#include "obs/live.hpp"
 #include "obs/report.hpp"
 #include "obs/run_record.hpp"
 #include "obs/timeline.hpp"
@@ -90,6 +102,10 @@ class RunSession {
   /// Non-null iff --sweep-report-out or --sweep-trace-out was given
   /// (installed as the global store sim::run_sweep feeds spans to).
   [[nodiscard]] SweepSchedStore* sweep_sched() { return sched_.get(); }
+  /// Non-null iff --status-out or --progress was given (installed as the
+  /// global bus sweep workers feed; the --progress ticker and the
+  /// --status-out publisher both read it).
+  [[nodiscard]] LiveBus* live() { return live_.get(); }
 
   /// Resolved host worker-thread count for sim::run_sweep: the --jobs flag
   /// with 0 replaced by std::thread::hardware_concurrency() and tracing
@@ -116,6 +132,7 @@ class RunSession {
   std::string timeline_path_;
   std::string sweep_report_path_;
   std::string sweep_trace_path_;
+  std::string status_path_;
   int jobs_ = 1;
   int lanes_ = 1;
   bool dump_counters_ = false;
@@ -125,6 +142,8 @@ class RunSession {
   std::unique_ptr<TimelineStore> timeline_;
   std::unique_ptr<CritPathStore> critpath_;
   std::unique_ptr<SweepSchedStore> sched_;
+  std::unique_ptr<LiveBus> live_;
+  std::unique_ptr<LivePublisher> publisher_;
   HostResUsage host_begin_;
   RunReport report_;
 };

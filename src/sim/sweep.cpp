@@ -32,6 +32,17 @@ void SweepProgress::tick() {
   if (!enabled_) return;
   std::lock_guard<std::mutex> lock(mu_);
   ++done_;
+  // Prefer the live bus: its throughput is cumulative across the whole
+  // session and its ETA comes from the median completed-point duration
+  // spread over the workers actually running — far steadier than the
+  // per-sweep linear extrapolation fallback below.
+  if (obs::LiveBus* bus = obs::live_bus(); bus != nullptr) {
+    const obs::LiveBus::Progress p = bus->progress();
+    std::fprintf(stderr, "\r[sweep] %zu/%zu  %.1f pts/s eta %.1fs   ", done_,
+                 count_, p.points_per_sec, p.eta_seconds);
+    std::fflush(stderr);
+    return;
+  }
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();

@@ -41,6 +41,7 @@
 #include "core/contracts.hpp"
 #include "obs/counters.hpp"
 #include "obs/hostres.hpp"
+#include "obs/live.hpp"
 #include "obs/run_record.hpp"
 #include "obs/timeline.hpp"
 #include "sthreads/thread.hpp"
@@ -95,13 +96,20 @@ auto run_sweep(std::size_t count, int jobs, Fn&& fn)
   // SweepSchedStore. Null store means no clock calls at all, so the
   // default path is unchanged.
   obs::SweepSchedStore* sched = obs::sweep_sched_store();
+  // Live telemetry (opt-in, sampled — never merged into results): announce
+  // the points and mark each begin/end on the worker's bus cell. Null bus
+  // means the hooks compile down to a pointer test.
+  obs::LiveBus* bus = obs::live_bus();
+  if (bus != nullptr && count > 0) bus->add_points(count);
   if (jobs == 1 || count <= 1) {
     const std::uint32_t sweep_id =
         sched != nullptr && count > 0 ? sched->begin_sweep(count, 1) : 0;
     const double submit_us = sched != nullptr ? sched->now_us() : 0.0;
     for (std::size_t i = 0; i < count; ++i) {
       const double start_us = sched != nullptr ? sched->now_us() : 0.0;
+      if (bus != nullptr) bus->begin_point(0, i);
       results[i] = fn(i);
+      if (bus != nullptr) bus->end_point(0);
       if (sched != nullptr)
         sched->add_span(obs::SweepJobSpan{
             sweep_id, static_cast<std::uint32_t>(i), 0, submit_us, start_us,
@@ -148,7 +156,10 @@ auto run_sweep(std::size_t count, int jobs, Fn&& fn)
           std::optional<obs::ScopedTimeline> tl_scope;
           if (timeline_stores[i] != nullptr)
             tl_scope.emplace(*timeline_stores[i]);
+          if (bus != nullptr)
+            bus->begin_point(static_cast<std::uint32_t>(w), i);
           results[i] = fn(i);
+          if (bus != nullptr) bus->end_point(static_cast<std::uint32_t>(w));
           if (sched != nullptr)
             sched->add_span(obs::SweepJobSpan{
                 sweep_id, static_cast<std::uint32_t>(i),

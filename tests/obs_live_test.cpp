@@ -1,0 +1,334 @@
+// Tests for the live telemetry bus (obs/live): wait-free worker cells,
+// snapshot consistency, watchdog anomalies (slow point / stalled worker),
+// status JSON serialization, atomic file publishing, and the background
+// publisher under worker concurrency (the TSan smoke target — see
+// TC3I_SANITIZE in the top-level CMakeLists and scripts/check.sh).
+#include "obs/live.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "sim/sweep.hpp"
+
+namespace obs = tc3i::obs;
+
+namespace {
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+std::filesystem::path temp_status_path(const char* name) {
+  return std::filesystem::temp_directory_path() /
+         (std::string("tc3i_live_") + name + "_" +
+          std::to_string(::getpid()) + ".json");
+}
+
+obs::JsonValue parse_status_string(const std::string& text) {
+  std::string error;
+  const auto doc = obs::json_parse(text, &error);
+  EXPECT_TRUE(doc.has_value()) << error;
+  return doc.value_or(obs::JsonValue{});
+}
+
+obs::JsonValue parse_status_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_status_string(buf.str());
+}
+
+TEST(LiveBusTest, SnapshotCountsMatchWorkerSum) {
+  obs::LiveBus bus;
+  bus.add_points(10);
+  // Worker 0 completes three points scalar-style, worker 2 one batched.
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    bus.begin_point(0, i);
+    bus.end_point(0);
+  }
+  bus.heartbeat(2, 4);
+  bus.complete_point(2, 7, 1'000'000);
+
+  obs::LiveStatus s = bus.snapshot();
+  EXPECT_EQ(s.points_total, 10u);
+  EXPECT_EQ(s.points_done, 4u);
+  EXPECT_EQ(s.version, 1u);
+  EXPECT_FALSE(s.done);
+  ASSERT_EQ(s.workers.size(), 2u);
+  std::uint64_t sum = 0;
+  for (const obs::LiveWorkerStatus& w : s.workers) sum += w.points_done;
+  EXPECT_EQ(sum, s.points_done);
+  EXPECT_EQ(s.workers[0].worker, 0u);
+  EXPECT_FALSE(s.workers[0].running);
+  EXPECT_EQ(s.workers[1].worker, 2u);
+  EXPECT_EQ(s.workers[1].lanes, 4u);
+  EXPECT_TRUE(s.anomalies.empty());
+
+  // Version advances per snapshot so a poller can detect staleness.
+  EXPECT_EQ(bus.snapshot().version, 2u);
+}
+
+TEST(LiveBusTest, ProgressComputesMedianEtaAndThroughput) {
+  obs::LiveBus bus;
+  bus.add_points(8);
+  // Four completed points with a known duration spread: 1, 2, 3, 100 ms.
+  bus.complete_point(0, 0, 1'000'000);
+  bus.complete_point(0, 1, 2'000'000);
+  bus.complete_point(0, 2, 3'000'000);
+  bus.complete_point(0, 3, 100'000'000);
+
+  const obs::LiveBus::Progress p = bus.progress();
+  EXPECT_EQ(p.done, 4u);
+  EXPECT_EQ(p.total, 8u);
+  EXPECT_GT(p.points_per_sec, 0.0);
+  // Upper median of {1, 2, 3, 100} ms is 3 ms — robust to the outlier.
+  EXPECT_NEAR(p.median_point_seconds, 0.003, 1e-9);
+  // One worker seen, 4 points remaining: ETA = median * 4.
+  EXPECT_NEAR(p.eta_seconds, 0.012, 1e-9);
+}
+
+TEST(LiveBusTest, EtaFallsBackToCumulativeRateBeforeFirstCompletion) {
+  obs::LiveBus bus;
+  bus.add_points(100);
+  bus.begin_point(0, 0);
+  sleep_ms(2);
+  const obs::LiveBus::Progress p = bus.progress();
+  EXPECT_EQ(p.done, 0u);
+  EXPECT_EQ(p.median_point_seconds, 0.0);
+  EXPECT_EQ(p.eta_seconds, 0.0);  // no completions, no rate yet
+}
+
+TEST(LiveBusTest, RunSweepFeedsInstalledBus) {
+  obs::LiveBus bus;
+  obs::set_live_bus(&bus);
+  std::atomic<int> ran{0};
+  (void)tc3i::sim::run_sweep(12, 3, [&](std::size_t) {
+    ++ran;
+    return 0;
+  });
+  obs::set_live_bus(nullptr);
+  EXPECT_EQ(ran.load(), 12);
+  const obs::LiveBus::Progress p = bus.progress();
+  EXPECT_EQ(p.total, 12u);
+  EXPECT_EQ(p.done, 12u);
+}
+
+TEST(LiveWatchdogTest, StalledWorkerRaisesWithinTwoFolds) {
+  obs::WatchdogConfig wd;
+  wd.heartbeat_timeout_seconds = 0.02;
+  obs::LiveBus bus(wd);
+  bus.add_points(2);
+  // Injected stall: the worker claims a point and then goes silent.
+  bus.begin_point(1, 0);
+  obs::LiveStatus first = bus.snapshot();
+  EXPECT_TRUE(first.anomalies.empty());  // heartbeat is still fresh
+  sleep_ms(30);
+  obs::LiveStatus second = bus.snapshot();
+  ASSERT_EQ(second.anomalies.size(), 1u);
+  const obs::LiveAnomaly& a = second.anomalies[0];
+  EXPECT_EQ(a.kind, "stalled_worker");
+  EXPECT_EQ(a.worker, 1u);
+  EXPECT_EQ(a.point, 0u);
+  EXPECT_GE(a.observed_seconds, a.threshold_seconds);
+  EXPECT_NEAR(a.threshold_seconds, 0.02, 1e-12);
+}
+
+TEST(LiveWatchdogTest, StalledAnomalyDeduplicatesAcrossSnapshots) {
+  obs::WatchdogConfig wd;
+  wd.heartbeat_timeout_seconds = 0.01;
+  obs::LiveBus bus(wd);
+  bus.add_points(1);
+  bus.begin_point(0, 0);
+  sleep_ms(15);
+  EXPECT_EQ(bus.snapshot().anomalies.size(), 1u);
+  sleep_ms(15);
+  // Same (kind, worker, point) — still one cumulative anomaly.
+  EXPECT_EQ(bus.snapshot().anomalies.size(), 1u);
+  EXPECT_EQ(bus.anomalies().size(), 1u);
+}
+
+TEST(LiveWatchdogTest, IdleWorkerIsNotStalled) {
+  obs::WatchdogConfig wd;
+  wd.heartbeat_timeout_seconds = 0.01;
+  obs::LiveBus bus(wd);
+  bus.add_points(1);
+  bus.begin_point(0, 0);
+  bus.end_point(0);
+  bus.idle(0);
+  sleep_ms(15);
+  // Heartbeat is stale but the worker holds no work: no anomaly.
+  EXPECT_TRUE(bus.snapshot().anomalies.empty());
+}
+
+TEST(LiveWatchdogTest, SlowPointRequiresArmedBaseline) {
+  obs::WatchdogConfig wd;
+  wd.slow_point_k = 2.0;
+  wd.slow_point_min_samples = 4;
+  wd.slow_point_min_seconds = 0.0;
+  wd.heartbeat_timeout_seconds = 60.0;  // isolate the slow-point check
+  obs::LiveBus bus(wd);
+  bus.add_points(8);
+
+  // Not armed yet: only one completed sample, so a long-running point
+  // must NOT trip (a median of one point is not a baseline).
+  bus.complete_point(0, 0, 1'000'000);
+  bus.begin_point(1, 5);
+  sleep_ms(10);
+  EXPECT_TRUE(bus.snapshot().anomalies.empty());
+
+  // Arm with three more 1ms samples; the running point is now far past
+  // 2 x 1ms and must trip.
+  bus.complete_point(0, 1, 1'000'000);
+  bus.complete_point(0, 2, 1'000'000);
+  bus.complete_point(0, 3, 1'000'000);
+  obs::LiveStatus s = bus.snapshot();
+  ASSERT_EQ(s.anomalies.size(), 1u);
+  EXPECT_EQ(s.anomalies[0].kind, "slow_point");
+  EXPECT_EQ(s.anomalies[0].worker, 1u);
+  EXPECT_EQ(s.anomalies[0].point, 5u);
+}
+
+TEST(LiveWatchdogTest, AbsoluteFloorSuppressesMicrosecondJitter) {
+  obs::WatchdogConfig wd;
+  wd.slow_point_k = 2.0;
+  wd.slow_point_min_samples = 1;
+  wd.slow_point_min_seconds = 10.0;  // floor far above any test runtime
+  obs::LiveBus bus(wd);
+  bus.add_points(4);
+  bus.complete_point(0, 0, 1'000);  // 1us median
+  bus.begin_point(1, 1);
+  sleep_ms(5);  // 5000 x median, but well under the floor
+  EXPECT_TRUE(bus.snapshot().anomalies.empty());
+}
+
+TEST(LiveStatusJsonTest, SerializesSchemaAndRoundTrips) {
+  obs::LiveBus bus;
+  bus.set_bench("unit");
+  bus.set_phase("sweep");
+  bus.add_points(4);
+  bus.begin_point(0, 2);
+  bus.record_cache(true);
+  bus.record_cache(false);
+  bus.record_cache(true);
+
+  std::ostringstream out;
+  obs::LiveBus::write_status_json(bus.snapshot(), out);
+  const obs::JsonValue doc = parse_status_string(out.str());
+  EXPECT_EQ(doc.string_or("kind", ""), "live_status");
+  EXPECT_EQ(doc.number_or("schema_version", 0.0), 1.0);
+  EXPECT_EQ(doc.string_or("bench", ""), "unit");
+  EXPECT_EQ(doc.string_or("phase", ""), "sweep");
+  const obs::JsonValue* points = doc.find_object("points");
+  ASSERT_NE(points, nullptr);
+  EXPECT_EQ(points->number_or("total", -1.0), 4.0);
+  EXPECT_EQ(points->number_or("done", -1.0), 0.0);
+  const obs::JsonValue* cache = doc.find_object("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->number_or("hits", -1.0), 2.0);
+  EXPECT_EQ(cache->number_or("misses", -1.0), 1.0);
+  const obs::JsonValue* host = doc.find_object("host");
+  ASSERT_NE(host, nullptr);
+  EXPECT_GE(host->number_or("max_rss_kb", -1.0), 0.0);
+  const obs::JsonValue* workers = doc.find_array("workers");
+  ASSERT_NE(workers, nullptr);
+  ASSERT_EQ(workers->array.size(), 1u);
+  EXPECT_EQ(workers->array[0].string_or("state", ""), "running");
+  EXPECT_EQ(workers->array[0].number_or("point", -1.0), 2.0);
+  const obs::JsonValue* anomalies = doc.find_array("anomalies");
+  ASSERT_NE(anomalies, nullptr);
+  EXPECT_TRUE(anomalies->array.empty());
+}
+
+TEST(LiveStatusJsonTest, WriteStatusFileReplacesAtomically) {
+  const std::filesystem::path path = temp_status_path("file");
+  obs::LiveBus bus;
+  bus.add_points(2);
+  std::string error;
+  ASSERT_TRUE(obs::LiveBus::write_status_file(bus.snapshot(), path.string(),
+                                              &error))
+      << error;
+  bus.begin_point(0, 0);
+  bus.end_point(0);
+  ASSERT_TRUE(obs::LiveBus::write_status_file(bus.snapshot(true),
+                                              path.string(), &error))
+      << error;
+  // No leftover temp file, and the final snapshot won the rename.
+  EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp"));
+  const obs::JsonValue doc = parse_status_file(path);
+  EXPECT_EQ(doc.number_or("version", 0.0), 2.0);
+  const obs::JsonValue* done = doc.find("done");
+  ASSERT_NE(done, nullptr);
+  EXPECT_TRUE(done->is_bool() && done->boolean);
+  std::filesystem::remove(path);
+}
+
+TEST(LivePublisherTest, PublishesUnderWorkerConcurrency) {
+  // The TSan smoke target: four workers hammer their cells while the
+  // publisher folds snapshots at a 1ms period.
+  const std::filesystem::path path = temp_status_path("publisher");
+  obs::LiveBus bus;
+  bus.set_bench("stress");
+  bus.add_points(4 * 200);
+  std::uint64_t published = 0;
+  {
+    obs::LivePublisher publisher(bus, path.string(), 1);
+    std::vector<std::thread> workers;
+    for (std::uint32_t w = 0; w < 4; ++w)
+      workers.emplace_back([&bus, w]() {
+        for (std::uint64_t i = 0; i < 200; ++i) {
+          const std::uint64_t point = w * 200 + i;
+          bus.begin_point(w, point);
+          bus.heartbeat(w, w % 3);
+          bus.record_cache(i % 2 == 0);
+          bus.complete_point(w, point, 10'000);
+        }
+        bus.idle(w);
+      });
+    for (std::thread& t : workers) t.join();
+    sleep_ms(5);  // let at least one periodic snapshot land
+    published = publisher.finish();
+    EXPECT_EQ(publisher.finish(), published);  // idempotent
+  }
+  EXPECT_GE(published, 1u);
+  const obs::JsonValue doc = parse_status_file(path);
+  const obs::JsonValue* done = doc.find("done");
+  ASSERT_NE(done, nullptr);
+  EXPECT_TRUE(done->is_bool() && done->boolean);
+  const obs::JsonValue* points = doc.find_object("points");
+  ASSERT_NE(points, nullptr);
+  EXPECT_EQ(points->number_or("done", -1.0), 800.0);
+  EXPECT_EQ(points->number_or("total", -1.0), 800.0);
+  std::filesystem::remove(path);
+}
+
+TEST(LivePublisherTest, FinalSnapshotWrittenEvenWithoutPeriodFiring) {
+  const std::filesystem::path path = temp_status_path("final");
+  obs::LiveBus bus;
+  bus.add_points(1);
+  bus.begin_point(0, 0);
+  bus.end_point(0);
+  std::uint64_t published = 0;
+  {
+    obs::LivePublisher publisher(bus, path.string(), 60'000);
+    published = publisher.finish();
+  }
+  EXPECT_EQ(published, 1u);  // the done=true snapshot only
+  const obs::JsonValue doc = parse_status_file(path);
+  const obs::JsonValue* points = doc.find_object("points");
+  ASSERT_NE(points, nullptr);
+  EXPECT_EQ(points->number_or("done", -1.0), 1.0);
+  std::filesystem::remove(path);
+}
+
+}  // namespace

@@ -167,8 +167,9 @@ TEST(RunReport, JsonContainsRowsConfigAndRegistrySnapshot) {
   const std::string json = os.str();
   ASSERT_FALSE(json_validate(json).has_value()) << *json_validate(json);
   EXPECT_NE(json.find("\"bench\":\"unit_bench\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":5"), std::string::npos);
   EXPECT_NE(json.find("\"machine_runs\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"anomalies\":[]"), std::string::npos);
   EXPECT_NE(json.find("\"label\":\"one_proc\""), std::string::npos);
   EXPECT_NE(json.find("\"test.ops\":11"), std::string::npos);
   EXPECT_NE(json.find("\"test.level\":0.5"), std::string::npos);

@@ -7,21 +7,26 @@
 // a schema pass: the required sections must be present with the right
 // kinds, counter names must stick to the [a-z0-9_.] charset, counter
 // values must be non-negative, each MTA machine-run's issue-slot account
-// must sum to cycles x processors, and any "critical_path" section (runs
+// must sum to cycles x processors, any "critical_path" section (runs
 // captured under --critpath) must carry non-negative attribution buckets
-// that sum to its total, plus well-formed projections. Files carrying
-// "kind":"sweep_report" (--sweep-report-out, schema_version 4) get the
-// SweepReport pass instead: every group needs the full metric set with
-// internally consistent summaries (count/sum/mean agree, min <= p10 <=
-// p50 <= p90 <= max, non-negative rank_error), MTA groups' six
-// slot_share.* means must sum to 1, and the host/sched accounting must be
-// present and non-negative. Arguments ending in .csv are validated as
+// that sum to its total, plus well-formed projections, and from
+// schema_version 5 the "anomalies" watchdog array must be present and
+// well-formed. Files carrying "kind":"sweep_report" (--sweep-report-out,
+// schema_version >= 4) get the SweepReport pass instead: every group
+// needs the full metric set with internally consistent summaries
+// (count/sum/mean agree, min <= p10 <= p50 <= p90 <= max, non-negative
+// rank_error), MTA groups' six slot_share.* means must sum to 1, the
+// host/sched accounting must be present and non-negative, and v5 reports
+// need the "anomalies" array. Files carrying "kind":"live_status"
+// (--status-out) get the LiveStatus pass: consistent points accounting
+// (done <= total), non-negative rates/ages, per-worker state objects and
+// the anomalies array. Arguments ending in .csv are validated as
 // --timeline-out output instead (exact header, six columns, strictly
 // increasing cycle grid per run+series, non-negative values — see
 // obs::validate_timeline_csv). Exits 0 when every file passes, 1
 // otherwise (printing the first error per file). Used by scripts/check.sh
 // to validate --trace-out / --report-out / --timeline-out /
-// --sweep-report-out output without a JSON library.
+// --sweep-report-out / --status-out output without a JSON library.
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -84,6 +89,34 @@ std::string check_critical_path(const JsonValue& cp, const std::string& at) {
     const JsonValue* predicted = p.find_number("predicted");
     if (predicted == nullptr || predicted->number < 0.0)
       return pat + ".predicted missing or negative";
+  }
+  return "";
+}
+
+/// Validates a watchdog "anomalies" array (RunReport / SweepReport v5 and
+/// the LiveStatus file share one shape). Empty string when fine.
+std::string check_anomalies(const JsonValue& doc) {
+  const JsonValue* anomalies = doc.find_array("anomalies");
+  if (anomalies == nullptr) return "missing array \"anomalies\"";
+  for (std::size_t i = 0; i < anomalies->array.size(); ++i) {
+    const JsonValue& a = anomalies->array[i];
+    const std::string at = "anomalies[" + std::to_string(i) + "]";
+    if (!a.is_object()) return at + " is not an object";
+    const std::string kind = a.string_or("kind", "");
+    if (kind != "slow_point" && kind != "stalled_worker")
+      return at + ".kind is not \"slow_point\" or \"stalled_worker\"";
+    const JsonValue* worker = a.find_number("worker");
+    if (worker == nullptr || worker->number < 0.0)
+      return at + ".worker missing or negative";
+    for (const char* field :
+         {"at_seconds", "observed_seconds", "threshold_seconds"}) {
+      const JsonValue* v = a.find_number(field);
+      if (v == nullptr || v->number < 0.0)
+        return at + "." + field + " missing or negative";
+    }
+    if (a.number_or("observed_seconds", 0.0) <
+        a.number_or("threshold_seconds", 0.0))
+      return at + ": observed_seconds below threshold_seconds";
   }
   return "";
 }
@@ -163,6 +196,10 @@ std::string check_report_schema(const JsonValue& doc) {
     if (std::fabs(total - expect) > 0.5)
       return at + ".slots sum to " + std::to_string(total) +
              ", expected cycles x processors = " + std::to_string(expect);
+  }
+  if (version->number >= 5.0) {
+    const std::string problem = check_anomalies(doc);
+    if (!problem.empty()) return problem;
   }
   return "";
 }
@@ -281,7 +318,83 @@ std::string check_sweep_report_schema(const JsonValue& doc) {
     if (v == nullptr || v->number < 0.0)
       return std::string("host.sched.") + field + " missing or negative";
   }
+  if (version->number >= 5.0) {
+    const std::string problem = check_anomalies(doc);
+    if (!problem.empty()) return problem;
+  }
   return "";
+}
+
+/// Returns an empty string when `doc` passes the LiveStatus (--status-out,
+/// kind "live_status") checks, else the first problem.
+std::string check_live_status_schema(const JsonValue& doc) {
+  if (doc.find_string("bench") == nullptr) return "missing string \"bench\"";
+  if (doc.find_string("phase") == nullptr) return "missing string \"phase\"";
+  const JsonValue* version = doc.find_number("schema_version");
+  if (version == nullptr) return "missing number \"schema_version\"";
+  if (version->number < 1.0) return "live_status needs schema_version >= 1";
+  const JsonValue* snapshot = doc.find_number("version");
+  if (snapshot == nullptr || snapshot->number < 1.0)
+    return "missing \"version\" (snapshot counter) >= 1";
+  if (doc.number_or("at_seconds", -1.0) < 0.0)
+    return "at_seconds missing or negative";
+  const JsonValue* done = doc.find("done");
+  if (done == nullptr || !done->is_bool()) return "missing bool \"done\"";
+  const JsonValue* points = doc.find_object("points");
+  if (points == nullptr) return "missing object \"points\"";
+  const double total = points->number_or("total", -1.0);
+  const double points_done = points->number_or("done", -1.0);
+  if (total < 0.0) return "points.total missing or negative";
+  if (points_done < 0.0) return "points.done missing or negative";
+  if (points_done > total) return "points.done exceeds points.total";
+  for (const char* field :
+       {"throughput_per_sec", "eta_seconds", "median_point_seconds"}) {
+    const JsonValue* v = points->find_number(field);
+    if (v == nullptr || v->number < 0.0)
+      return std::string("points.") + field + " missing or negative";
+  }
+  const JsonValue* cache = doc.find_object("cache");
+  if (cache == nullptr) return "missing object \"cache\"";
+  for (const char* field : {"hits", "misses"})
+    if (cache->number_or(field, -1.0) < 0.0)
+      return std::string("cache.") + field + " missing or negative";
+  const JsonValue* host = doc.find_object("host");
+  if (host == nullptr) return "missing object \"host\"";
+  for (const char* field :
+       {"wall_seconds", "user_cpu_seconds", "sys_cpu_seconds", "max_rss_kb",
+        "minor_faults", "major_faults"}) {
+    const JsonValue* v = host->find_number(field);
+    if (v == nullptr || v->number < 0.0)
+      return std::string("host.") + field + " missing or negative";
+  }
+  const JsonValue* workers = doc.find_array("workers");
+  if (workers == nullptr) return "missing array \"workers\"";
+  double worker_points = 0.0;
+  for (std::size_t i = 0; i < workers->array.size(); ++i) {
+    const JsonValue& ws = workers->array[i];
+    const std::string at = "workers[" + std::to_string(i) + "]";
+    if (!ws.is_object()) return at + " is not an object";
+    if (ws.number_or("worker", -1.0) < 0.0)
+      return at + ".worker missing or negative";
+    const std::string state = ws.string_or("state", "");
+    if (state != "running" && state != "idle")
+      return at + ".state is not \"running\" or \"idle\"";
+    if (state == "running" && ws.find_number("point") == nullptr)
+      return at + " running but missing point";
+    for (const char* field : {"points_done", "lanes", "heartbeat_age_seconds",
+                              "point_age_seconds"}) {
+      const JsonValue* v = ws.find_number(field);
+      if (v == nullptr || v->number < 0.0)
+        return at + "." + field + " missing or negative";
+    }
+    worker_points += ws.number_or("points_done", 0.0);
+  }
+  // The top-level counter is the sum of the per-worker cells (both folded
+  // from the same snapshot).
+  if (worker_points != points_done)
+    return "workers' points_done sum to " + std::to_string(worker_points) +
+           ", expected points.done = " + std::to_string(points_done);
+  return check_anomalies(doc);
 }
 
 }  // namespace
@@ -322,7 +435,17 @@ int main(int argc, char** argv) {
       ++failures;
       continue;
     }
-    if (doc->is_object() && doc->string_or("kind", "") == "sweep_report") {
+    if (doc->is_object() && doc->string_or("kind", "") == "live_status") {
+      const std::string problem = check_live_status_schema(*doc);
+      if (!problem.empty()) {
+        std::fprintf(stderr, "%s: live status schema: %s\n", argv[i],
+                     problem.c_str());
+        ++failures;
+        continue;
+      }
+      std::printf("%s: ok (%zu bytes, live status schema ok)\n", argv[i],
+                  text.size());
+    } else if (doc->is_object() && doc->string_or("kind", "") == "sweep_report") {
       const std::string problem = check_sweep_report_schema(*doc);
       if (!problem.empty()) {
         std::fprintf(stderr, "%s: sweep report schema: %s\n", argv[i],

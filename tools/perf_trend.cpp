@@ -135,12 +135,21 @@ int do_append(const char* history_path, const char* report_path,
   return 0;
 }
 
+std::string format_value(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
 /// Gates the line at `latest_idx` (the newest line of its bench) against
 /// the trailing window of earlier lines of the same bench. Returns the
-/// number of regressing rows.
+/// number of regressing rows; each regression also appends a
+/// "bench/label: measured ... < floor ..." line to *failures so the final
+/// verdict names the offenders without scrolling back through the table.
 int check_bench(const std::vector<HistoryLine>& history,
                 std::size_t latest_idx, std::size_t window,
-                std::size_t min_runs, double k, double min_drop) {
+                std::size_t min_runs, double k, double min_drop,
+                std::vector<std::string>* failures) {
   const HistoryLine& latest = history[latest_idx];
   int regressions = 0;
   for (const auto& [label, value] : latest.rows) {
@@ -172,6 +181,11 @@ int check_bench(const std::vector<HistoryLine>& history,
       std::printf("  %-40s %12.4g  REGRESSION: median %.4g, floor "
                   "max-of(%.4g stat, %.4g drop)\n",
                   label.c_str(), value, med, stat_floor, drop_floor);
+      failures->push_back(latest.bench + "/" + label + ": measured " +
+                          format_value(value) + " < floor " +
+                          format_value(std::min(stat_floor, drop_floor)) +
+                          " (median " + format_value(med) + " over " +
+                          std::to_string(prior.size()) + " runs)");
       ++regressions;
     } else {
       std::printf("  %-40s %12.4g  ok (median %.4g over %zu runs)\n",
@@ -208,14 +222,18 @@ int do_check(const char* history_path, std::size_t window,
               history_path, history.size(), newest.size(),
               newest.size() == 1 ? "" : "es", window, k, min_drop);
   int regressions = 0;
+  std::vector<std::string> failures;
   for (const std::size_t idx : newest) {
     std::printf(" bench %s (line %zu):\n", history[idx].bench.c_str(),
                 idx + 1);
-    regressions += check_bench(history, idx, window, min_runs, k, min_drop);
+    regressions +=
+        check_bench(history, idx, window, min_runs, k, min_drop, &failures);
   }
   if (regressions > 0) {
     std::printf("perf_trend: %d regression%s\n", regressions,
                 regressions == 1 ? "" : "s");
+    for (const std::string& f : failures)
+      std::printf("perf_trend: FAIL %s\n", f.c_str());
     return 1;
   }
   std::printf("perf_trend: no regressions\n");

@@ -1,4 +1,4 @@
-// Renders, diffs and recomputes SweepReport JSON (schema_version 4).
+// Renders, diffs and recomputes SweepReport JSON (schema_version 5).
 //
 //   sweep_report <sweep.json>                render the group rollup table
 //   sweep_report <a.json> <b.json>           group-keyed delta of two reports
