@@ -26,7 +26,9 @@
 // (< 5% overhead). sweep_batched runs the identical 100 points through the
 // batched lockstep engine (mta::run_batched_sweep, --lanes in-flight
 // machines with arena-recycled sync memory); scripts/check.sh gates its
-// points_per_sec at >= 5x sweep_plain.
+// points_per_sec at >= 5x sweep_plain. sweep_flight_off re-measures
+// sweep_plain with the always-on flight recorder disabled, pinning the
+// recorder's cost (check.sh gates sweep_plain >= 0.98x sweep_flight_off).
 //
 // Each scenario runs `--reps` times (default 3); the median wall time
 // produces two RunReport rows per scenario ("<name>.cycles_per_sec" and
@@ -54,6 +56,7 @@
 #include "mta/stream_program.hpp"
 #include "obs/aggregate.hpp"
 #include "obs/critpath.hpp"
+#include "obs/flight.hpp"
 #include "obs/hostres.hpp"
 #include "obs/run_record.hpp"
 #include "obs/session.hpp"
@@ -446,6 +449,20 @@ int main(int argc, char** argv) {
                          static_cast<double>(kPoints) / plain);
     run.report().add_row("sweep_telemetry.points_per_sec", 1.0,
                          static_cast<double>(kPoints) / telem);
+
+    // Flight-recorder overhead regime: sweep_plain runs with the
+    // always-on flight rings recording; this re-measures the identical
+    // sweep with the recorder disabled (each emit degrades to one relaxed
+    // load + branch, the compiled-out floor). scripts/check.sh gates
+    // sweep_plain at >= 0.98x this row, the <=2% recorder budget.
+    obs::flight::set_enabled(false);
+    const double flight_off =
+        measure_sweep_regime(reps, sweep_jobs, kPoints, /*telemetry=*/false);
+    obs::flight::set_enabled(true);
+    table.row({"sweep_flight_off", "-", "-",
+               TextTable::num(flight_off * 1e3, 2), "-", "-"});
+    run.report().add_row("sweep_flight_off.points_per_sec", 1.0,
+                         static_cast<double>(kPoints) / flight_off);
 
     // Batched lockstep regime: the identical 100 points through
     // mta::run_batched_sweep (SoA multi-lane engine, arena-recycled sync

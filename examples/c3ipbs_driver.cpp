@@ -10,6 +10,7 @@
 #include "c3i/suite.hpp"
 #include "core/cli.hpp"
 #include "core/table.hpp"
+#include "obs/flight.hpp"
 #include "obs/session.hpp"
 #include "sthreads/critpath.hpp"
 
@@ -51,9 +52,12 @@ int main(int argc, char** argv) {
     for (const auto& variant : problem->variants()) {
       if (want_variant != "all" && variant != want_variant) continue;
       matched = true;
-      // Label live-status snapshots (--status-out) with the work in flight.
+      // Label live-status snapshots (--status-out) with the work in
+      // flight; the same label goes into the flight rings so crash dumps
+      // name the problem/variant that was running.
       if (obs::LiveBus* bus = obs::live_bus(); bus != nullptr)
         bus->set_phase(problem->name() + "/" + variant);
+      obs::flight::phase(problem->name() + "/" + variant);
       TextTable table(problem->name() + " / " + variant);
       table.header({"Scenario", "Work units", "Host time (s)", "Correct"});
       for (int s = 0; s < problem->num_scenarios(); ++s) {

@@ -128,6 +128,18 @@ echo "== batched sweep engine (lanes byte-identity) =="
   { echo "FAIL: --lanes 4 report differs from --lanes 1"; exit 1; }
 echo "lanes=4 report byte-identical to lanes=1 (modulo wall time)"
 
+# The flight recorder is sampled, never merged: the same sweep with the
+# recorder disabled (TC3I_FLIGHT=0) and at a different jobs x lanes shape
+# must still produce the identical report.
+TC3I_FLIGHT=0 "$BUILD_DIR"/bench/table05_threat_tera --lanes 4 --jobs 3 \
+    --report-out "$SMOKE_DIR/lanes4_noflight.json" >/dev/null
+"$BUILD_DIR"/tools/report_diff "$SMOKE_DIR/lanes1.json" \
+    "$SMOKE_DIR/lanes4_noflight.json" --ignore mta.run.wall_seconds \
+    >/dev/null ||
+  { echo "FAIL: report changes when the flight recorder is disabled"; \
+    exit 1; }
+echo "report byte-identical with flight recorder on or off"
+
 echo "== live status bus (--status-out + sweep_monitor) =="
 # The live-telemetry tentpole: a sweep run with --status-out must publish
 # monotonically-advancing snapshots while it runs, finish with a done=true
@@ -183,6 +195,63 @@ SCHED_PTS="$(sed -n \
 echo "live status: $LAST_VER snapshots, final counts match sweep report" \
      "($LIVE_DONE/$LIVE_TOTAL points)"
 
+echo "== flight recorder (forced anomaly -> dump -> report/validate) =="
+# The black-box tentpole: a sweep with an injected 600ms stall on point 1
+# and a 0.2s watchdog heartbeat timeout must trip a stalled_worker
+# anomaly, whose first sighting snapshots every flight ring into
+# --flight-out. The dump must validate (json_check flight_dump pass),
+# flight_report must render the cross-linked trigger, and sweep_monitor
+# --once must exit 3 on the anomalous final status.
+FSTATUS="$SMOKE_DIR/flight_live.json"
+FDUMP="$SMOKE_DIR/flight.json"
+TC3I_INJECT_SLOW_POINT="1:600" "$BUILD_DIR"/bench/table05_threat_tera \
+    --lanes 1 --jobs 2 \
+    --status-out "$FSTATUS" --status-period 25 \
+    --watchdog-timeout 0.2 \
+    --flight-out "$FDUMP" >/dev/null ||
+  { echo "FAIL: table05 with --flight-out exited nonzero"; exit 1; }
+[ -s "$FDUMP" ] ||
+  { echo "FAIL: watchdog anomaly produced no flight dump"; exit 1; }
+"$BUILD_DIR"/tools/json_check "$FDUMP" "$FSTATUS"
+"$BUILD_DIR"/tools/flight_report "$FDUMP" |
+  grep -q '^trigger reason=watchdog kind=' ||
+  { echo "FAIL: flight_report shows no cross-linked watchdog trigger"; \
+    exit 1; }
+"$BUILD_DIR"/tools/flight_report "$FDUMP" --all | grep -q '^event ' ||
+  { echo "FAIL: flight_report rendered no timeline events"; exit 1; }
+MON_RC=0
+"$BUILD_DIR"/tools/sweep_monitor "$FSTATUS" --once >/dev/null || MON_RC=$?
+[ "$MON_RC" -eq 3 ] ||
+  { echo "FAIL: sweep_monitor --once exited $MON_RC, expected 3" \
+         "(anomalies present)"; exit 1; }
+# No crash happened, so the pre-opened crash file must be gone.
+[ ! -e "$FDUMP.crash" ] ||
+  { echo "FAIL: clean run left $FDUMP.crash behind"; exit 1; }
+echo "flight dump validated, trigger cross-linked, monitor flagged exit 3"
+
+# Referential validation must actually reject: a minimal v5 report whose
+# anomaly pins point 5 when machine_runs holds a single run is corrupt.
+cat > "$SMOKE_DIR/bad_anomaly.json" <<'EOF'
+{"bench":"fixture","schema_version":5,"config":{},"counters":{},
+ "gauges":{},"histograms":{},"rows":[],"notes":[],
+ "machine_runs":[{"model":"smp","name":"p","processors":1,
+                  "utilization":0.5}],
+ "anomalies":[{"kind":"slow_point","worker":0,"point":5,"at_seconds":1,
+               "observed_seconds":2,"threshold_seconds":1}]}
+EOF
+if "$BUILD_DIR"/tools/json_check "$SMOKE_DIR/bad_anomaly.json" \
+    >/dev/null 2>&1; then
+  echo "FAIL: json_check accepted an anomaly pointing past machine_runs"
+  exit 1
+fi
+# The same fixture with an in-range point must pass (the rejection above
+# is the referential check, not some other schema complaint).
+sed 's/"point":5/"point":0/' "$SMOKE_DIR/bad_anomaly.json" \
+    > "$SMOKE_DIR/ok_anomaly.json"
+"$BUILD_DIR"/tools/json_check "$SMOKE_DIR/ok_anomaly.json" >/dev/null ||
+  { echo "FAIL: json_check rejected an in-range anomaly fixture"; exit 1; }
+echo "referential anomaly validation rejects out-of-range point"
+
 echo "== TSan smoke (obs_live_test under -fsanitize=thread) =="
 # The bus's worker path is wait-free by design; prove it data-race-free
 # under ThreadSanitizer where the toolchain supports it (the
@@ -199,6 +268,24 @@ if printf 'int main(){return 0;}' |
   echo "obs_live_test clean under ThreadSanitizer"
 else
   echo "skipped: toolchain lacks -fsanitize=thread support"
+fi
+
+echo "== ASan smoke (obs_flight_test under -fsanitize=address) =="
+# The flight rings are fixed storage written wait-free and read by
+# concurrent dumps and signal handlers; prove the whole capture/dump/crash
+# cycle clean under AddressSanitizer where the toolchain supports it.
+if printf 'int main(){return 0;}' |
+    c++ -fsanitize=address -x c++ - -o "$SMOKE_DIR/asan_probe" 2>/dev/null &&
+    "$SMOKE_DIR/asan_probe" 2>/dev/null; then
+  ASAN_DIR="build-asan"
+  cmake -B "$ASAN_DIR" -S . -DTC3I_SANITIZE=address -DTC3I_WERROR=ON \
+      >/dev/null
+  cmake --build "$ASAN_DIR" --target obs_flight_test -j >/dev/null
+  "$ASAN_DIR"/tests/obs_flight_test >/dev/null ||
+    { echo "FAIL: obs_flight_test failed under ASan"; exit 1; }
+  echo "obs_flight_test clean under AddressSanitizer"
+else
+  echo "skipped: toolchain lacks -fsanitize=address support"
 fi
 
 echo "== perf smoke (sim_throughput vs committed baseline) =="
@@ -238,6 +325,19 @@ awk -v sp="$SP" -v st="$ST" 'BEGIN { exit !(st >= 0.95 * sp) }' ||
   { echo "FAIL: sweep_telemetry $ST < 0.95 x sweep_plain $SP points/s"; \
     exit 1; }
 echo "sweep telemetry overhead within budget ($ST vs plain $SP points/s)"
+
+# The always-on flight recorder must cost at most 2% of sweep throughput:
+# sweep_plain runs with the recorder capturing, sweep_flight_off is the
+# identical sweep with emit() degraded to a relaxed load + branch.
+SFO="$(extract_measured 'sweep_flight_off.points_per_sec')"
+[ -n "$SFO" ] ||
+  { echo "FAIL: sim_throughput report missing sweep_flight_off row"; \
+    exit 1; }
+awk -v sp="$SP" -v sfo="$SFO" 'BEGIN { exit !(sp >= 0.98 * sfo) }' ||
+  { echo "FAIL: flight recorder overhead above 2%:" \
+         "sweep_plain $SP < 0.98 x sweep_flight_off $SFO points/s"; exit 1; }
+echo "flight recorder overhead within budget ($SP vs recorder-off $SFO" \
+     "points/s)"
 
 # The batched lockstep engine must actually pay for itself: sweep_batched
 # throughput at least 5x sweep_plain. The measured margin is ~40x (see

@@ -9,6 +9,7 @@
 #include "core/contracts.hpp"
 #include "obs/counters.hpp"
 #include "obs/critpath.hpp"
+#include "obs/flight.hpp"
 #include "obs/hostres.hpp"
 #include "obs/live.hpp"
 #include "obs/run_record.hpp"
@@ -102,6 +103,11 @@ void BatchedMachine::admit(std::size_t index, const BatchPoint& point,
   }
   if (!recycled) recycled = take_from_bank(point.config.memory_words, arena);
   if (recycled) ++stats_.arena_reuses;
+  obs::flight::emit(recycled ? obs::flight::EventKind::kArenaAdopt
+                             : obs::flight::EventKind::kArenaMiss,
+                    point.config.memory_words);
+  obs::flight::emit(obs::flight::EventKind::kLaneAdmit, index,
+                    static_cast<std::uint64_t>(slot));
   lane.machine = std::make_unique<Machine>(point.config, std::move(arena));
   TC3I_EXPECTS(!lane.machine->uses_slow_reference());
   lane.pool = std::make_unique<ProgramPool>();
@@ -142,6 +148,8 @@ void BatchedMachine::retire(int lane_index) {
   }
   if (arenas_.size() < static_cast<std::size_t>(lanes_))
     arenas_.push_back(std::move(*lane.machine).release_memory_arena());
+  obs::flight::emit(obs::flight::EventKind::kLaneRetire, lane.point_index,
+                    static_cast<std::uint64_t>(lane_index));
   lane.machine.reset();
   lane.pool.reset();
   lane_active_[li] = 0;
@@ -224,8 +232,13 @@ std::vector<MtaRunResult> run_batched_sweep(
   };
   std::vector<std::uint64_t> live_start_ns(bus != nullptr ? count : 0, 0);
 
+  obs::flight::emit(obs::flight::EventKind::kSweepBegin, count, workers);
   const auto drive = [&](std::size_t w) {
     BatchedMachine engine(lanes);
+    // Flight heartbeats are throttled by window count: one ring event per
+    // 16 advance_window calls keeps the drive loop's liveness visible in
+    // a dump without paying a clock read per window.
+    std::uint64_t windows = 0;
     for (;;) {
       while (engine.has_free_lane()) {
         const std::size_t i = next.fetch_add(1);
@@ -235,6 +248,7 @@ std::vector<MtaRunResult> run_batched_sweep(
           live_start_ns[i] = live_now_ns();
           bus->begin_point(static_cast<std::uint32_t>(w), i);
         }
+        obs::flight::emit(obs::flight::EventKind::kPointBegin, i, w);
         engine.admit(i, points[i], registries[i].get(),
                      record_stores[i].get(), timeline_stores[i].get());
       }
@@ -243,6 +257,10 @@ std::vector<MtaRunResult> run_batched_sweep(
       if (bus != nullptr)
         bus->heartbeat(static_cast<std::uint32_t>(w),
                        static_cast<std::uint32_t>(engine.active_lanes()));
+      if ((++windows & 15) == 0)
+        obs::flight::emit(obs::flight::EventKind::kHeartbeat,
+                          static_cast<std::uint64_t>(engine.active_lanes()),
+                          w);
       for (auto& [idx, res] : engine.take_finished()) {
         results[idx] = std::move(res);
         if (sched != nullptr)
@@ -250,19 +268,23 @@ std::vector<MtaRunResult> run_batched_sweep(
               sweep_id, static_cast<std::uint32_t>(idx),
               static_cast<std::uint32_t>(w), submit_us, start_us[idx],
               sched->now_us()});
+        std::uint64_t duration_ns = 0;
         if (bus != nullptr) {
           const std::uint64_t now = live_now_ns();
+          duration_ns =
+              now > live_start_ns[idx] ? now - live_start_ns[idx] : 0;
           bus->complete_point(static_cast<std::uint32_t>(w), idx,
-                              now > live_start_ns[idx]
-                                  ? now - live_start_ns[idx]
-                                  : 0);
+                              duration_ns);
         }
+        obs::flight::emit(obs::flight::EventKind::kPointEnd, idx,
+                          duration_ns);
         progress.tick();
       }
     }
     // Drained: clear the running-point marker and lane occupancy so the
     // watchdog stops counting this worker as holding work.
     if (bus != nullptr) bus->idle(static_cast<std::uint32_t>(w));
+    obs::flight::emit(obs::flight::EventKind::kWorkerIdle, w);
   };
   if (workers <= 1) {
     drive(0);
@@ -273,6 +295,7 @@ std::vector<MtaRunResult> run_batched_sweep(
       pool.emplace_back([&drive, w]() { drive(w); });
     // Thread destructors join.
   }
+  obs::flight::emit(obs::flight::EventKind::kSweepEnd, count);
 
   obs::CounterRegistry& mine = obs::default_registry();
   for (const auto& r : registries) mine.merge_from(*r);

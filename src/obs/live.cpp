@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/contracts.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 
 namespace tc3i::obs {
@@ -135,8 +136,10 @@ LiveBus::Progress LiveBus::progress() const {
   p.total = points_total_.load(std::memory_order_relaxed);
   for (const Cell& c : cells_)
     p.done += c.points_done.load(std::memory_order_relaxed);
+  // Zero completed points early in a sweep must yield zero rate and zero
+  // ETA (rendered as "eta ?" by the ticker), never a division by zero.
   const double elapsed = now_seconds();
-  if (elapsed > 0.0)
+  if (p.done > 0 && elapsed > 0.0)
     p.points_per_sec = static_cast<double>(p.done) / elapsed;
   p.median_point_seconds = median_sample_seconds();
   const std::uint64_t remaining = p.total > p.done ? p.total - p.done : 0;
@@ -211,7 +214,9 @@ LiveStatus LiveBus::snapshot(bool done) {
   // preceded its completion, so this order keeps done <= total even while
   // workers race the snapshot.
   s.points_total = points_total_.load(std::memory_order_relaxed);
-  if (now_s > 0.0)
+  // Same zero-completed guard as progress(): rate and ETA stay 0 (not
+  // estimable) until the first point lands, never NaN/inf.
+  if (s.points_done > 0 && now_s > 0.0)
     s.throughput_points_per_sec =
         static_cast<double>(s.points_done) / now_s;
   const std::uint64_t remaining =
@@ -228,20 +233,29 @@ LiveStatus LiveBus::snapshot(bool done) {
           static_cast<double>(remaining) / s.throughput_points_per_sec;
   }
 
-  const std::lock_guard<std::mutex> lock(mu_);
-  for (LiveAnomaly& a : found) {
-    const AnomalyKey key{
-        static_cast<std::uint8_t>(a.kind == "slow_point" ? 0 : 1), a.worker,
-        a.point};
-    if (std::find(raised_.begin(), raised_.end(), key) != raised_.end())
-      continue;
-    raised_.push_back(key);
-    anomalies_.push_back(std::move(a));
+  bool first_anomaly = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const bool had_anomalies = !anomalies_.empty();
+    for (LiveAnomaly& a : found) {
+      const AnomalyKey key{
+          static_cast<std::uint8_t>(a.kind == "slow_point" ? 0 : 1), a.worker,
+          a.point};
+      if (std::find(raised_.begin(), raised_.end(), key) != raised_.end())
+        continue;
+      raised_.push_back(key);
+      anomalies_.push_back(std::move(a));
+    }
+    first_anomaly = !had_anomalies && !anomalies_.empty();
+    s.anomalies = anomalies_;
+    s.bench = bench_;
+    s.phase = phase_;
+    s.version = ++version_;
   }
-  s.anomalies = anomalies_;
-  s.bench = bench_;
-  s.phase = phase_;
-  s.version = ++version_;
+  // Black-box trigger: the first anomaly ever raised snapshots the flight
+  // rings (no-op unless --flight-out configured a dump path). Outside
+  // mu_ so the dump's file I/O never blocks other publisher-side calls.
+  if (first_anomaly) flight::on_first_anomaly(s);
   return s;
 }
 

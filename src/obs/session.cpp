@@ -9,6 +9,7 @@
 
 #include "core/contracts.hpp"
 #include "obs/aggregate.hpp"
+#include "obs/flight.hpp"
 
 namespace tc3i::obs {
 
@@ -85,6 +86,11 @@ void RunSession::add_cli_flags(CliParser& cli) {
   cli.add_flag("watchdog-timeout", "5",
                "flag a worker as a stalled_worker anomaly when its "
                "heartbeat is silent this many seconds while holding work");
+  cli.add_flag("flight-out", "",
+               "arm the black-box flight recorder's dump triggers: first "
+               "watchdog anomaly or SIGUSR1 writes the per-thread event "
+               "rings to this JSON path; SIGSEGV/SIGABRT/SIGBUS write "
+               "them (plus a backtrace) to '<path>.crash'");
 }
 
 RunSession::RunSession(std::string name, const CliParser& cli)
@@ -95,6 +101,7 @@ RunSession::RunSession(std::string name, const CliParser& cli)
       sweep_report_path_(cli.get("sweep-report-out")),
       sweep_trace_path_(cli.get("sweep-trace-out")),
       status_path_(cli.get("status-out")),
+      flight_path_(cli.get("flight-out")),
       dump_counters_(cli.get_bool("counters")),
       host_begin_(sample_host_usage()),
       report_(name_) {
@@ -103,11 +110,12 @@ RunSession::RunSession(std::string name, const CliParser& cli)
   // "true" (CliParser bare-flag rule); these flags need real paths.
   if (trace_path_ == "true" || report_path_ == "true" ||
       timeline_path_ == "true" || sweep_report_path_ == "true" ||
-      sweep_trace_path_ == "true" || status_path_ == "true") {
+      sweep_trace_path_ == "true" || status_path_ == "true" ||
+      flight_path_ == "true") {
     std::fprintf(stderr,
                  "error: --trace-out, --report-out, --timeline-out, "
-                 "--sweep-report-out, --sweep-trace-out and --status-out "
-                 "require a file path\n");
+                 "--sweep-report-out, --sweep-trace-out, --status-out and "
+                 "--flight-out require a file path\n");
     std::exit(2);
   }
   const std::int64_t sample_period = cli.get_int("sample-period");
@@ -205,6 +213,17 @@ RunSession::RunSession(std::string name, const CliParser& cli)
       publisher_ = std::make_unique<LivePublisher>(
           *live_, status_path_, static_cast<int>(status_period));
   }
+  // The flight recorder itself is always on; --flight-out arms its dump
+  // triggers (watchdog via LiveBus::snapshot, SIGUSR1, and the
+  // fatal-signal crash path with its pre-opened fd).
+  flight::set_bench(name_);
+  if (!flight_path_.empty()) {
+    std::error_code ec;
+    const auto parent = std::filesystem::path(flight_path_).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+    flight::set_dump_path(flight_path_);
+    flight::install_signal_handlers(flight_path_);
+  }
   g_active = this;
 }
 
@@ -224,6 +243,10 @@ RunSession::~RunSession() {
   publisher_.reset();
   if (live_ != nullptr && live_bus() == live_.get()) set_live_bus(nullptr);
   set_sweep_progress_requested(false);
+  if (!flight_path_.empty()) {
+    flight::uninstall_signal_handlers();
+    flight::set_dump_path("");
+  }
 }
 
 RunSession* RunSession::active() { return g_active; }

@@ -133,6 +133,7 @@ class RunSession {
   std::string sweep_report_path_;
   std::string sweep_trace_path_;
   std::string status_path_;
+  std::string flight_path_;
   int jobs_ = 1;
   int lanes_ = 1;
   bool dump_counters_ = false;

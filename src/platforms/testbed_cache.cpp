@@ -1,6 +1,7 @@
 #include "platforms/testbed_cache.hpp"
 
 #include "obs/counters.hpp"
+#include "obs/flight.hpp"
 #include "obs/live.hpp"
 
 #include <bit>
@@ -264,6 +265,7 @@ Testbed load_or_build_testbed() {
   if (path.empty()) {
     reg.counter("testbed.cache.miss").add();
     if (bus != nullptr) bus->record_cache(false);
+    obs::flight::emit(obs::flight::EventKind::kCacheMiss);
     return assemble_testbed(profile_testbed_kernels(scenarios));
   }
 
@@ -271,11 +273,13 @@ Testbed load_or_build_testbed() {
   if (try_load(path, fp, profiles)) {
     reg.counter("testbed.cache.hit").add();
     if (bus != nullptr) bus->record_cache(true);
+    obs::flight::emit(obs::flight::EventKind::kCacheHit);
     return assemble_testbed(std::move(profiles));
   }
 
   reg.counter("testbed.cache.miss").add();
   if (bus != nullptr) bus->record_cache(false);
+  obs::flight::emit(obs::flight::EventKind::kCacheMiss);
   profiles = profile_testbed_kernels(scenarios);
   std::error_code ec;
   fs::create_directories(path.parent_path(), ec);

@@ -2,7 +2,11 @@
 
 #include <unistd.h>
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 #include "obs/session.hpp"
 
@@ -22,6 +26,37 @@ std::vector<double> run_sweep(const std::vector<std::function<double()>>& points
 
 namespace detail {
 
+void maybe_inject_slow_point(std::size_t point) {
+  struct Injection {
+    bool armed = false;
+    std::size_t point = 0;
+    long millis = 0;
+  };
+  static const Injection inject = []() {
+    Injection in;
+    const char* env = std::getenv("TC3I_INJECT_SLOW_POINT");
+    if (env == nullptr) return in;
+    char* rest = nullptr;
+    const long long idx = std::strtoll(env, &rest, 10);
+    if (rest == env || *rest != ':') return in;
+    const long ms = std::strtol(rest + 1, nullptr, 10);
+    if (idx < 0 || ms <= 0) return in;
+    in.armed = true;
+    in.point = static_cast<std::size_t>(idx);
+    in.millis = ms;
+    return in;
+  }();
+  if (!inject.armed || point != inject.point) return;
+  std::this_thread::sleep_for(std::chrono::milliseconds(inject.millis));
+}
+
+const char* SweepProgress::format_eta(double eta_seconds, char* buf,
+                                      std::size_t len) {
+  if (!(eta_seconds > 0.0) || !std::isfinite(eta_seconds)) return "?";
+  std::snprintf(buf, len, "%.1fs", eta_seconds);
+  return buf;
+}
+
 SweepProgress::SweepProgress(std::size_t count)
     : count_(count),
       enabled_(count > 0 && obs::sweep_progress_requested() &&
@@ -36,10 +71,14 @@ void SweepProgress::tick() {
   // session and its ETA comes from the median completed-point duration
   // spread over the workers actually running — far steadier than the
   // per-sweep linear extrapolation fallback below.
+  char eta_buf[32];
   if (obs::LiveBus* bus = obs::live_bus(); bus != nullptr) {
     const obs::LiveBus::Progress p = bus->progress();
-    std::fprintf(stderr, "\r[sweep] %zu/%zu  %.1f pts/s eta %.1fs   ", done_,
-                 count_, p.points_per_sec, p.eta_seconds);
+    // Zero completed points means no throughput and no ETA yet; render
+    // "eta ?" rather than a meaningless 0.0s (or worse, NaN).
+    std::fprintf(stderr, "\r[sweep] %zu/%zu  %.1f pts/s eta %s   ", done_,
+                 count_, p.points_per_sec,
+                 format_eta(p.eta_seconds, eta_buf, sizeof(eta_buf)));
     std::fflush(stderr);
     return;
   }
@@ -47,9 +86,13 @@ void SweepProgress::tick() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
   const double eta =
-      elapsed / static_cast<double>(done_) *
-      static_cast<double>(count_ - done_);
-  std::fprintf(stderr, "\r[sweep] %zu/%zu eta %.1fs   ", done_, count_, eta);
+      done_ == 0 ? 0.0
+                 : elapsed / static_cast<double>(done_) *
+                       static_cast<double>(count_ - done_);
+  std::fprintf(stderr, "\r[sweep] %zu/%zu eta %s   ", done_, count_,
+               done_ == count_
+                   ? "0.0s"
+                   : format_eta(eta, eta_buf, sizeof(eta_buf)));
   std::fflush(stderr);
 }
 

@@ -40,6 +40,7 @@
 
 #include "core/contracts.hpp"
 #include "obs/counters.hpp"
+#include "obs/flight.hpp"
 #include "obs/hostres.hpp"
 #include "obs/live.hpp"
 #include "obs/run_record.hpp"
@@ -70,12 +71,23 @@ class SweepProgress {
   void tick();
 
  private:
+  /// "12.3s" when `eta_seconds` is a finite positive estimate, else "?"
+  /// (zero completed points, or the bus has no estimate yet).
+  static const char* format_eta(double eta_seconds, char* buf,
+                                std::size_t len);
+
   std::size_t count_;
   bool enabled_;
   std::chrono::steady_clock::time_point start_;
   std::mutex mu_;
   std::size_t done_ = 0;
 };
+
+/// Fault-injection hook for the flight-recorder smoke in scripts/check.sh:
+/// TC3I_INJECT_SLOW_POINT="<index>:<millis>" sleeps before evaluating that
+/// sweep point so the watchdog provably trips. Unset (the normal case)
+/// this is one static-bool test per point.
+void maybe_inject_slow_point(std::size_t point);
 
 }  // namespace detail
 
@@ -101,6 +113,14 @@ auto run_sweep(std::size_t count, int jobs, Fn&& fn)
   // means the hooks compile down to a pointer test.
   obs::LiveBus* bus = obs::live_bus();
   if (bus != nullptr && count > 0) bus->add_points(count);
+  // Flight recorder (always-on, sampled — never merged into results):
+  // sweep-begin plus a begin/end pair per point lands in the caller's
+  // black-box ring for postmortem dumps.
+  if (count > 0)
+    obs::flight::emit(obs::flight::EventKind::kSweepBegin, count,
+                      jobs == 1 || count <= 1
+                          ? 1
+                          : std::min(static_cast<std::size_t>(jobs), count));
   if (jobs == 1 || count <= 1) {
     const std::uint32_t sweep_id =
         sched != nullptr && count > 0 ? sched->begin_sweep(count, 1) : 0;
@@ -108,7 +128,10 @@ auto run_sweep(std::size_t count, int jobs, Fn&& fn)
     for (std::size_t i = 0; i < count; ++i) {
       const double start_us = sched != nullptr ? sched->now_us() : 0.0;
       if (bus != nullptr) bus->begin_point(0, i);
+      obs::flight::emit(obs::flight::EventKind::kPointBegin, i, 0);
+      detail::maybe_inject_slow_point(i);
       results[i] = fn(i);
+      obs::flight::emit(obs::flight::EventKind::kPointEnd, i, 0);
       if (bus != nullptr) bus->end_point(0);
       if (sched != nullptr)
         sched->add_span(obs::SweepJobSpan{
@@ -116,6 +139,8 @@ auto run_sweep(std::size_t count, int jobs, Fn&& fn)
             sched->now_us()});
       progress.tick();
     }
+    if (count > 0)
+      obs::flight::emit(obs::flight::EventKind::kSweepEnd, count);
     return results;
   }
 
@@ -158,7 +183,10 @@ auto run_sweep(std::size_t count, int jobs, Fn&& fn)
             tl_scope.emplace(*timeline_stores[i]);
           if (bus != nullptr)
             bus->begin_point(static_cast<std::uint32_t>(w), i);
+          obs::flight::emit(obs::flight::EventKind::kPointBegin, i, w);
+          detail::maybe_inject_slow_point(i);
           results[i] = fn(i);
+          obs::flight::emit(obs::flight::EventKind::kPointEnd, i, 0);
           if (bus != nullptr) bus->end_point(static_cast<std::uint32_t>(w));
           if (sched != nullptr)
             sched->add_span(obs::SweepJobSpan{
@@ -167,10 +195,12 @@ auto run_sweep(std::size_t count, int jobs, Fn&& fn)
                 sched->now_us()});
           progress.tick();
         }
+        obs::flight::emit(obs::flight::EventKind::kWorkerIdle, w);
       });
     }
     // Thread destructors join.
   }
+  obs::flight::emit(obs::flight::EventKind::kSweepEnd, count);
   obs::CounterRegistry& mine = obs::default_registry();
   for (const auto& r : registries) mine.merge_from(*r);
   for (const auto& r : record_stores)

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -309,6 +310,72 @@ TEST(LivePublisherTest, PublishesUnderWorkerConcurrency) {
   ASSERT_NE(points, nullptr);
   EXPECT_EQ(points->number_or("done", -1.0), 800.0);
   EXPECT_EQ(points->number_or("total", -1.0), 800.0);
+  std::filesystem::remove(path);
+}
+
+TEST(LiveBusTest, SnapshotWithZeroCompletedPointsHasFiniteRates) {
+  // Regression: a snapshot taken before any point completes must not
+  // divide by zero — throughput/ETA stay 0 (rendered as "eta=?" by the
+  // --progress ticker) instead of going NaN/inf.
+  obs::LiveBus bus;
+  bus.add_points(50);
+  bus.begin_point(0, 0);
+  const obs::LiveStatus s = bus.snapshot();
+  EXPECT_EQ(s.points_done, 0u);
+  EXPECT_EQ(s.throughput_points_per_sec, 0.0);
+  EXPECT_EQ(s.eta_seconds, 0.0);
+  EXPECT_TRUE(std::isfinite(s.throughput_points_per_sec));
+  EXPECT_TRUE(std::isfinite(s.eta_seconds));
+}
+
+TEST(LivePublisherTest, ConcurrentReaderNeverSeesTornSnapshot) {
+  // The atomic-rename contract: a reader polling the status file while
+  // the publisher rewrites it at a 1ms period must always see a complete
+  // JSON document (or no file yet) — never a partial write.
+  const std::filesystem::path path = temp_status_path("torn");
+  obs::LiveBus bus;
+  bus.set_bench("torn");
+  bus.add_points(2 * 400);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::thread reader([&]() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::ifstream in(path, std::ios::binary);
+      if (!in.is_open()) continue;
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const std::string text = buf.str();
+      if (text.empty()) continue;  // raced the very first create
+      std::string error;
+      const auto doc = obs::json_parse(text, &error);
+      ASSERT_TRUE(doc.has_value()) << "torn snapshot: " << error;
+      EXPECT_EQ(doc->string_or("kind", ""), "live_status");
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  {
+    obs::LivePublisher publisher(bus, path.string(), 1);
+    std::vector<std::thread> workers;
+    for (std::uint32_t w = 0; w < 2; ++w)
+      workers.emplace_back([&bus, w]() {
+        for (std::uint64_t i = 0; i < 400; ++i) {
+          const std::uint64_t point = w * 400 + i;
+          bus.begin_point(w, point);
+          bus.complete_point(w, point, 10'000);
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+        bus.idle(w);
+      });
+    for (std::thread& t : workers) t.join();
+    publisher.finish();
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_GE(reads.load(), 1u);
+  const obs::JsonValue doc = parse_status_file(path);
+  const obs::JsonValue* points = doc.find_object("points");
+  ASSERT_NE(points, nullptr);
+  EXPECT_EQ(points->number_or("done", -1.0), 800.0);
   std::filesystem::remove(path);
 }
 

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,35 @@
 
 namespace tc3i::sim {
 namespace {
+
+// Declared first: the injection env var is parsed once (latched on the
+// first run_sweep of the process), so this must run before any other
+// sweep. Under ctest each test is its own process and the ordering
+// concern vanishes; in a manual full-binary run declaration order keeps
+// it first.
+TEST(InjectSlowPoint, EnvVarDelaysNamedPointOnly) {
+  ASSERT_EQ(::setenv("TC3I_INJECT_SLOW_POINT", "1:40", /*overwrite=*/1), 0);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<double> point_ms(3, 0.0);
+  (void)run_sweep(3, 1, [&](std::size_t i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    detail::maybe_inject_slow_point(i);
+    point_ms[i] = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    return 0;
+  });
+  const double total_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+  ::unsetenv("TC3I_INJECT_SLOW_POINT");
+  if (point_ms[1] < 1.0 && total_ms < 40.0)
+    GTEST_SKIP() << "injection latched off by an earlier sweep in this "
+                    "process; run under ctest for isolation";
+  EXPECT_GE(point_ms[1], 35.0);  // the named point slept ~40ms
+  EXPECT_LT(point_ms[0], 20.0);  // the others did not
+  EXPECT_LT(point_ms[2], 20.0);
+}
 
 TEST(ResolveJobs, ZeroMeansHardwareConcurrency) {
   EXPECT_EQ(resolve_jobs(0),
