@@ -35,6 +35,9 @@ class Session {
   /// Resolved --lanes value (see obs::RunSession::lanes()).
   [[nodiscard]] int lanes() const { return run_->lanes(); }
 
+  /// Resolved --run-threads value (see obs::RunSession::run_threads()).
+  [[nodiscard]] int run_threads() const { return run_->run_threads(); }
+
  private:
   std::unique_ptr<obs::RunSession> run_;
 };

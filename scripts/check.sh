@@ -140,6 +140,37 @@ TC3I_FLIGHT=0 "$BUILD_DIR"/bench/table05_threat_tera --lanes 4 --jobs 3 \
     exit 1; }
 echo "report byte-identical with flight recorder on or off"
 
+echo "== partitioned single-run engine (--run-threads byte-identity) =="
+# The intra-run partitioning tentpole must be invisible in the output:
+# every table bench at --run-threads 8 must print the same stdout and
+# produce the same report as the scalar --run-threads 1 run, modulo wall
+# time and the partition rollups only the partitioned run adds. Identity
+# is gated on every host; the speedup claim is gated separately below,
+# only where real cores exist.
+for T in table05_threat_tera table06_threat_tera_chunks table11_terrain_tera
+do
+  # grep -v: the harness's "[obs] report: <path>" sideband line names the
+  # output file, which legitimately differs between the two runs.
+  "$BUILD_DIR"/bench/"$T" --run-threads 1 \
+      --report-out "$SMOKE_DIR/rt1.json" |
+    grep -v '^\[obs\]' > "$SMOKE_DIR/rt1.out"
+  "$BUILD_DIR"/bench/"$T" --run-threads 8 \
+      --report-out "$SMOKE_DIR/rt8.json" |
+    grep -v '^\[obs\]' > "$SMOKE_DIR/rt8.out"
+  diff "$SMOKE_DIR/rt1.out" "$SMOKE_DIR/rt8.out" >/dev/null ||
+    { echo "FAIL: $T stdout differs at --run-threads 8"; exit 1; }
+  "$BUILD_DIR"/tools/json_check "$SMOKE_DIR/rt8.json"
+  "$BUILD_DIR"/tools/report_diff "$SMOKE_DIR/rt1.json" \
+      "$SMOKE_DIR/rt8.json" --ignore mta.run.wall_seconds \
+      --ignore mta.partition --ignore partitions >/dev/null ||
+    { echo "FAIL: $T report differs at --run-threads 8"; exit 1; }
+  grep -q '"partitions":' "$SMOKE_DIR/rt8.json" ||
+    { echo "FAIL: $T --run-threads 8 report has no partition rollups"; \
+      exit 1; }
+done
+echo "run-threads=8 identical to scalar for tables 05/06/11 (modulo wall" \
+     "time + partition rollups)"
+
 echo "== live status bus (--status-out + sweep_monitor) =="
 # The live-telemetry tentpole: a sweep run with --status-out must publish
 # monotonically-advancing snapshots while it runs, finish with a done=true
@@ -266,6 +297,13 @@ if printf 'int main(){return 0;}' |
   "$TSAN_DIR"/tests/obs_live_test >/dev/null ||
     { echo "FAIL: obs_live_test failed under TSan"; exit 1; }
   echo "obs_live_test clean under ThreadSanitizer"
+  # Drive the partitioned single-run scheduler (worker pool + window
+  # barriers + owner-written hazard bounds) through a real table sweep
+  # under TSan as well.
+  cmake --build "$TSAN_DIR" --target table05_threat_tera -j >/dev/null
+  "$TSAN_DIR"/bench/table05_threat_tera --run-threads 4 >/dev/null ||
+    { echo "FAIL: table05 --run-threads 4 failed under TSan"; exit 1; }
+  echo "partitioned --run-threads 4 clean under ThreadSanitizer"
 else
   echo "skipped: toolchain lacks -fsanitize=thread support"
 fi
@@ -349,6 +387,27 @@ SB="$(extract_measured 'sweep_batched.points_per_sec')"
 awk -v sp="$SP" -v sb="$SB" 'BEGIN { exit !(sb >= 5.0 * sp) }' ||
   { echo "FAIL: sweep_batched $SB < 5 x sweep_plain $SP points/s"; exit 1; }
 echo "batched sweep throughput above floor ($SB vs plain $SP points/s)"
+
+# Intra-run partitioning must pay for itself where real cores exist: on
+# hosts with >= 4 hardware threads, single_run_partitioned.k8 must reach
+# at least 3x the k1 (scalar) row. Byte-identity is gated unconditionally
+# above; the speedup claim is meaningless on a 1-2 core host, where the
+# partitions serialize and the row measures pure engine overhead.
+PK1="$(extract_measured 'single_run_partitioned.k1.cycles_per_sec')"
+PK8="$(extract_measured 'single_run_partitioned.k8.cycles_per_sec')"
+[ -n "$PK1" ] && [ -n "$PK8" ] ||
+  { echo "FAIL: sim_throughput report missing single_run_partitioned rows"; \
+    exit 1; }
+if [ "$(nproc)" -ge 4 ]; then
+  awk -v k1="$PK1" -v k8="$PK8" 'BEGIN { exit !(k8 >= 3.0 * k1) }' ||
+    { echo "FAIL: single_run_partitioned k8 $PK8 < 3 x k1 $PK1 cycles/s"; \
+      exit 1; }
+  echo "partitioned single-run speedup above floor (k8 $PK8 vs k1 $PK1" \
+       "cycles/s)"
+else
+  echo "skipped partitioned speedup gate: host has $(nproc) hardware" \
+       "threads (< 4)"
+fi
 
 echo "== perf trend gate (bench/BENCH_history.jsonl) =="
 # Every check run contributes a datapoint: append this run's sim_throughput

@@ -133,6 +133,10 @@ void Machine::push_wake(std::uint64_t at, StreamId sid, StallReason why) {
   s.wait_reason = why;
   ++acct_[static_cast<std::size_t>(s.proc)]
         .waiting[static_cast<std::size_t>(why)];
+  if (part_ != nullptr) {
+    part_route_wake(at, sid);
+    return;
+  }
   if (slow_) {
     heap_.push(Wake{at, sid});
   } else {
@@ -146,6 +150,30 @@ void Machine::park_sync(StreamId sid) {
   s.wait_reason = StallReason::kSync;
   ++acct_[static_cast<std::size_t>(s.proc)]
         .waiting[static_cast<std::size_t>(StallReason::kSync)];
+  if (part_ != nullptr) part_note_sync_park(sid);
+}
+
+void Machine::runaway_abort(std::uint64_t now) const {
+  std::array<std::uint64_t, kNumStallReasons> waiting{};
+  for (const ProcAcct& a : acct_)
+    for (std::size_t r = 0; r < kNumStallReasons; ++r)
+      waiting[r] += a.waiting[r];
+  std::fprintf(
+      stderr,
+      "[mta] runaway guard: cycle %llu reached max_cycles %llu with "
+      "%d live streams (%zu virtualized pending); parked by reason: "
+      "spacing=%llu spawn=%llu memory=%llu sync=%llu\n",
+      (unsigned long long)now, (unsigned long long)max_cycles_, live_streams_,
+      pending_.size(),
+      (unsigned long long)waiting[static_cast<std::size_t>(
+          StallReason::kSpacing)],
+      (unsigned long long)waiting[static_cast<std::size_t>(
+          StallReason::kSpawn)],
+      (unsigned long long)waiting[static_cast<std::size_t>(
+          StallReason::kMemory)],
+      (unsigned long long)waiting[static_cast<std::size_t>(
+          StallReason::kSync)]);
+  contract_failure("Machine::run", "now < max_cycles", __FILE__, __LINE__);
 }
 
 void Machine::make_stream_ready(StreamId sid) {
@@ -549,7 +577,7 @@ std::uint64_t Machine::run_solo(std::uint64_t now, std::uint64_t max_cycles) {
   };
 
   while (true) {
-    TC3I_ASSERT(now < max_cycles && "MTA simulation exceeded max_cycles");
+    if (now >= max_cycles) runaway_abort(now);
     if (!s.has_cur) fetch_next(s);
 
     if (s.cur.op == Instr::Op::Compute) {
@@ -739,7 +767,7 @@ void Machine::run_slow_loop() {
     // golden-equivalence testing. Binary-heap wake queue, every instruction
     // re-enters issue(), cycles advance one at a time between wakes.
     while (live_streams_ > 0 || !pending_.empty()) {
-      TC3I_ASSERT(now < max_cycles && "MTA simulation exceeded max_cycles");
+      if (now >= max_cycles) runaway_abort(now);
       if (tracing) emit_trace_buckets(now, /*final=*/false);
 
       while (!heap_.empty() && heap_.top().cycle <= now) {
@@ -804,7 +832,7 @@ bool Machine::advance_until(std::uint64_t until) {
     // to `spacing` cycles, and an idle jump may land past it. Lanes are
     // independent runs, so overshoot never changes simulated behavior.
     while ((live_streams_ > 0 || !pending_.empty()) && now < until) {
-      TC3I_ASSERT(now < max_cycles && "MTA simulation exceeded max_cycles");
+      if (now >= max_cycles) runaway_abort(now);
       if (tracing) emit_trace_buckets(now, /*final=*/false);
 
       wheel_.drain_due(now, [this](std::uint64_t, StreamId sid) {
@@ -842,7 +870,7 @@ bool Machine::advance_until(std::uint64_t until) {
       bool any_ready = true;
       while (any_ready && now < limit &&
              (live_streams_ > 0 || !pending_.empty())) {
-        TC3I_ASSERT(now < max_cycles && "MTA simulation exceeded max_cycles");
+        if (now >= max_cycles) runaway_abort(now);
         if (sample_period_ != 0) {
           if (now >= sample_next_) flush_samples(now);
           sample_ready_sum_ += ready_count_;
@@ -1002,6 +1030,7 @@ MtaRunResult Machine::finish_run() {
     rec.slots = slots_total;
     rec.network_utilization = result.network_utilization;
     rec.regions = std::move(rollups);
+    rec.partitions = std::move(partition_rollups_);
     rec.elapsed_seconds = result.seconds;
     rec.utilization = result.processor_utilization;
     cap_finish_run(now, &rec);

@@ -45,6 +45,8 @@ class TraceSink;
 
 namespace tc3i::mta {
 
+class PartitionedMachine;
+
 struct MtaConfig {
   std::string name = "Tera MTA";
   int num_processors = 1;
@@ -178,6 +180,12 @@ class Machine {
   }
 
  private:
+  /// The intra-run partitioned scheduler drives the machine through the
+  /// same private mutation points the scalar loop uses (issue, account_idle,
+  /// activate, the wake queue) so the two paths stay bit-identical by
+  /// construction. See partitioned_machine.hpp.
+  friend class PartitionedMachine;
+
   /// Why a parked stream is not ready. Mirrors the stall categories of
   /// obs::IssueSlotAccount; kept per stream (wait_reason) and as a per-
   /// processor census (ProcAcct::waiting) so every idle issue slot can be
@@ -359,6 +367,18 @@ class Machine {
   /// The reference simulation loop (slow_ only): binary-heap wake queue,
   /// one cycle at a time, run in a single unsliced pass by run().
   void run_slow_loop();
+  /// Trips the `max_cycles` runaway guard: dumps the cycle, live/pending
+  /// stream totals, and the per-category parked-stream census to stderr
+  /// (so a deadlocked large scenario is diagnosable from the abort alone),
+  /// then aborts via contract_failure.
+  [[noreturn]] void runaway_abort(std::uint64_t now) const;
+  // Partitioned-run hooks (part_ != nullptr iff a PartitionedMachine is
+  // driving this run). push_wake routes wakes to the owning partition's
+  // wheel instead of wheel_, and park_sync refreshes the scheduler's
+  // hazard bound; both are defined in partitioned_machine.cpp next to the
+  // scheduler state they feed.
+  void part_route_wake(std::uint64_t at, StreamId sid);
+  void part_note_sync_park(StreamId sid);
   /// Per-bucket counter tracks for the trace sink (issue utilization and
   /// memory traffic); no-op without a sink.
   void emit_trace_buckets(std::uint64_t upto, bool final);
@@ -448,6 +468,12 @@ class Machine {
   /// node and, for virtualized spawns, the quit node that freed the slot.
   std::uint32_t cap_spawn_parent_ = 0;
   std::uint32_t cap_spawn_via_ = 0;  // kNoNode when not slot-limited
+
+  /// Non-null while a PartitionedMachine drives this run (--run-threads).
+  PartitionedMachine* part_ = nullptr;
+  /// Per-partition issue/stream rollups the partitioned scheduler leaves
+  /// for finish_run() to embed in the RunRecord (empty on scalar runs).
+  std::vector<obs::PartitionRollup> partition_rollups_;
 
   Obs obs_;
   int live_streams_ = 0;

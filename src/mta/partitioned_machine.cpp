@@ -1,0 +1,575 @@
+#include "mta/partitioned_machine.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "core/contracts.hpp"
+#include "obs/flight.hpp"
+#include "obs/live.hpp"
+
+namespace tc3i::mta {
+
+namespace {
+
+/// Hazard instructions execute only at serial cycles: they mutate state
+/// shared across partitions (sync memory, stream structure, the registry).
+[[nodiscard]] bool is_hazard(Instr::Op op) {
+  return op == Instr::Op::SyncLoad || op == Instr::Op::SyncStore ||
+         op == Instr::Op::Spawn || op == Instr::Op::Quit;
+}
+
+/// Saturating add for suffix sums (counts are caller-supplied uint64s; the
+/// bound only needs to stay a lower bound, so clamping is always safe).
+constexpr std::uint64_t kSatCap = 1ull << 62;
+[[nodiscard]] std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t s = a + b;
+  return (s < a || s > kSatCap) ? kSatCap : s;
+}
+
+/// Windows shorter than this run sequentially on the coordinator (same
+/// code path, so still bit-exact); the barrier hand-off costs more than
+/// the parallelism recovers.
+constexpr std::uint64_t kMinParallelWindow = 8;
+
+}  // namespace
+
+// --- Machine-side hooks ----------------------------------------------------
+
+void Machine::part_route_wake(std::uint64_t at, StreamId sid) {
+  part_->route_wake(at, sid);
+}
+
+void Machine::part_note_sync_park(StreamId sid) {
+  part_->note_sync_park(sid);
+}
+
+// --- Construction / eligibility -------------------------------------------
+
+bool PartitionedMachine::eligible(const Machine& machine, int threads) {
+  if (std::min(threads, machine.config_.num_processors) < 2) return false;
+  if (machine.slow_) return false;
+  if (machine.config_.lookahead != 0) return false;
+  // Deferred window parks always use census reason kMemory; that matches
+  // scalar only when the network trip always outlasts the spacing window.
+  if (machine.config_.memory_latency_cycles <
+      machine.config_.issue_spacing_cycles)
+    return false;
+  // Per-instruction observers pin scalar, exactly as --jobs > 1 does.
+  if (machine.obs_.sink != nullptr) return false;
+  if (machine.sample_period_ != 0) return false;
+  if (machine.config_.timeline_bucket_cycles > 0) return false;
+  if (machine.cap_ != nullptr) return false;
+  return true;
+}
+
+PartitionedMachine::PartitionedMachine(Machine& machine, int threads)
+    : m_(machine) {
+  TC3I_EXPECTS(eligible(machine, threads));
+  TC3I_EXPECTS(!machine.ran_);
+  nparts_ = std::min(threads, m_.config_.num_processors);
+  spacing_ = static_cast<std::uint64_t>(m_.config_.issue_spacing_cycles);
+  wmax_ = static_cast<std::uint64_t>(m_.config_.memory_latency_cycles) + 1;
+  ncap_ = kSatCap / spacing_;
+  const auto nprocs = static_cast<std::size_t>(m_.config_.num_processors);
+  parts_ = std::vector<Part>(static_cast<std::size_t>(nparts_));
+  part_of_proc_.resize(nprocs);
+  for (int k = 0; k < nparts_; ++k) {
+    Part& p = parts_[static_cast<std::size_t>(k)];
+    p.proc_lo = nprocs * static_cast<std::size_t>(k) /
+                static_cast<std::size_t>(nparts_);
+    p.proc_hi = nprocs * static_cast<std::size_t>(k + 1) /
+                static_cast<std::size_t>(nparts_);
+    for (std::size_t pi = p.proc_lo; pi < p.proc_hi; ++pi)
+      part_of_proc_[pi] = k;
+  }
+}
+
+PartitionedMachine::~PartitionedMachine() { stop_workers(); }
+
+// --- Hazard bookkeeping ----------------------------------------------------
+
+const std::uint64_t* PartitionedMachine::suffix_for(VectorProgram* vec) {
+  if (vec == nullptr) return nullptr;
+  auto [it, fresh] = suffix_cache_.try_emplace(vec);
+  if (fresh) {
+    const std::vector<Instr>& ins = vec->instructions();
+    std::vector<std::uint64_t>& suf = it->second;
+    // suf[i]: non-hazard issues from entry i to the next hazard; the
+    // one-past-the-end slot is the implicit Quit (a hazard, distance 0).
+    suf.assign(ins.size() + 1, 0);
+    for (std::size_t i = ins.size(); i-- > 0;) {
+      if (!is_hazard(ins[i].op)) suf[i] = sat_add(ins[i].count, suf[i + 1]);
+    }
+  }
+  return it->second.data();
+}
+
+void PartitionedMachine::register_stream(StreamId sid) {
+  const auto i = static_cast<std::size_t>(sid);
+  if (i >= hs_.size()) {
+    hs_.resize(i + 1);
+    suffix_.resize(i + 1, nullptr);
+  }
+  suffix_[i] = suffix_for(m_.streams_[i].vec);
+}
+
+std::uint64_t PartitionedMachine::bound_at(std::uint64_t wake,
+                                           std::uint64_t n) const {
+  // The stream becomes ready no earlier than `wake` and issues at most
+  // once per spacing window, so its next hazard issues at or after
+  // wake + n * spacing. Saturate instead of overflowing.
+  if (n == 0) return wake;
+  if (n > ncap_) return sat_add(wake, kSatCap);
+  return sat_add(wake, n * spacing_);
+}
+
+std::uint64_t PartitionedMachine::refresh_bound(StreamId sid,
+                                                std::uint64_t wake) {
+  const auto i = static_cast<std::size_t>(sid);
+  const Machine::Stream& s = m_.streams_[i];
+  const std::uint64_t* suf = suffix_[i];
+  std::uint64_t n = 0;
+  // Callback programs (suf == nullptr): next() may depend on deliver()ed
+  // values, so no prefetching — every issue is a potential hazard (n = 0).
+  if (suf != nullptr) {
+    if (s.has_cur) {
+      n = is_hazard(s.cur.op)
+              ? 0
+              : sat_add(s.cur.count, suf[s.vec->position()]);
+    } else {
+      n = suf[s.vec->position()];
+    }
+  }
+  const std::uint64_t h = bound_at(wake, n);
+  hs_[i] = HazardState{h, n};
+  return h;
+}
+
+std::uint64_t PartitionedMachine::next_hazard_bound(std::uint64_t horizon) {
+  while (!hazard_heap_.empty()) {
+    const HazardEntry e = hazard_heap_.top();
+    // Entries are pushed at the h_cur of their moment and only go stale
+    // DOWNWARD (h_cur only grows), so the top is a valid lower bound on
+    // every stream's next hazard even when stale. Once it clears
+    // `horizon` — past the widest window the caller can dispatch — its
+    // exact value is irrelevant, and skipping validation here is what
+    // keeps the heap from churning through every bound refresh: an entry
+    // is only ever popped when the clock has nearly caught up with it.
+    if (e.h >= horizon) return e.h;
+    const auto i = static_cast<std::size_t>(e.sid);
+    if (m_.streams_[i].dead || hs_[i].h == kInf) {
+      hazard_heap_.pop();
+      continue;
+    }
+    if (e.h < hs_[i].h) {
+      // Stale (bounds only grow as a stream advances): refresh in place.
+      hazard_heap_.pop();
+      hazard_heap_.push(HazardEntry{hs_[i].h, e.sid});
+      continue;
+    }
+    return e.h;
+  }
+  return kInf;
+}
+
+// --- Wake routing ----------------------------------------------------------
+
+void PartitionedMachine::route_wake(std::uint64_t at, StreamId sid) {
+  const auto i = static_cast<std::size_t>(sid);
+  // Serial-cycle wakes only: activations (new streams), compute/spawn
+  // spacing wakes, and post-hand-off memory trips. Window issues park
+  // through window_issue/replay_deferred instead.
+  if (i >= hs_.size()) register_stream(sid);
+  const bool was_parked = hs_[i].h == kInf;
+  const std::uint64_t h = refresh_bound(sid, at);
+  // New streams and sync re-parks need a heap entry; finite-to-finite
+  // updates are covered by lazy revalidation (h never decreases).
+  if (was_parked) hazard_heap_.push(HazardEntry{h, sid});
+  const int proc = m_.streams_[i].proc;
+  parts_[static_cast<std::size_t>(part_of_proc_[static_cast<std::size_t>(
+             proc)])]
+      .wheel.push(at, sid);
+}
+
+void PartitionedMachine::note_sync_park(StreamId sid) {
+  // Blocked on a full/empty bit: no wake, no hazard bound until a hand-off
+  // re-parks it through route_wake (stale heap entries drop on pop).
+  hs_[static_cast<std::size_t>(sid)].h = kInf;
+}
+
+// --- Scheduler loop --------------------------------------------------------
+
+void PartitionedMachine::redistribute() {
+  // Initial streams were parked into the scalar wheel before this engine
+  // attached; deal them out to their owners and seed the hazard state.
+  hs_.resize(m_.streams_.size());
+  suffix_.resize(m_.streams_.size(), nullptr);
+  m_.wheel_.drain_all([this](std::uint64_t at, StreamId sid) {
+    register_stream(sid);
+    route_wake(at, sid);
+  });
+}
+
+std::uint64_t PartitionedMachine::global_next_due() const {
+  std::uint64_t best = sim::TimerWheel<StreamId>::kNone;
+  for (const Part& p : parts_) best = std::min(best, p.wheel.next_due());
+  return best;
+}
+
+bool PartitionedMachine::any_partition_ready() const {
+  for (const Part& p : parts_)
+    if (p.ready > 0) return true;
+  return false;
+}
+
+void PartitionedMachine::make_ready_local(Part& part, StreamId sid) {
+  const Machine::Stream& s = m_.streams_[static_cast<std::size_t>(sid)];
+  --m_.acct_[static_cast<std::size_t>(s.proc)]
+        .waiting[static_cast<std::size_t>(s.wait_reason)];
+  m_.procs_[static_cast<std::size_t>(s.proc)].make_ready(sid);
+  ++part.ready;
+}
+
+void PartitionedMachine::window_issue(Part& part, StreamId sid,
+                                      std::uint64_t now) {
+  Machine::Stream& s = m_.streams_[static_cast<std::size_t>(sid)];
+  ++s.issued;
+  if (!s.has_cur) m_.fetch_next(s);
+  // E <= hmin guarantees no hazard can issue inside a window.
+  TC3I_ASSERT(!is_hazard(s.cur.op));
+
+  // Each window issue consumes exactly one non-hazard issue, so the
+  // cached count just decrements — no VectorProgram dereference (the
+  // pointer chase was the dominant per-issue cost on the window path).
+  HazardState& hz = hs_[static_cast<std::size_t>(sid)];
+  TC3I_ASSERT(hz.n > 0);
+  const std::uint64_t n = --hz.n;
+
+  if (s.cur.op == Instr::Op::Compute) {
+    ++part.d_compute;
+    TC3I_ASSERT(s.cur.count > 0);
+    if (--s.cur.count == 0) s.has_cur = false;
+    const std::uint64_t wake = now + spacing_;
+    s.wait_reason = Machine::StallReason::kSpacing;
+    ++m_.acct_[static_cast<std::size_t>(s.proc)].waiting[static_cast<
+        std::size_t>(Machine::StallReason::kSpacing)];
+    hz.h = bound_at(wake, n);
+    part.wheel.push(wake, sid);
+    return;
+  }
+
+  // Load/Store: the network is a shared serial queue, so service is
+  // deferred to the barrier. Park now — always a memory stall, because
+  // eligibility requires memory_latency >= issue_spacing, making the
+  // service completion strictly later than the spacing window. The hazard
+  // bound is refreshed at replay, when the wake is known (the stale bound
+  // is still a valid lower bound meanwhile).
+  ++part.d_memory;
+  TC3I_ASSERT(s.cur.count > 0);
+  const Address addr = s.cur.addr;
+  const Word value = s.cur.value;
+  const bool is_store = s.cur.op == Instr::Op::Store;
+  if (--s.cur.count == 0) s.has_cur = false;
+  s.wait_reason = Machine::StallReason::kMemory;
+  ++m_.acct_[static_cast<std::size_t>(s.proc)].waiting[static_cast<
+      std::size_t>(Machine::StallReason::kMemory)];
+  part.deferred.push_back(DeferredMem{now, s.proc, sid, addr, value,
+                                      is_store});
+}
+
+void PartitionedMachine::run_window(Part& part, std::uint64_t begin,
+                                    std::uint64_t end) {
+  // The per-partition mirror of advance_until's window batching: drain own
+  // wakes, issue front-of-FIFO per processor per cycle, attribute idle
+  // slots from the partition's own census, jump over dead spans. No wake
+  // from outside the partition can land before `end`, and no issue here
+  // pushes a wake earlier than now + spacing, so the batching needs no
+  // pushed_min_ shrinking.
+  std::uint64_t now = begin;
+  while (now < end) {
+    part.wheel.drain_due(now, [this, &part](std::uint64_t, StreamId sid) {
+      make_ready_local(part, sid);
+    });
+    std::uint64_t limit = std::min(end, now + spacing_);
+    const std::uint64_t nd = part.wheel.next_due();
+    if (nd < limit) limit = nd;
+    if (limit <= now) limit = now + 1;
+    bool any_ready = true;
+    while (any_ready && now < limit) {
+      any_ready = false;
+      for (std::size_t pi = part.proc_lo; pi < part.proc_hi; ++pi) {
+        Processor& p = m_.procs_[pi];
+        if (p.has_ready()) {
+          any_ready = true;
+          --part.ready;
+          window_issue(part, p.pop_ready(), now);
+        } else {
+          m_.account_idle(p.id(), 1);
+        }
+      }
+      if (any_ready) ++now;
+    }
+    if (!any_ready) {
+      // The scan attributed cycle `now`; jump to the partition's next wake
+      // (or the window end), attributing the skipped span under the
+      // unchanged census.
+      const std::uint64_t nd2 = part.wheel.next_due();
+      std::uint64_t next = nd2 == sim::TimerWheel<StreamId>::kNone
+                               ? end
+                               : std::min(end, std::max(now + 1, nd2));
+      if (next <= now) next = now + 1;
+      if (next - now > 1)
+        for (std::size_t pi = part.proc_lo; pi < part.proc_hi; ++pi)
+          m_.account_idle(static_cast<int>(pi), next - now - 1);
+      now = next;
+    }
+  }
+}
+
+void PartitionedMachine::dispatch_window(std::uint64_t begin,
+                                         std::uint64_t end) {
+  ++windows_;
+  if ((windows_ & 31) == 0) {
+    obs::flight::emit(obs::flight::EventKind::kRunWindow, begin, end);
+    obs::flight::emit(obs::flight::EventKind::kRunBarrier, end,
+                      static_cast<std::uint64_t>(nparts_));
+  }
+  if ((windows_ & 255) == 0) {
+    if (obs::LiveBus* bus = obs::live_bus()) {
+      std::uint32_t occupied = 0;
+      for (const Part& p : parts_)
+        if (p.ready > 0 || !p.wheel.empty()) ++occupied;
+      bus->heartbeat(0, occupied);
+    }
+  }
+  if (end - begin < kMinParallelWindow || workers_.empty()) {
+    for (Part& p : parts_) run_window(p, begin, end);
+  } else {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      win_begin_ = begin;
+      win_end_ = end;
+      pending_workers_ = nparts_ - 1;
+      ++generation_;
+    }
+    cv_work_.notify_all();
+    run_window(parts_[0], begin, end);
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [this] { return pending_workers_ == 0; });
+  }
+  replay_deferred();
+  for (Part& p : parts_) {
+    m_.issued_compute_ += p.d_compute;
+    m_.issued_memory_ += p.d_memory;
+    p.d_compute = 0;
+    p.d_memory = 0;
+  }
+}
+
+void PartitionedMachine::replay_deferred() {
+  // K-way merge of the per-partition buffers in (cycle, proc) order — the
+  // scalar issue order — replayed through the real network model so
+  // network_free_fp_ / bank_free_fp_ / memory_ops_ evolve bit-identically.
+  std::vector<std::size_t> idx(parts_.size(), 0);
+  for (;;) {
+    int best = -1;
+    for (std::size_t k = 0; k < parts_.size(); ++k) {
+      if (idx[k] >= parts_[k].deferred.size()) continue;
+      if (best < 0) {
+        best = static_cast<int>(k);
+        continue;
+      }
+      const DeferredMem& a = parts_[k].deferred[idx[k]];
+      const DeferredMem& b =
+          parts_[static_cast<std::size_t>(best)]
+              .deferred[idx[static_cast<std::size_t>(best)]];
+      if (a.cycle < b.cycle || (a.cycle == b.cycle && a.proc < b.proc))
+        best = static_cast<int>(k);
+    }
+    if (best < 0) break;
+    const DeferredMem& d =
+        parts_[static_cast<std::size_t>(best)]
+            .deferred[idx[static_cast<std::size_t>(best)]++];
+    if (d.is_store) m_.memory_.store(d.addr, d.value);
+    const std::uint64_t done = m_.network_service(d.cycle, d.addr);
+    const std::uint64_t spacing_end = d.cycle + spacing_;
+    TC3I_ASSERT(done > spacing_end &&
+                "deferred service must outlast the spacing window");
+    const std::uint64_t wake = std::max(done, spacing_end);
+    HazardState& hz = hs_[static_cast<std::size_t>(d.sid)];
+    hz.h = bound_at(wake, hz.n);
+    parts_[static_cast<std::size_t>(
+               part_of_proc_[static_cast<std::size_t>(d.proc)])]
+        .wheel.push(wake, d.sid);
+  }
+  for (Part& p : parts_) p.deferred.clear();
+}
+
+void PartitionedMachine::serial_cycle(std::uint64_t& now) {
+  // One cycle in exactly the scalar loop's shape (wheels already drained
+  // by the caller): scan processors in id order, issue through
+  // Machine::issue so hazards run their full scalar paths.
+  ++serial_scans_;
+  bool any_ready = false;
+  for (std::size_t pi = 0; pi < m_.procs_.size(); ++pi) {
+    Processor& p = m_.procs_[pi];
+    if (p.has_ready()) {
+      any_ready = true;
+      --parts_[static_cast<std::size_t>(part_of_proc_[pi])].ready;
+      m_.issue(p.pop_ready(), now);
+    } else {
+      m_.account_idle(p.id(), 1);
+    }
+  }
+  if (any_ready) {
+    ++now;
+    return;
+  }
+  const std::uint64_t gn = global_next_due();
+  if (gn != sim::TimerWheel<StreamId>::kNone) {
+    const std::uint64_t next = std::max(now + 1, gn);
+    if (next - now > 1)
+      for (auto& p : m_.procs_) m_.account_idle(p.id(), next - now - 1);
+    now = next;
+  } else {
+    // No stream can ever become ready again: every remaining stream is
+    // blocked on a full/empty bit that nobody will flip.
+    TC3I_ASSERT(m_.live_streams_ == 0 && m_.pending_.empty());
+  }
+}
+
+void PartitionedMachine::main_loop() {
+  std::uint64_t now = m_.now_;
+  const std::uint64_t max_cycles = m_.max_cycles_;
+  while (m_.live_streams_ > 0 || !m_.pending_.empty()) {
+    if (now >= max_cycles) m_.runaway_abort(now);
+    for (Part& p : parts_)
+      p.wheel.drain_due(now, [this, &p](std::uint64_t, StreamId sid) {
+        make_ready_local(p, sid);
+      });
+    // Window base: `now`, or — when nothing is ready anywhere — the next
+    // wake, so one window also swallows the idle span (work in it cannot
+    // start earlier anyway).
+    std::uint64_t base = now;
+    if (!any_partition_ready()) {
+      const std::uint64_t gn = global_next_due();
+      if (gn == sim::TimerWheel<StreamId>::kNone) {
+        // Nothing ready, nothing pending in any wheel: mirror of the
+        // scalar dead-wheel check.
+        TC3I_ASSERT(m_.live_streams_ == 0 && m_.pending_.empty());
+        break;
+      }
+      base = std::max(base, gn);
+    }
+    const std::uint64_t hmin = next_hazard_bound(sat_add(base, wmax_ + 1));
+    if (hmin <= now) {
+      // A hazard may issue this cycle: run it serially. (hmin <= now is
+      // always a validated bound — below-horizon entries are refreshed —
+      // and implies the stream has already drained into a ready FIFO.)
+      serial_cycle(now);
+      continue;
+    }
+    // Conservative window [now, E): no hazard can issue before hmin, and
+    // deferred memory service completes at or after B + 1 + latency, so
+    // E <= base + latency + 1 keeps every barrier wake on time.
+    std::uint64_t end = std::min(hmin, sat_add(base, wmax_));
+    if (end <= now) end = now + 1;
+    dispatch_window(now, end);
+    now = end;
+  }
+  m_.now_ = now;
+}
+
+// --- Worker pool -----------------------------------------------------------
+
+void PartitionedMachine::start_workers() {
+  workers_.reserve(static_cast<std::size_t>(nparts_ - 1));
+  for (int k = 1; k < nparts_; ++k)
+    workers_.emplace_back(
+        [this, k] { worker_loop(static_cast<std::size_t>(k)); });
+}
+
+void PartitionedMachine::worker_loop(std::size_t part_index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t begin;
+    std::uint64_t end;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk,
+                    [this, seen] { return generation_ != seen || shutdown_; });
+      if (shutdown_) return;
+      seen = generation_;
+      begin = win_begin_;
+      end = win_end_;
+    }
+    run_window(parts_[part_index], begin, end);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --pending_workers_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+void PartitionedMachine::stop_workers() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+// --- Rollups ---------------------------------------------------------------
+
+void PartitionedMachine::publish_rollups() {
+  obs::CounterRegistry& reg = *m_.obs_.registry;
+  reg.counter("mta.partition.windows").add(windows_);
+  reg.counter("mta.partition.serial_cycles").add(serial_scans_);
+  std::vector<std::uint64_t> instr(parts_.size(), 0);
+  std::vector<std::uint64_t> streams(parts_.size(), 0);
+  for (std::size_t k = 0; k < parts_.size(); ++k)
+    for (std::size_t pi = parts_[k].proc_lo; pi < parts_[k].proc_hi; ++pi)
+      instr[k] += m_.procs_[pi].issues();
+  for (const Machine::Stream& s : m_.streams_)
+    if (s.dead)
+      ++streams[static_cast<std::size_t>(
+          part_of_proc_[static_cast<std::size_t>(s.proc)])];
+  m_.partition_rollups_.clear();
+  for (std::size_t k = 0; k < parts_.size(); ++k) {
+    const std::string base = "mta.partition.p" + std::to_string(k);
+    reg.counter(base + ".instructions").add(instr[k]);
+    reg.counter(base + ".streams").add(streams[k]);
+    m_.partition_rollups_.push_back(obs::PartitionRollup{
+        static_cast<int>(k),
+        static_cast<int>(parts_[k].proc_hi - parts_[k].proc_lo), instr[k],
+        streams[k]});
+  }
+}
+
+// --- Entry points ----------------------------------------------------------
+
+MtaRunResult PartitionedMachine::run(std::uint64_t max_cycles) {
+  m_.begin_run(max_cycles);
+  redistribute();
+  m_.part_ = this;
+  start_workers();
+  main_loop();
+  stop_workers();
+  publish_rollups();
+  m_.part_ = nullptr;
+  return m_.finish_run();
+}
+
+MtaRunResult run_partitioned(Machine& machine, int threads,
+                             std::uint64_t max_cycles) {
+  if (!PartitionedMachine::eligible(machine, threads))
+    return machine.run(max_cycles);
+  PartitionedMachine pm(machine, threads);
+  return pm.run(max_cycles);
+}
+
+}  // namespace tc3i::mta

@@ -1,0 +1,209 @@
+// Intra-run parallel execution of one mta::Machine simulation across K host
+// worker threads (--run-threads), bit-exact with the scalar path.
+//
+// Conservative-window partitioning: processors (with their stream slots,
+// ready FIFOs, and parked streams) are split into K contiguous partitions,
+// each owning a private timing wheel. The coordinator alternates between
+//
+//   - serial cycles, run one at a time on the coordinator thread in exactly
+//     the scalar loop's shape (drain wakes, scan processors in id order,
+//     issue through Machine::issue) whenever a *hazard* instruction — a
+//     full/empty sync op, a spawn, or a quit — may issue; every mutation of
+//     cross-partition state (sync memory hand-offs, stream activation, the
+//     registry, stream completion) therefore happens in exact scalar order;
+//
+//   - parallel windows [B, E): when no stream can reach its next hazard
+//     before cycle E, all K partitions advance independently over the
+//     window, issuing only Compute/Load/Store. Loads and stores are not
+//     serviced inline (the network is a shared serial queue): each is
+//     buffered as a deferred request and the stream parks immediately
+//     (census reason kMemory — valid because eligibility requires
+//     memory_latency >= issue_spacing, so the wake is always past the
+//     spacing window). At the window barrier the coordinator merges the
+//     per-partition buffers in (cycle, processor) order — exactly the
+//     scalar issue order — and replays them through the real network
+//     model, pushing wakes into the owners' wheels. Service completes no
+//     earlier than cycle + 1 + memory_latency >= E, so no wake is late.
+//
+// The window bound comes from a per-stream *hazard lower bound* h = wake +
+// n * issue_spacing, where n is the number of non-hazard issues left before
+// the stream's next hazard (read from a per-VectorProgram suffix array;
+// next() is a pure cursor advance, so prefetching is safe — callback
+// programs get n = 0 and simply never issue inside windows). h never
+// decreases as a stream advances, so a lazily-validated min-heap over all
+// live streams yields hmin, and E = min(B + memory_latency + 1, hmin)
+// guarantees windows contain no hazard issues.
+//
+// Determinism: per-processor ready FIFOs see the same (wake, stream) drain
+// order as the scalar wheel (a processor's streams all live in one
+// partition), per-cycle issue decisions depend only on that FIFO, and every
+// shared-state mutation happens on the coordinator in scalar order — so
+// cycles, counters, slot accounts, and RunRecords are bit-identical to
+// run() for every K. Runs that are ineligible (slow reference, lookahead,
+// trace sink, timeline sampling, per-bucket timelines, critical-path
+// capture, or K < 2 after clamping to num_processors) fall back to the
+// scalar run() unchanged.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "mta/machine.hpp"
+
+namespace tc3i::mta {
+
+class PartitionedMachine {
+ public:
+  /// Binds to a machine whose streams are already added and which has not
+  /// begun running. `threads` is clamped to num_processors.
+  PartitionedMachine(Machine& machine, int threads);
+  ~PartitionedMachine();
+  PartitionedMachine(const PartitionedMachine&) = delete;
+  PartitionedMachine& operator=(const PartitionedMachine&) = delete;
+
+  /// True when the machine can run under the partitioned scheduler:
+  /// threads >= 2 after clamping, fast path (no slow reference), lookahead
+  /// 0, memory_latency >= issue_spacing (the deferred-service census rule),
+  /// and no per-instruction observers (trace sink, timeline sampling,
+  /// utilization buckets, critical-path capture) — those pin scalar, like
+  /// --jobs does.
+  [[nodiscard]] static bool eligible(const Machine& machine, int threads);
+
+  /// Runs the bound machine to completion (begin_run + partitioned loop +
+  /// finish_run). Call exactly once.
+  MtaRunResult run(std::uint64_t max_cycles = (1ull << 62));
+
+ private:
+  /// Machine::push_wake / Machine::park_sync route here while part_ is set.
+  friend class Machine;
+
+  /// A Load/Store issued inside a window, awaiting network service at the
+  /// barrier. Buffers fill in (cycle, proc) order within each partition.
+  struct DeferredMem {
+    std::uint64_t cycle;
+    int proc;
+    StreamId sid;
+    Address addr;
+    Word value;
+    bool is_store;
+  };
+
+  /// One partition: a contiguous processor range, its private wake wheel,
+  /// and the window-scratch state its worker thread owns. Cache-line
+  /// aligned so workers do not false-share.
+  struct alignas(64) Part {
+    sim::TimerWheel<StreamId> wheel;
+    std::size_t proc_lo = 0;
+    std::size_t proc_hi = 0;
+    std::uint64_t ready = 0;  ///< streams in this partition's ready FIFOs
+    std::vector<DeferredMem> deferred;
+    std::uint64_t d_compute = 0;  ///< compute issues this window
+    std::uint64_t d_memory = 0;   ///< memory issues this window
+  };
+
+  struct HazardEntry {
+    std::uint64_t h;
+    StreamId sid;
+    bool operator>(const HazardEntry& o) const {
+      return h != o.h ? h > o.h : sid > o.sid;
+    }
+  };
+
+  static constexpr std::uint64_t kInf = ~0ull;
+
+  // Hazard bookkeeping (coordinator-owned heap, owner-written h_cur_).
+  void register_stream(StreamId sid);
+  [[nodiscard]] const std::uint64_t* suffix_for(VectorProgram* vec);
+  [[nodiscard]] std::uint64_t bound_at(std::uint64_t wake,
+                                       std::uint64_t n) const;
+  std::uint64_t refresh_bound(StreamId sid, std::uint64_t wake);
+  std::uint64_t next_hazard_bound(std::uint64_t horizon);
+
+  // Wake routing (Machine::push_wake / park_sync land here).
+  void route_wake(std::uint64_t at, StreamId sid);
+  void note_sync_park(StreamId sid);
+
+  // Scheduler loop.
+  void redistribute();
+  [[nodiscard]] std::uint64_t global_next_due() const;
+  [[nodiscard]] bool any_partition_ready() const;
+  void make_ready_local(Part& part, StreamId sid);
+  void window_issue(Part& part, StreamId sid, std::uint64_t now);
+  void run_window(Part& part, std::uint64_t begin, std::uint64_t end);
+  void dispatch_window(std::uint64_t begin, std::uint64_t end);
+  void replay_deferred();
+  void serial_cycle(std::uint64_t& now);
+  void main_loop();
+  void publish_rollups();
+
+  // Worker pool (generation-barrier hand-off; all shared window parameters
+  // cross through mu_, so the engine is clean under TSan).
+  void start_workers();
+  void stop_workers();
+  void worker_loop(std::size_t part_index);
+
+  Machine& m_;
+  int nparts_ = 1;
+  std::uint64_t spacing_ = 0;  ///< issue_spacing_cycles
+  std::uint64_t wmax_ = 0;     ///< memory_latency_cycles + 1
+  std::uint64_t ncap_ = 0;     ///< n above which n * spacing_ saturates
+  std::vector<Part> parts_;
+  std::vector<int> part_of_proc_;  ///< processor id -> partition index
+
+  /// Per-stream hazard state, indexed by StreamId; h and n are always
+  /// read/written together on the window hot path, so they share a
+  /// struct (one cache line per issue instead of two).
+  ///
+  /// `h` is written by the owning partition's thread during windows and
+  /// by the coordinator at serial cycles / barriers; the heap is
+  /// coordinator-only and lazily revalidated against `h` on pop.
+  ///
+  /// `n` caches the count of non-hazard issues left before the stream's
+  /// next hazard: recomputed exactly (from the program's suffix array) at
+  /// serial-cycle wakes, then only decremented per window issue — the
+  /// window hot path never touches the VectorProgram. Saturating, so it
+  /// can undercount but never overcount; h stays a valid lower bound.
+  struct HazardState {
+    std::uint64_t h = kInf;
+    std::uint64_t n = 0;
+  };
+  std::vector<HazardState> hs_;
+  std::vector<const std::uint64_t*> suffix_;
+  std::priority_queue<HazardEntry, std::vector<HazardEntry>,
+                      std::greater<>>
+      hazard_heap_;
+  /// Non-hazard-run suffix sums per VectorProgram (values saturate;
+  /// node-stable map so workers can read concurrently with inserts never
+  /// happening mid-window).
+  std::unordered_map<const VectorProgram*, std::vector<std::uint64_t>>
+      suffix_cache_;
+
+  // Worker pool state.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  int pending_workers_ = 0;
+  std::uint64_t win_begin_ = 0;
+  std::uint64_t win_end_ = 0;
+  bool shutdown_ = false;
+
+  // Stats for the mta.partition.* counters and flight events.
+  std::uint64_t windows_ = 0;
+  std::uint64_t serial_scans_ = 0;
+};
+
+/// Runs `machine` to completion on `threads` host workers when eligible,
+/// falling back to the bit-identical scalar machine.run(max_cycles)
+/// otherwise (threads <= 1, slow reference, lookahead, latency <
+/// spacing, or any per-instruction observer attached).
+MtaRunResult run_partitioned(Machine& machine, int threads,
+                             std::uint64_t max_cycles = (1ull << 62));
+
+}  // namespace tc3i::mta

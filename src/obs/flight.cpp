@@ -490,6 +490,10 @@ const char* event_kind_name(EventKind kind) noexcept {
       return "anomaly";
     case EventKind::kMark:
       return "mark";
+    case EventKind::kRunWindow:
+      return "run_window";
+    case EventKind::kRunBarrier:
+      return "run_barrier";
   }
   return "unknown";
 }

@@ -70,6 +70,8 @@ enum class EventKind : std::uint32_t {
   kCounterTick = 14,  ///< a = ring events since last tick, b = total ever
   kAnomaly = 15,      ///< a = anomaly ordinal, b = worker
   kMark = 16,         ///< a = label id (freeform user mark)
+  kRunWindow = 17,    ///< a = window start cycle, b = window end cycle
+  kRunBarrier = 18,   ///< a = barrier cycle, b = partition count
 };
 
 /// Stable dump name for `kind` ("point_begin", ...); "unknown" if out of

@@ -152,8 +152,14 @@ struct MtaPoint {
 
 /// Runs the points through mta::run_batched_sweep (scalar fallback rules
 /// apply; see batched_machine.hpp) and returns the extrapolated seconds per
-/// point in submission order.
+/// point in submission order. run_threads > 1 instead partitions each
+/// point's single simulation across that many host threads
+/// (mta::run_partitioned, with its own scalar-fallback rules) while --jobs
+/// still schedules whole points concurrently; the batched lane engine and
+/// the partitioned engine are mutually exclusive per run, so lanes is
+/// ignored on that path. Output is byte-identical either way.
 [[nodiscard]] std::vector<double> run_mta_points(
-    const std::vector<MtaPoint>& points, int lanes, int jobs);
+    const std::vector<MtaPoint>& points, int lanes, int jobs,
+    int run_threads = 1);
 
 }  // namespace tc3i::platforms

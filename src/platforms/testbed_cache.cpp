@@ -219,6 +219,14 @@ bool try_load(const fs::path& path, std::uint64_t fp, TestbedProfiles& out) {
   return r.ok && r.p == r.end;
 }
 
+// GCC 12 misattributes the vector growth inside insert() as a write past
+// the old allocation when inlining under sanitizer instrumentation
+// (spurious -Wstringop-overflow; the insert is into a freshly grown
+// buffer). Scoped to this function only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
+#endif
 void try_save(const fs::path& path, std::uint64_t fp,
               const TestbedProfiles& profiles) {
   Writer w;
@@ -246,6 +254,9 @@ void try_save(const fs::path& path, std::uint64_t fp,
   }
   if (!ok || ec) fs::remove(tmp, ec);
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace
 

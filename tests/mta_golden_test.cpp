@@ -18,7 +18,12 @@
 //      (mta::run_batched_sweep): every workload above, plus mixed-config
 //      lane packs and early-retire/backfill edges, must produce run
 //      results, RunRecords, and counter snapshots bit-identical to a
-//      point-at-a-time scalar sweep.
+//      point-at-a-time scalar sweep;
+//   5. partitioned-vs-scalar cross-checks of the intra-run parallel engine
+//      (mta::run_partitioned, --run-threads): the same workloads plus an
+//      adversarial window-boundary sync scenario must be bit-identical to
+//      the scalar run() for every thread count, and ineligible configs
+//      must take the scalar fallback.
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -30,6 +35,7 @@
 #include "c3i/threat/trace_builder.hpp"
 #include "mta/batched_machine.hpp"
 #include "mta/machine.hpp"
+#include "mta/partitioned_machine.hpp"
 #include "mta/runtime.hpp"
 #include "mta/stream_program.hpp"
 #include "obs/counters.hpp"
@@ -556,6 +562,193 @@ TEST(MtaGolden, LanesMatchScalarEarlyRetireBackfill) {
   // here pins the fallback to the reference loop too.
   expect_lanes_match({points.begin(), points.begin() + 3}, /*lanes=*/1,
                      "lanes=1 fallback");
+}
+
+// --- 5. partitioned-vs-scalar cross-checks (--run-threads engine) -----------
+
+/// Like expect_registries_match, but also drops the mta.partition.* family
+/// (the partitioned engine's own rollups, absent by design on scalar runs).
+void expect_registries_match_sans_partition(
+    const obs::CounterRegistry& partitioned,
+    const obs::CounterRegistry& scalar, const std::string& label) {
+  const auto keep = [](const obs::MetricSnapshot& m) {
+    return m.name.find("wall_seconds") == std::string::npos &&
+           m.name.rfind("mta.partition.", 0) != 0;
+  };
+  std::vector<obs::MetricSnapshot> sp;
+  std::vector<obs::MetricSnapshot> ss;
+  for (const auto& m : partitioned.snapshot())
+    if (keep(m)) sp.push_back(m);
+  for (const auto& m : scalar.snapshot())
+    if (keep(m)) ss.push_back(m);
+  ASSERT_EQ(sp.size(), ss.size()) << label;
+  for (std::size_t i = 0; i < sp.size(); ++i) {
+    EXPECT_EQ(sp[i].name, ss[i].name) << label;
+    EXPECT_EQ(sp[i].count, ss[i].count) << label << " " << sp[i].name;
+    EXPECT_DOUBLE_EQ(sp[i].value, ss[i].value) << label << " " << sp[i].name;
+  }
+}
+
+/// Runs `build` once through the scalar loop and once through
+/// run_partitioned for each thread count, each pass under its own registry
+/// and record store, and requires bit-identical results, RunRecords (minus
+/// the partition rollups only the partitioned run carries), and counters.
+void expect_partitioned_matches(
+    const MtaConfig& cfg,
+    const std::function<void(Machine&, ProgramPool&)>& build,
+    const std::string& label) {
+  obs::CounterRegistry scalar_reg;
+  obs::RunRecordStore scalar_recs;
+  MtaRunResult s{};
+  {
+    const obs::ScopedRegistry reg(scalar_reg);
+    const obs::ScopedRunRecords rec(scalar_recs);
+    Machine m(cfg);
+    ProgramPool pool;
+    build(m, pool);
+    s = m.run();
+  }
+
+  for (int threads : {2, 3, 8}) {
+    obs::CounterRegistry part_reg;
+    obs::RunRecordStore part_recs;
+    MtaRunResult p{};
+    {
+      const obs::ScopedRegistry reg(part_reg);
+      const obs::ScopedRunRecords rec(part_recs);
+      Machine m(cfg);
+      ProgramPool pool;
+      build(m, pool);
+      p = mta::run_partitioned(m, threads);
+    }
+    const std::string l = label + " threads=" + std::to_string(threads);
+    expect_result_eq(p, s, l);
+    std::vector<obs::RunRecord> pr = part_recs.records();
+    for (obs::RunRecord& r : pr) r.partitions.clear();
+    EXPECT_TRUE(pr == scalar_recs.records()) << l;
+    expect_registries_match_sans_partition(part_reg, scalar_reg, l);
+  }
+}
+
+TEST(MtaPartitioned, MatchesScalarSyntheticWorkloads) {
+  for (int procs : {2, 4, 8}) {
+    MtaConfig cfg;
+    cfg.num_processors = procs;
+    cfg.streams_per_processor = 32;
+    cfg.memory_banks = 64;
+    const std::string suffix = " procs=" + std::to_string(procs);
+    expect_partitioned_matches(cfg, build_mixed, "mixed" + suffix);
+    expect_partitioned_matches(cfg, build_sync_ring, "sync ring" + suffix);
+  }
+}
+
+TEST(MtaPartitioned, MatchesScalarSpawnTrees) {
+  {
+    MtaConfig cfg;
+    cfg.num_processors = 2;
+    cfg.streams_per_processor = 16;
+    expect_partitioned_matches(cfg, build_spawn_tree, "spawn tree");
+  }
+  {
+    // One processor: the engine clamps to a single partition and takes the
+    // scalar fallback — equality pins the fallback path too.
+    MtaConfig cfg;
+    cfg.num_processors = 1;
+    cfg.streams_per_processor = 8;
+    expect_partitioned_matches(cfg, build_spawn_flat, "spawn flat fallback");
+  }
+}
+
+/// Adversarial window-boundary scenario: sync hand-offs whose hazard
+/// cycles land just before, at, and just after conservative-window
+/// boundaries (the window span is memory_latency + 1 = 71 cycles under the
+/// default config), with hardware and software spawns sprinkled in so
+/// stream activation interleaves with window dispatch. Every pair uses a
+/// different compute pad so the hazards sweep across the boundary.
+void build_window_boundary(Machine& m, ProgramPool& pool) {
+  constexpr int kPairs = 12;
+  constexpr mta::Address kBase = 90000;
+  for (int i = 0; i < kPairs; ++i) {
+    const auto pad = static_cast<std::uint64_t>(65 + i);
+    VectorProgram* producer = pool.make_vector();
+    producer->compute(pad);
+    producer->sync_store(kBase + static_cast<mta::Address>(i),
+                         static_cast<mta::Word>(i + 1));
+    producer->compute(3);
+    producer->store(kBase + 100 + static_cast<mta::Address>(i), 1);
+    VectorProgram* consumer = pool.make_vector();
+    consumer->compute(static_cast<std::uint64_t>(1 + i % 3));
+    consumer->sync_load(kBase + static_cast<mta::Address>(i));
+    consumer->compute(pad);
+    consumer->store(kBase + 200 + static_cast<mta::Address>(i), 1);
+    m.add_stream(producer);
+    m.add_stream(consumer);
+  }
+  VectorProgram* parent = pool.make_vector();
+  for (int i = 0; i < 8; ++i) {
+    VectorProgram* w = pool.make_vector();
+    w->compute(static_cast<std::uint64_t>(70 + i));
+    w->store(kBase + 300 + static_cast<mta::Address>(i), 1);
+    parent->spawn(w, /*software=*/(i % 2) == 1);
+  }
+  parent->compute(71);
+  m.add_stream(parent);
+}
+
+TEST(MtaPartitioned, MatchesScalarWindowBoundarySync) {
+  for (int procs : {2, 4, 8}) {
+    MtaConfig cfg;
+    cfg.num_processors = procs;
+    cfg.streams_per_processor = 32;
+    expect_partitioned_matches(
+        cfg, build_window_boundary,
+        "window boundary procs=" + std::to_string(procs));
+  }
+}
+
+TEST(MtaPartitioned, MatchesScalarTableWorkloads) {
+  const auto& tb = golden_testbed();
+  for (int procs : {2, 4}) {
+    expect_partitioned_matches(
+        platforms::make_mta_config(procs),
+        [&](Machine& m, ProgramPool& pool) {
+          c3i::threat::build_mta_chunked(pool, m, tb.threat_profile_scaled,
+                                         256, tb.threat_costs_scaled);
+        },
+        "table5 chunked-256 procs=" + std::to_string(procs));
+  }
+  expect_partitioned_matches(
+      platforms::make_mta_config(2),
+      [&](Machine& m, ProgramPool& pool) {
+        c3i::terrain::build_mta_finegrained(pool, m, tb.terrain_profile_scaled,
+                                            tb.terrain_costs_scaled,
+                                            c3i::terrain::MtaFineParams{});
+      },
+      "table11 fine procs=2");
+}
+
+TEST(MtaPartitioned, IneligibleConfigsFallBackToScalar) {
+  {
+    // Lookahead pins the scalar issue ordering; the engine must refuse.
+    MtaConfig cfg;
+    cfg.num_processors = 4;
+    cfg.streams_per_processor = 32;
+    cfg.lookahead = 4;
+    Machine probe(cfg);
+    EXPECT_FALSE(mta::PartitionedMachine::eligible(probe, 8));
+    expect_partitioned_matches(cfg, build_mixed, "lookahead fallback");
+  }
+  {
+    // Latency shorter than the issue spacing breaks the deferred-service
+    // census rule; the engine must refuse.
+    MtaConfig cfg;
+    cfg.num_processors = 4;
+    cfg.streams_per_processor = 32;
+    cfg.memory_latency_cycles = 10;
+    Machine probe(cfg);
+    EXPECT_FALSE(mta::PartitionedMachine::eligible(probe, 8));
+    expect_partitioned_matches(cfg, build_mixed, "short-latency fallback");
+  }
 }
 
 }  // namespace
